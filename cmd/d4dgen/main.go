@@ -1,0 +1,20 @@
+// Command d4dgen generates synthetic D4D-like CDR datasets (the stand-in
+// for the paper's proprietary Ivory Coast and Senegal data) and writes
+// them as CSV for consumption by glovectl or external tools.
+//
+// Usage:
+//
+//	d4dgen -profile civ -users 1000 -days 14 -out civ.csv
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "d4dgen: %v\n", err)
+		os.Exit(1)
+	}
+}

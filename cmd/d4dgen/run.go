@@ -1,0 +1,78 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cdr"
+	"repro/internal/synth"
+)
+
+// run executes d4dgen with the given arguments; the CSV goes to stdout
+// unless -out is given, diagnostics to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("d4dgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		profile = fs.String("profile", "civ", "dataset profile: civ or sen")
+		users   = fs.Int("users", 1000, "number of subscribers")
+		days    = fs.Int("days", 14, "recording period in days")
+		seed    = fs.Int64("seed", 0, "override the profile's generator seed (0 keeps it)")
+		out     = fs.String("out", "", "output CSV path (default stdout)")
+		screen  = fs.Bool("screen", true, "apply the paper's screening (>= 1 sample/day)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg synth.Config
+	switch *profile {
+	case "civ":
+		cfg = synth.CIV(*users)
+	case "sen":
+		cfg = synth.SEN(*users)
+	default:
+		return fmt.Errorf("unknown profile %q (want civ or sen)", *profile)
+	}
+	cfg.Days = *days
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	table, country, _, err := synth.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if *screen {
+		table = table.FilterMinRate(1)
+	}
+
+	w := stdout
+	var of *os.File
+	if *out != "" {
+		of, err = os.Create(*out)
+		if err != nil {
+			return err
+		}
+		w = of
+	}
+	if err := cdr.WriteCSV(w, table); err != nil {
+		if of != nil {
+			of.Close()
+		}
+		return err
+	}
+	if of != nil {
+		if err := of.Close(); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(stderr,
+		"d4dgen: %s profile, %d users, %d records, %d antennas in %d cities, center %v\n",
+		cfg.Name, table.Users(), len(table.Records),
+		len(country.Antennas), len(country.Cities), cfg.Center)
+	return nil
+}

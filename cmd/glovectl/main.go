@@ -1,0 +1,23 @@
+// Command glovectl k-anonymizes a CDR dataset with GLOVE: it reads raw
+// records, builds mobile fingerprints (projecting positions onto the
+// 100 m grid), runs the GLOVE algorithm with optional suppression,
+// validates the result (k-anonymity + truthfulness), reports the
+// accuracy of the published data, and writes the anonymized dataset.
+//
+// Usage:
+//
+//	glovectl -in civ.csv -lat 7.54 -lon -5.55 -days 14 -k 2 \
+//	         -suppress-km 15 -suppress-min 360 -out civ-anon.csv
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "glovectl: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/metrics"
+)
+
+// run executes glovectl with the given arguments, writing the anonymized
+// CSV to stdout (or -out) and diagnostics to stderr. Extracted from main
+// for testability.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("glovectl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in          = fs.String("in", "", "input CSV of raw records (required)")
+		lat         = fs.Float64("lat", 7.54, "projection center latitude")
+		lon         = fs.Float64("lon", -5.55, "projection center longitude")
+		days        = fs.Int("days", 14, "recording period in days")
+		k           = fs.Int("k", 2, "anonymity level (>= 2)")
+		suppressKm  = fs.Float64("suppress-km", 0, "suppress samples wider than this many km (0 = off)")
+		suppressMin = fs.Float64("suppress-min", 0, "suppress samples longer than this many minutes (0 = off)")
+		out         = fs.String("out", "", "output CSV path for the anonymized dataset (default stdout)")
+		workers     = fs.Int("workers", 0, "worker count (0 = all CPUs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("glovectl: -in is required")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	records, err := cdr.ReadCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	table := &cdr.Table{
+		Records:  records,
+		Center:   geo.LatLon{Lat: *lat, Lon: *lon},
+		SpanDays: *days,
+	}
+	if err := table.Validate(); err != nil {
+		return err
+	}
+
+	dataset, err := table.BuildDataset()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "glovectl: %d fingerprints, %d samples, mean length %.1f\n",
+		dataset.Len(), dataset.TotalSamples(), dataset.MeanFingerprintLen())
+
+	published, stats, err := core.Glove(dataset, core.GloveOptions{
+		K: *k,
+		Suppress: core.SuppressionThresholds{
+			MaxSpatialMeters:   *suppressKm * 1000,
+			MaxTemporalMinutes: *suppressMin,
+		},
+		Workers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	if err := core.ValidateKAnonymity(published, *k); err != nil {
+		return fmt.Errorf("glovectl: validation failed: %w", err)
+	}
+	rep := core.CheckTruthfulness(dataset, published)
+	if rep.MissingFP != stats.DiscardedUsers {
+		return fmt.Errorf("glovectl: %d subscribers missing but %d accounted as discarded",
+			rep.MissingFP, stats.DiscardedUsers)
+	}
+
+	acc := metrics.Measure(published)
+	sum, err := acc.Summarize()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr,
+		"glovectl: %d-anonymized into %d groups (%d merges); suppressed %d samples (%d users discarded)\n",
+		*k, stats.OutputFingerprints, stats.Merges, stats.SuppressedSamples, stats.DiscardedUsers)
+	fmt.Fprintf(stderr,
+		"glovectl: accuracy: position mean %.0f m / median %.0f m; time mean %.0f min / median %.0f min\n",
+		sum.MeanPositionM, sum.MedianPositionM, sum.MeanTimeMin, sum.MedianTimeMin)
+
+	if *out == "" {
+		return cdr.WriteAnonymizedCSV(stdout, published)
+	}
+	of, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := cdr.WriteAnonymizedCSV(of, published); err != nil {
+		of.Close()
+		return err
+	}
+	return of.Close()
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cdr"
+	"repro/internal/synth"
+)
+
+// writeTestCSV generates a small synthetic dataset and writes it to a
+// temp CSV, returning its path.
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	cfg := synth.CIV(30)
+	cfg.Days = 3
+	table, _, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "in.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cdr.WriteCSV(f, table); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	in := writeTestCSV(t)
+	out := filepath.Join(t.TempDir(), "anon.csv")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-in", in, "-days", "3", "-k", "2", "-out", out}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "group,count,") {
+		t.Errorf("output header wrong: %.60s", data)
+	}
+	if !strings.Contains(stderr.String(), "2-anonymized") {
+		t.Errorf("missing diagnostics: %s", stderr.String())
+	}
+	// Every published group hides >= 2 users.
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n")[1:] {
+		fields := strings.Split(line, ",")
+		if fields[1] == "0" || fields[1] == "1" {
+			t.Fatalf("group with count %s published", fields[1])
+		}
+	}
+}
+
+func TestRunToStdout(t *testing.T) {
+	in := writeTestCSV(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-in", in, "-days", "3"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(stdout.String(), "group,count,") {
+		t.Error("stdout missing CSV")
+	}
+}
+
+func TestRunWithSuppression(t *testing.T) {
+	in := writeTestCSV(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-in", in, "-days", "3", "-suppress-km", "15", "-suppress-min", "360"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "suppressed") {
+		t.Error("missing suppression report")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{}, &stdout, &stderr); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent/file.csv"}, &stdout, &stderr); err == nil {
+		t.Error("nonexistent input accepted")
+	}
+	in := writeTestCSV(t)
+	if err := run([]string{"-in", in, "-k", "1"}, &stdout, &stderr); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if err := run([]string{"-in", in, "-lat", "400"}, &stdout, &stderr); err == nil {
+		t.Error("invalid projection center accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &stdout, &stderr); err == nil {
+		t.Error("bogus flag accepted")
+	}
+	// Malformed CSV content.
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("not,a,valid,header\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", bad}, &stdout, &stderr); err == nil {
+		t.Error("malformed CSV accepted")
+	}
+}

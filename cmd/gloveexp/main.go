@@ -1,0 +1,215 @@
+// Command gloveexp reproduces the paper's evaluation: every figure and
+// table of Secs. 5 and 7 (see DESIGN.md for the experiment index), at a
+// configurable workload scale.
+//
+// Usage:
+//
+//	gloveexp -run all -users 300 -days 14
+//	gloveexp -run table2 -users 200
+//	gloveexp -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// runner executes one experiment and renders it.
+type runner struct {
+	name string
+	desc string
+	run  func(*experiments.Workloads, io.Writer) error
+}
+
+var runners = []runner{
+	{"fig3a", "CDF of 2-gap, both datasets", func(w *experiments.Workloads, out io.Writer) error {
+		r, err := experiments.Fig3a(w)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+		return nil
+	}},
+	{"fig3b", "CDF of k-gap for k = 2..100", func(w *experiments.Workloads, out io.Writer) error {
+		r, err := experiments.Fig3b(w)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+		return nil
+	}},
+	{"fig4", "2-gap under uniform generalization", func(w *experiments.Workloads, out io.Writer) error {
+		r, err := experiments.Fig4(w)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+		return nil
+	}},
+	{"fig5", "TWI and temporal/spatial decomposition", func(w *experiments.Workloads, out io.Writer) error {
+		r, err := experiments.Fig5(w)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+		return nil
+	}},
+	{"fig7", "accuracy of GLOVE 2-anonymization", func(w *experiments.Workloads, out io.Writer) error {
+		r, err := experiments.Fig7(w)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+		return nil
+	}},
+	{"fig8", "accuracy vs k", func(w *experiments.Workloads, out io.Writer) error {
+		r, err := experiments.Fig8(w)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+		return nil
+	}},
+	{"fig9", "suppression trade-off", func(w *experiments.Workloads, out io.Writer) error {
+		r, err := experiments.Fig9(w)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+		return nil
+	}},
+	{"table2", "W4M-LC vs GLOVE comparison", func(w *experiments.Workloads, out io.Writer) error {
+		r, err := experiments.Table2(w)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+		return nil
+	}},
+	{"fig10", "accuracy vs dataset timespan", func(w *experiments.Workloads, out io.Writer) error {
+		r, err := experiments.Fig10(w)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+		return nil
+	}},
+	{"fig11", "accuracy vs dataset size", func(w *experiments.Workloads, out io.Writer) error {
+		r, err := experiments.Fig11(w)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+		return nil
+	}},
+	{"uniqueness", "partial-knowledge uniqueness (Sec. 1 motivation)", func(w *experiments.Workloads, out io.Writer) error {
+		r, err := experiments.Uniqueness(w)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+		return nil
+	}},
+	{"utility", "aggregate-analysis utility preservation (Sec. 2.4)", func(w *experiments.Workloads, out io.Writer) error {
+		r, err := experiments.Utility(w)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+		return nil
+	}},
+	{"risk", "residual-risk diagnostics vs k (Sec. 2.4 limitations)", func(w *experiments.Workloads, out io.Writer) error {
+		r, err := experiments.Risk(w)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+		return nil
+	}},
+	{"calibration", "stretch-effort calibration ablation (footnote 3)", func(w *experiments.Workloads, out io.Writer) error {
+		r, err := experiments.Calibration(w)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+		return nil
+	}},
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "gloveexp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes gloveexp with the given arguments; extracted from main
+// for testability.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gloveexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runArg  = fs.String("run", "all", "experiment to run (see -list), or comma-separated list, or all")
+		users   = fs.Int("users", 300, "subscribers per nationwide dataset")
+		days    = fs.Int("days", 14, "recording period in days")
+		workers = fs.Int("workers", 0, "worker count (0 = all CPUs)")
+		list    = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, r := range runners {
+			fmt.Fprintf(stdout, "%-10s %s\n", r.name, r.desc)
+		}
+		return nil
+	}
+
+	w, err := experiments.NewWorkloads(experiments.Config{
+		Users: *users, Days: *days, Workers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	if *runArg != "all" {
+		for _, name := range strings.Split(*runArg, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		for name := range want {
+			if !known(name) {
+				return fmt.Errorf("unknown experiment %q (use -list)", name)
+			}
+		}
+	}
+
+	fmt.Fprintf(stdout, "workload scale: %d users, %d days per nationwide dataset\n\n", *users, *days)
+	for _, r := range runners {
+		if *runArg != "all" && !want[r.name] {
+			continue
+		}
+		start := time.Now()
+		if err := r.run(w, stdout); err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func known(name string) bool {
+	for _, r := range runners {
+		if r.name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig3a", "table2", "uniqueness", "utility"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("list missing %s", name)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-run", "fig3a", "-users", "30", "-days", "2"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Fig. 3a") {
+		t.Error("output missing figure header")
+	}
+	if !strings.Contains(stdout.String(), "completed") {
+		t.Error("output missing completion line")
+	}
+}
+
+func TestRunCommaSeparated(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-run", "fig3a, uniqueness", "-users", "30", "-days", "2"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Uniqueness") {
+		t.Error("second experiment missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-run", "fig99"}, &stdout, &stderr); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-users", "2"}, &stdout, &stderr); err == nil {
+		t.Error("tiny workload accepted")
+	}
+	if err := run([]string{"-zzz"}, &stdout, &stderr); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}
+
+func TestKnown(t *testing.T) {
+	if !known("fig3a") || known("nope") {
+		t.Error("known() wrong")
+	}
+}

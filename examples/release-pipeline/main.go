@@ -1,0 +1,143 @@
+// Release-pipeline: a realistic Privacy-Preserving Data Publishing run,
+// end to end — what a mobile operator's data office would execute before
+// an open-data release (the workflow the paper's introduction motivates).
+//
+//  1. ingest raw CDR records;
+//  2. pseudonymize identifiers;
+//  3. screen low-activity subscribers (the paper's >= 1 sample/day);
+//  4. GLOVE k-anonymization with suppression of over-generalized
+//     samples (Sec. 7.1, thresholds 15 km / 6 h as in Table 2);
+//  5. validate privacy (k-anonymity) and truthfulness (PPDP P2);
+//  6. write the publishable CSV and a utility datasheet;
+//  7. quantify the residual risks k-anonymity does not cover.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/privacy"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("release: ")
+
+	// 1. Ingest: in production this is the operator's probe feed; here,
+	//    the synthetic substrate.
+	cfg := synth.CIV(150)
+	cfg.Days = 7
+	raw, _, _, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested        %6d records, %d subscribers\n", len(raw.Records), raw.Users())
+
+	// 2. Pseudonymize: mandatory, insufficient alone.
+	pseudo, err := raw.Pseudonymize(2015)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Screening: drop subscribers too inactive to carry analysis value.
+	screened := pseudo.FilterMinRate(1)
+	fmt.Printf("screened        %6d records, %d subscribers (>= 1 sample/day)\n",
+		len(screened.Records), screened.Users())
+
+	dataset, err := screened.BuildDataset()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Anonymize: 2-anonymity with the paper's suppression thresholds.
+	const k = 2
+	published, stats, err := core.Glove(dataset, core.GloveOptions{
+		K: k,
+		Suppress: core.SuppressionThresholds{
+			MaxSpatialMeters:   15000,
+			MaxTemporalMinutes: 360,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("anonymized      %6d groups (k >= %d), %d samples suppressed (%.1f%%)\n",
+		published.Len(), k, stats.SuppressedSamples,
+		100*float64(stats.SuppressedSamples)/float64(stats.InputSamples))
+
+	// 5. Validate: release gate. Privacy violations abort publication;
+	//    subscribers fully removed by suppression are a documented
+	//    exclusion (removing a user can never hurt that user's privacy),
+	//    but any other discrepancy blocks the release.
+	if err := published.Validate(); err != nil {
+		log.Fatalf("RELEASE BLOCKED: %v", err)
+	}
+	if err := core.ValidateKAnonymity(published, k); err != nil {
+		log.Fatalf("RELEASE BLOCKED: %v", err)
+	}
+	rep := core.CheckTruthfulness(dataset, published)
+	if rep.MissingFP != stats.DiscardedUsers {
+		log.Fatalf("RELEASE BLOCKED: %d subscribers missing but only %d accounted as suppression-discarded",
+			rep.MissingFP, stats.DiscardedUsers)
+	}
+	fmt.Printf("validated       %d original samples covered, %d suppressed, 0 fabricated, %d subscribers excluded\n",
+		rep.Covered, rep.Suppressed, stats.DiscardedUsers)
+
+	// 6. Publish: the anonymized CSV plus a datasheet documenting the
+	//    residual utility for downstream researchers.
+	dir, err := os.MkdirTemp("", "glove-release-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "release.csv")
+	f, err := os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cdr.WriteAnonymizedCSV(f, published); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	acc := metrics.Measure(published)
+	sum, err := acc.Summarize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcdf, err := acc.PositionCDF()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tcdf, err := acc.TimeCDF()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("published       %s\n", outPath)
+	fmt.Println("datasheet:")
+	fmt.Printf("  anonymity              k = %d (validated)\n", k)
+	fmt.Printf("  position accuracy      mean %.0f m, median %.0f m, %.0f%% within 2 km\n",
+		sum.MeanPositionM, sum.MedianPositionM, 100*pcdf.At(2000))
+	fmt.Printf("  time accuracy          mean %.0f min, median %.0f min, %.0f%% within 2 h\n",
+		sum.MeanTimeMin, sum.MedianTimeMin, 100*tcdf.At(120))
+	fmt.Printf("  records published      %d generalized samples for %d subscribers\n",
+		published.TotalSamples(), published.Users())
+
+	// 7. Residual-risk diagnostics: quantify the k-anonymity limitations
+	//    the paper acknowledges (Sec. 2.4) so the release decision is an
+	//    informed one.
+	risk, err := privacy.Report(published, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(risk)
+}

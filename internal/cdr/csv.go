@@ -1,0 +1,113 @@
+package cdr
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// CSV formats. Raw CDR tables use the 3-column format
+//
+//	user,lat,lon,minute
+//
+// (header required). Anonymized datasets use the generalized 7-column
+// format
+//
+//	group,x,dx,y,dy,t,dt
+//
+// with planar coordinates in meters and times in minutes, one row per
+// published sample, plus a `count` column carrying the group size.
+
+// WriteCSV writes the raw record table.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"user", "lat", "lon", "minute"}); err != nil {
+		return err
+	}
+	row := make([]string, 4)
+	for _, r := range t.Records {
+		row[0] = r.User
+		row[1] = strconv.FormatFloat(r.Pos.Lat, 'f', -1, 64)
+		row[2] = strconv.FormatFloat(r.Pos.Lon, 'f', -1, 64)
+		row[3] = strconv.FormatFloat(r.Minute, 'f', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a raw record table written by WriteCSV. Center and
+// SpanDays must be supplied by the caller (they are dataset metadata, not
+// per-record data).
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("cdr: reading header: %w", err)
+	}
+	if header[0] != "user" || header[1] != "lat" || header[2] != "lon" || header[3] != "minute" {
+		return nil, fmt.Errorf("cdr: unexpected header %v", header)
+	}
+	var out []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cdr: line %d: %w", line, err)
+		}
+		lat, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("cdr: line %d: bad lat: %w", line, err)
+		}
+		lon, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("cdr: line %d: bad lon: %w", line, err)
+		}
+		min, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("cdr: line %d: bad minute: %w", line, err)
+		}
+		rec := Record{User: row[0], Pos: geo.LatLon{Lat: lat, Lon: lon}, Minute: min}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("cdr: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// WriteAnonymizedCSV writes a k-anonymized dataset in the generalized
+// format, one row per (group, sample) pair.
+func WriteAnonymizedCSV(w io.Writer, d *core.Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"group", "count", "x", "dx", "y", "dy", "t", "dt"}); err != nil {
+		return err
+	}
+	row := make([]string, 8)
+	for _, f := range d.Fingerprints {
+		for _, s := range f.Samples {
+			row[0] = f.ID
+			row[1] = strconv.Itoa(f.Count)
+			row[2] = strconv.FormatFloat(s.X, 'f', 1, 64)
+			row[3] = strconv.FormatFloat(s.DX, 'f', 1, 64)
+			row[4] = strconv.FormatFloat(s.Y, 'f', 1, 64)
+			row[5] = strconv.FormatFloat(s.DY, 'f', 1, 64)
+			row[6] = strconv.FormatFloat(s.T, 'f', 1, 64)
+			row[7] = strconv.FormatFloat(s.DT, 'f', 1, 64)
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,63 @@
+package core
+
+import "math"
+
+// FingerprintBounds caches the spatiotemporal bounding volume of a
+// fingerprint. It yields a cheap lower bound on the fingerprint stretch
+// effort to any other fingerprint, used to prune the O(|M|^2) pair
+// computations of the anonymizability analysis: two fingerprints whose
+// bounding boxes are far apart (e.g. subscribers of different cities)
+// cannot have a low Δ_ab, so the exact Eq. 10 evaluation can be skipped.
+type FingerprintBounds struct {
+	MinX, MaxX float64 // spatial bounding box, meters
+	MinY, MaxY float64
+	MinT, MaxT float64 // temporal range, minutes
+}
+
+// BoundsOf computes the bounding volume of a fingerprint.
+func BoundsOf(f *Fingerprint) FingerprintBounds {
+	b := FingerprintBounds{
+		MinX: math.Inf(1), MaxX: math.Inf(-1),
+		MinY: math.Inf(1), MaxY: math.Inf(-1),
+		MinT: math.Inf(1), MaxT: math.Inf(-1),
+	}
+	for _, s := range f.Samples {
+		b.MinX = math.Min(b.MinX, s.X)
+		b.MaxX = math.Max(b.MaxX, s.X+s.DX)
+		b.MinY = math.Min(b.MinY, s.Y)
+		b.MaxY = math.Max(b.MaxY, s.Y+s.DY)
+		b.MinT = math.Min(b.MinT, s.T)
+		b.MaxT = math.Max(b.MaxT, s.T+s.DT)
+	}
+	return b
+}
+
+// gap1D returns the distance between the intervals [aLo, aHi] and
+// [bLo, bHi], zero if they intersect.
+func gap1D(aLo, aHi, bLo, bHi float64) float64 {
+	if bLo > aHi {
+		return bLo - aHi
+	}
+	if aLo > bHi {
+		return aLo - bHi
+	}
+	return 0
+}
+
+// EffortLowerBound returns a lower bound on Δ_ab given only the two
+// fingerprints' bounding volumes. Every sample of a lies within a's
+// bounds and likewise for b, so any sample pair must be stretched across
+// at least the L1 gap between the spatial boxes and the gap between the
+// temporal ranges; both stretches appear in Eq. 4/7 for each side with
+// weights summing to one, so the bound survives the count weighting.
+func (p Params) EffortLowerBound(a, b FingerprintBounds) float64 {
+	dSpace := gap1D(a.MinX, a.MaxX, b.MinX, b.MaxX) + gap1D(a.MinY, a.MaxY, b.MinY, b.MaxY)
+	dTime := gap1D(a.MinT, a.MaxT, b.MinT, b.MaxT)
+	if dSpace > p.MaxSpatial {
+		dSpace = p.MaxSpatial
+	}
+	if dTime > p.MaxTemporal {
+		dTime = p.MaxTemporal
+	}
+	return p.WSpatial*dSpace/p.MaxSpatial + p.WTemporal*dTime/p.MaxTemporal
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// ChunkedGloveOptions configures GloveChunked, the scalable variant of
+// the algorithm. GLOVE is quadratic in the dataset size (Sec. 6.3);
+// the paper addresses this with GPU parallelism, and its locality
+// analysis (Sec. 7.3: most fingerprints are confined to a city-sized
+// region and are hidden among neighbours of the same area) implies that
+// partitioning the dataset into spatially coherent blocks and
+// anonymizing the blocks independently loses little accuracy while
+// turning the cost into a sum of much smaller quadratics — and the
+// blocks run in parallel.
+type ChunkedGloveOptions struct {
+	// Glove carries the per-block options (K, Params, Merge, Suppress).
+	Glove GloveOptions
+
+	// ChunkSize is the target number of fingerprints per block; blocks
+	// are at least 2*K so every block can anonymize on its own.
+	ChunkSize int
+}
+
+// GloveChunked runs GLOVE independently on spatially coherent blocks of
+// the dataset. The k-anonymity guarantee is unchanged — every published
+// group hides at least K subscribers — because each block is anonymized
+// completely; what changes is that merges never cross block boundaries,
+// which can cost accuracy for fingerprints whose true nearest
+// neighbours land in another block (measured in
+// BenchmarkAblationChunked).
+func GloveChunked(d *Dataset, opt ChunkedGloveOptions) (*Dataset, *GloveStats, error) {
+	gopt := opt.Glove.withDefaults()
+	if gopt.K < 2 {
+		return nil, nil, fmt.Errorf("core: chunked glove k = %d, need k >= 2", gopt.K)
+	}
+	if opt.ChunkSize < 2*gopt.K {
+		return nil, nil, fmt.Errorf("core: chunk size %d < 2k = %d", opt.ChunkSize, 2*gopt.K)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if d.Users() < gopt.K {
+		return nil, nil, fmt.Errorf("core: dataset hides %d users, cannot %d-anonymize", d.Users(), gopt.K)
+	}
+	if d.Len() <= opt.ChunkSize {
+		return Glove(d, gopt)
+	}
+
+	blocks := spatialBlocks(d, opt.ChunkSize)
+
+	type blockResult struct {
+		out   *Dataset
+		stats *GloveStats
+		err   error
+	}
+	results := parallel.Map(len(blocks), gopt.Workers, func(i int) blockResult {
+		sub := &Dataset{Fingerprints: blocks[i]}
+		// Per-block pair computations stay serial; parallelism comes
+		// from running blocks concurrently.
+		o := gopt
+		o.Workers = 1
+		out, st, err := Glove(sub, o)
+		return blockResult{out, st, err}
+	})
+
+	total := &GloveStats{}
+	var fps []*Fingerprint
+	for i, r := range results {
+		if r.err != nil {
+			return nil, nil, fmt.Errorf("core: block %d: %w", i, r.err)
+		}
+		fps = append(fps, r.out.Fingerprints...)
+		total.InputFingerprints += r.stats.InputFingerprints
+		total.InputUsers += r.stats.InputUsers
+		total.InputSamples += r.stats.InputSamples
+		total.Merges += r.stats.Merges
+		total.SuppressedSamples += r.stats.SuppressedSamples
+		total.SuppressedPublished += r.stats.SuppressedPublished
+		total.DiscardedFingerprints += r.stats.DiscardedFingerprints
+		total.DiscardedUsers += r.stats.DiscardedUsers
+	}
+	out := &Dataset{Fingerprints: fps}
+	total.OutputFingerprints = out.Len()
+	total.OutputSamples = out.TotalSamples()
+	return out, total, nil
+}
+
+// spatialBlocks partitions the fingerprints into blocks of roughly
+// chunkSize, spatially coherent: fingerprints are ordered by the grid
+// cell of their spatial centroid (column-major over ~25 km tiles, the
+// scale of a large city) and split in order. Every block ends up with
+// at least chunkSize/2 fingerprints because a short tail merges into
+// the previous block.
+func spatialBlocks(d *Dataset, chunkSize int) [][]*Fingerprint {
+	type keyed struct {
+		fp   *Fingerprint
+		tile [2]float64
+		id   string
+	}
+	ks := make([]keyed, d.Len())
+	for i, f := range d.Fingerprints {
+		var cx, cy, w float64
+		for _, s := range f.Samples {
+			cx += (s.X + s.DX/2) * float64(s.Weight)
+			cy += (s.Y + s.DY/2) * float64(s.Weight)
+			w += float64(s.Weight)
+		}
+		if w > 0 {
+			cx /= w
+			cy /= w
+		}
+		ks[i] = keyed{
+			fp:   f,
+			tile: [2]float64{math.Floor(cx / 25000), math.Floor(cy / 25000)},
+			id:   f.ID,
+		}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		if ks[a].tile[0] != ks[b].tile[0] {
+			return ks[a].tile[0] < ks[b].tile[0]
+		}
+		if ks[a].tile[1] != ks[b].tile[1] {
+			return ks[a].tile[1] < ks[b].tile[1]
+		}
+		return ks[a].id < ks[b].id
+	})
+
+	var blocks [][]*Fingerprint
+	for start := 0; start < len(ks); start += chunkSize {
+		end := start + chunkSize
+		if end > len(ks) {
+			end = len(ks)
+		}
+		block := make([]*Fingerprint, 0, end-start)
+		for _, k := range ks[start:end] {
+			block = append(block, k.fp)
+		}
+		// A tail shorter than half a chunk joins the previous block so no
+		// block is too small to anonymize well.
+		if len(block) < chunkSize/2 && len(blocks) > 0 {
+			last := len(blocks) - 1
+			blocks[last] = append(blocks[last], block...)
+		} else {
+			blocks = append(blocks, block)
+		}
+	}
+	return blocks
+}

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// SuppressionThresholds configures the optional suppression step of
+// Sec. 7.1: published samples whose generalized extents exceed either
+// threshold are discarded instead of published, trading a small loss of
+// data for a large gain in accuracy (Fig. 9). A zero threshold disables
+// that dimension.
+type SuppressionThresholds struct {
+	MaxSpatialMeters   float64 // drop samples with spatial span above this
+	MaxTemporalMinutes float64 // drop samples with temporal span above this
+}
+
+// Enabled reports whether any suppression is configured.
+func (s SuppressionThresholds) Enabled() bool {
+	return s.MaxSpatialMeters > 0 || s.MaxTemporalMinutes > 0
+}
+
+// exceeds reports whether the sample violates the thresholds.
+func (s SuppressionThresholds) exceeds(sm Sample) bool {
+	if s.MaxSpatialMeters > 0 && sm.SpatialSpan() > s.MaxSpatialMeters {
+		return true
+	}
+	if s.MaxTemporalMinutes > 0 && sm.TemporalSpan() > s.MaxTemporalMinutes {
+		return true
+	}
+	return false
+}
+
+// GloveOptions configures a GLOVE run.
+type GloveOptions struct {
+	// K is the anonymity level: every published fingerprint hides at
+	// least K subscribers. Must be >= 2.
+	K int
+
+	// Params calibrates the stretch effort; zero value means
+	// DefaultParams.
+	Params Params
+
+	// Merge tunes the merging operation; the zero value is the paper's
+	// configuration.
+	Merge MergeOptions
+
+	// Suppress optionally discards over-generalized samples after
+	// anonymization (Sec. 7.1).
+	Suppress SuppressionThresholds
+
+	// Workers bounds the parallelism of the pair-effort computations;
+	// <= 0 uses all CPUs.
+	Workers int
+
+	// NaiveMinPair disables the per-row nearest-neighbour cache and
+	// rescans the full effort matrix at every iteration. It exists only
+	// for the ablation benchmark of the cache (DESIGN.md Sec. 5) and
+	// must produce identical output.
+	NaiveMinPair bool
+}
+
+func (o GloveOptions) withDefaults() GloveOptions {
+	if o.Params == (Params{}) {
+		o.Params = DefaultParams()
+	}
+	return o
+}
+
+// GloveStats reports what a GLOVE run did to the data, matching the
+// accounting of Table 2.
+type GloveStats struct {
+	InputFingerprints int
+	InputUsers        int
+	InputSamples      int // original samples in the input
+
+	OutputFingerprints int // published (merged) fingerprints
+	OutputSamples      int // published (generalized) samples
+	Merges             int // number of pairwise merge operations
+
+	// SuppressedSamples counts original samples whose generalization was
+	// discarded by the suppression thresholds (the paper's "deleted
+	// samples"). SuppressedPublished counts the published samples those
+	// originals had been generalized into.
+	SuppressedSamples   int
+	SuppressedPublished int
+
+	// DiscardedFingerprints and DiscardedUsers count fingerprints (and
+	// the subscribers they hide) removed because suppression deleted all
+	// of their samples. GLOVE itself never discards fingerprints, so
+	// these are zero unless suppression is extremely aggressive.
+	DiscardedFingerprints int
+	DiscardedUsers        int
+}
+
+// Glove runs the GLOVE algorithm (Alg. 1) on the dataset and returns the
+// k-anonymized dataset together with run statistics. The input dataset is
+// not modified.
+//
+// The algorithm: compute the fingerprint stretch effort Δ (Eq. 10) among
+// all pairs; repeatedly merge the not-yet-anonymized pair at minimum
+// effort via specialized generalization (Eqs. 12-13); fingerprints whose
+// accumulated subscriber count reaches K leave the working set. A single
+// leftover fingerprint, if any, is merged into the nearest anonymized
+// group so that no subscriber is ever discarded. Optional suppression
+// then removes over-generalized samples.
+func Glove(d *Dataset, opt GloveOptions) (*Dataset, *GloveStats, error) {
+	opt = opt.withDefaults()
+	if opt.K < 2 {
+		return nil, nil, fmt.Errorf("core: glove k = %d, need k >= 2", opt.K)
+	}
+	if err := opt.Params.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if d.Users() < opt.K {
+		return nil, nil, fmt.Errorf("core: dataset hides %d users, cannot %d-anonymize", d.Users(), opt.K)
+	}
+
+	stats := &GloveStats{
+		InputFingerprints: d.Len(),
+		InputUsers:        d.Users(),
+		InputSamples:      totalWeight(d),
+	}
+
+	st := newGloveState(d, opt)
+	for st.activeCount() >= 2 {
+		i, j := st.minPair()
+		st.merge(i, j)
+		stats.Merges++
+	}
+	if leftover, ok := st.lastActive(); ok {
+		// One fingerprint remains below K: hide it inside the nearest
+		// anonymized group (its members become part of that crowd).
+		st.foldIntoDone(leftover)
+		stats.Merges++
+	}
+
+	out := &Dataset{Fingerprints: st.done}
+	applySuppression(out, opt.Suppress, stats)
+
+	stats.OutputFingerprints = out.Len()
+	stats.OutputSamples = out.TotalSamples()
+	return out, stats, nil
+}
+
+func totalWeight(d *Dataset) int {
+	var w int
+	for _, f := range d.Fingerprints {
+		w += f.TotalWeight()
+	}
+	return w
+}
+
+// gloveState is the working set of Alg. 1: the active (not yet
+// anonymized) fingerprints, the dense symmetric effort matrix S over
+// active slots, and a per-slot nearest-neighbour cache that keeps the
+// min-pair selection near O(n) per iteration.
+type gloveState struct {
+	opt GloveOptions
+
+	fps   []*Fingerprint // slot -> fingerprint (nil when dead)
+	alive []bool         // slot is active (fingerprint count < K)
+	n     int            // slot capacity (== initial dataset size)
+
+	matrix  []float64 // n*n efforts among active slots
+	nearest []int     // slot -> active slot at min effort (-1 if stale/none)
+
+	done []*Fingerprint // anonymized fingerprints (count >= K)
+}
+
+func newGloveState(d *Dataset, opt GloveOptions) *gloveState {
+	n := d.Len()
+	st := &gloveState{
+		opt:     opt,
+		fps:     make([]*Fingerprint, n),
+		alive:   make([]bool, n),
+		n:       n,
+		matrix:  make([]float64, n*n),
+		nearest: make([]int, n),
+	}
+	for i, f := range d.Fingerprints {
+		fc := f.Clone()
+		if fc.Count >= opt.K {
+			// Already anonymized on input (e.g. pre-merged groups).
+			st.done = append(st.done, fc)
+			continue
+		}
+		st.fps[i] = fc
+		st.alive[i] = true
+	}
+	p := opt.Params
+	parallel.ForPairs(n, opt.Workers, func(i, j int) {
+		if !st.alive[i] || !st.alive[j] {
+			return
+		}
+		e := p.FingerprintEffort(st.fps[i], st.fps[j])
+		st.matrix[i*n+j] = e
+		st.matrix[j*n+i] = e
+	})
+	for i := 0; i < n; i++ {
+		if st.alive[i] {
+			st.rescanNearest(i)
+		}
+	}
+	return st
+}
+
+func (st *gloveState) activeCount() int {
+	var c int
+	for i := 0; i < st.n; i++ {
+		if st.alive[i] {
+			c++
+		}
+	}
+	return c
+}
+
+func (st *gloveState) lastActive() (int, bool) {
+	for i := 0; i < st.n; i++ {
+		if st.alive[i] {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// rescanNearest recomputes the nearest active neighbour of slot i from
+// the matrix row.
+func (st *gloveState) rescanNearest(i int) {
+	best := math.Inf(1)
+	bestIdx := -1
+	row := st.matrix[i*st.n : (i+1)*st.n]
+	for j := 0; j < st.n; j++ {
+		if j == i || !st.alive[j] {
+			continue
+		}
+		if row[j] < best {
+			best = row[j]
+			bestIdx = j
+		}
+	}
+	st.nearest[i] = bestIdx
+}
+
+// minPair returns the active pair at global minimum effort using the
+// nearest caches; ties break towards the lowest slot index, keeping runs
+// deterministic.
+func (st *gloveState) minPair() (int, int) {
+	if st.opt.NaiveMinPair {
+		return st.minPairNaive()
+	}
+	best := math.Inf(1)
+	bi, bj := -1, -1
+	for i := 0; i < st.n; i++ {
+		if !st.alive[i] || st.nearest[i] < 0 {
+			continue
+		}
+		e := st.matrix[i*st.n+st.nearest[i]]
+		if e < best {
+			best = e
+			bi, bj = i, st.nearest[i]
+		}
+	}
+	if bi > bj {
+		bi, bj = bj, bi
+	}
+	return bi, bj
+}
+
+// minPairNaive is the cache-free O(n^2) scan used by the ablation
+// benchmark. Tie-breaking matches the cached path: the cache keeps the
+// lowest-index nearest neighbour per row, so both scans return the
+// first minimal pair in row-major order.
+func (st *gloveState) minPairNaive() (int, int) {
+	best := math.Inf(1)
+	bi, bj := -1, -1
+	for i := 0; i < st.n; i++ {
+		if !st.alive[i] {
+			continue
+		}
+		row := st.matrix[i*st.n : (i+1)*st.n]
+		for j := 0; j < st.n; j++ {
+			if j == i || !st.alive[j] {
+				continue
+			}
+			if row[j] < best {
+				best = row[j]
+				bi, bj = i, j
+			}
+		}
+	}
+	if bi > bj {
+		bi, bj = bj, bi
+	}
+	return bi, bj
+}
+
+// merge performs one iteration of Alg. 1 (lines 5-14): remove slots i
+// and j, merge their fingerprints, and either retire the result (count
+// >= K) or re-insert it into slot i with a freshly computed effort row.
+func (st *gloveState) merge(i, j int) {
+	a, b := st.fps[i], st.fps[j]
+	m := MergeFingerprints(st.opt.Params, a, b, st.opt.Merge)
+
+	st.alive[i] = false
+	st.alive[j] = false
+	st.fps[i] = nil
+	st.fps[j] = nil
+
+	reinserted := -1
+	if m.Count < st.opt.K {
+		st.fps[i] = m
+		st.alive[i] = true
+		reinserted = i
+		// Recompute row i against all active slots in parallel.
+		p := st.opt.Params
+		n := st.n
+		parallel.For(n, st.opt.Workers, func(c int) {
+			if c == i || !st.alive[c] {
+				return
+			}
+			e := p.FingerprintEffort(m, st.fps[c])
+			st.matrix[i*n+c] = e
+			st.matrix[c*n+i] = e
+		})
+		st.rescanNearest(i)
+	} else {
+		st.done = append(st.done, m)
+	}
+
+	// Repair nearest caches: slots that pointed at i or j must rescan;
+	// others may only improve via the reinserted slot.
+	for c := 0; c < st.n; c++ {
+		if !st.alive[c] || c == reinserted {
+			continue
+		}
+		switch {
+		case st.nearest[c] == i || st.nearest[c] == j:
+			st.rescanNearest(c)
+		case reinserted >= 0:
+			if e := st.matrix[c*st.n+reinserted]; st.nearest[c] < 0 || e < st.matrix[c*st.n+st.nearest[c]] {
+				st.nearest[c] = reinserted
+			}
+		}
+	}
+}
+
+// foldIntoDone merges the last active fingerprint into the anonymized
+// group at minimum effort, so no subscriber is discarded.
+func (st *gloveState) foldIntoDone(i int) {
+	f := st.fps[i]
+	st.alive[i] = false
+	st.fps[i] = nil
+
+	p := st.opt.Params
+	efforts := parallel.Map(len(st.done), st.opt.Workers, func(c int) float64 {
+		return p.FingerprintEffort(f, st.done[c])
+	})
+	best := math.Inf(1)
+	bestIdx := 0
+	for c, e := range efforts {
+		if e < best {
+			best = e
+			bestIdx = c
+		}
+	}
+	st.done[bestIdx] = MergeFingerprints(p, st.done[bestIdx], f, st.opt.Merge)
+}
+
+// applySuppression removes over-generalized samples from the published
+// dataset and updates the accounting. Fingerprints left without samples
+// are discarded entirely (with their hidden users counted).
+func applySuppression(d *Dataset, thr SuppressionThresholds, stats *GloveStats) {
+	if !thr.Enabled() {
+		return
+	}
+	kept := d.Fingerprints[:0]
+	for _, f := range d.Fingerprints {
+		out := f.Samples[:0]
+		for _, s := range f.Samples {
+			if thr.exceeds(s) {
+				stats.SuppressedSamples += s.Weight
+				stats.SuppressedPublished++
+				continue
+			}
+			out = append(out, s)
+		}
+		f.Samples = out
+		if len(f.Samples) == 0 {
+			stats.DiscardedFingerprints++
+			stats.DiscardedUsers += f.Count
+			continue
+		}
+		kept = append(kept, f)
+	}
+	d.Fingerprints = kept
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestGloveArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := randDataset(rng, 6, 5)
+	if _, _, err := Glove(d, GloveOptions{K: 1}); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, _, err := Glove(d, GloveOptions{K: 7}); err == nil {
+		t.Error("k > users accepted")
+	}
+	bad := NewDataset([]*Fingerprint{{ID: "", Count: 1, Members: []string{""}}})
+	if _, _, err := Glove(bad, GloveOptions{K: 2}); err == nil {
+		t.Error("invalid dataset accepted")
+	}
+}
+
+func TestGloveKAnonymity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range []int{2, 3, 5} {
+		d := randDataset(rng, 30, 10)
+		out, stats, err := Glove(d, GloveOptions{K: k, Workers: 2})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := ValidateKAnonymity(out, k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if stats.InputUsers != 30 {
+			t.Errorf("k=%d: input users %d", k, stats.InputUsers)
+		}
+		if got := out.Users(); got != 30 {
+			t.Errorf("k=%d: output hides %d users, want 30 (GLOVE discards nobody)", k, got)
+		}
+		if stats.DiscardedFingerprints != 0 || stats.DiscardedUsers != 0 {
+			t.Errorf("k=%d: discarded %d fingerprints / %d users", k,
+				stats.DiscardedFingerprints, stats.DiscardedUsers)
+		}
+	}
+}
+
+func TestGloveTruthfulness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := randDataset(rng, 25, 12)
+	out, _, err := Glove(d, GloveOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CheckTruthfulness(d, out)
+	if rep.MissingFP != 0 {
+		t.Errorf("%d subscribers missing from output", rep.MissingFP)
+	}
+	if rep.Suppressed != 0 {
+		t.Errorf("%d original samples uncovered without suppression", rep.Suppressed)
+	}
+	var want int
+	for _, f := range d.Fingerprints {
+		want += f.Len()
+	}
+	if rep.Covered != want {
+		t.Errorf("covered %d, want %d", rep.Covered, want)
+	}
+}
+
+func TestGloveGroupsShareFingerprint(t *testing.T) {
+	// All members of a group are indistinguishable by construction: the
+	// group has a single published sample sequence. Check group sizes
+	// cover all users exactly once.
+	rng := rand.New(rand.NewSource(4))
+	d := randDataset(rng, 21, 8) // odd count forces a leftover fold at k=2
+	out, _, err := Glove(d, GloveOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, f := range out.Fingerprints {
+		for _, m := range f.Members {
+			if seen[m] {
+				t.Fatalf("subscriber %s in two groups", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != 21 {
+		t.Fatalf("output covers %d subscribers, want 21", len(seen))
+	}
+}
+
+func TestGloveOddLeftoverFold(t *testing.T) {
+	// With 3 users and k=2, two merge and the third folds into the done
+	// group: one output fingerprint hiding all 3.
+	rng := rand.New(rand.NewSource(5))
+	d := randDataset(rng, 3, 6)
+	out, stats, err := Glove(d, GloveOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Fingerprints[0].Count != 3 {
+		t.Fatalf("got %d fingerprints, first count %d; want 1 hiding 3",
+			out.Len(), out.Fingerprints[0].Count)
+	}
+	if stats.Merges != 2 {
+		t.Errorf("merges = %d, want 2", stats.Merges)
+	}
+}
+
+func TestGloveMergesClosePairsFirst(t *testing.T) {
+	// Two identical pairs and two loners: the identical pairs must end up
+	// merged together (their effort is 0).
+	rng := rand.New(rand.NewSource(6))
+	a := randFingerprint(rng, "a", 6)
+	a2 := a.Clone()
+	a2.ID = "a2"
+	a2.Members = []string{"a2"}
+	b := randFingerprint(rng, "b", 6)
+	b2 := b.Clone()
+	b2.ID = "b2"
+	b2.Members = []string{"b2"}
+	c := randFingerprint(rng, "c", 6)
+	e := randFingerprint(rng, "e", 6)
+	d := NewDataset([]*Fingerprint{a, c, b, a2, e, b2})
+	out, _, err := Glove(d, GloveOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(id string) *Fingerprint {
+		for _, f := range out.Fingerprints {
+			if hasMember(f, id) {
+				return f
+			}
+		}
+		t.Fatalf("member %s not found", id)
+		return nil
+	}
+	if fa := find("a"); !hasMember(fa, "a2") {
+		t.Error("identical fingerprints a, a2 not grouped")
+	}
+	if fb := find("b"); !hasMember(fb, "b2") {
+		t.Error("identical fingerprints b, b2 not grouped")
+	}
+}
+
+func TestGloveDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := randDataset(rng, 18, 7)
+	out1, _, err := Glove(d, GloveOptions{K: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, _, err := Glove(d, GloveOptions{K: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Len() != out2.Len() {
+		t.Fatalf("runs differ: %d vs %d fingerprints", out1.Len(), out2.Len())
+	}
+	for i := range out1.Fingerprints {
+		f1, f2 := out1.Fingerprints[i], out2.Fingerprints[i]
+		if f1.Count != f2.Count || f1.Len() != f2.Len() {
+			t.Fatalf("fingerprint %d differs across runs", i)
+		}
+		for j := range f1.Samples {
+			if f1.Samples[j] != f2.Samples[j] {
+				t.Fatalf("fingerprint %d sample %d differs across runs", i, j)
+			}
+		}
+	}
+}
+
+func TestGloveInputUnmodified(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := randDataset(rng, 10, 6)
+	before := d.Clone()
+	if _, _, err := Glove(d, GloveOptions{K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range d.Fingerprints {
+		if f.Count != before.Fingerprints[i].Count || f.Len() != before.Fingerprints[i].Len() {
+			t.Fatal("Glove modified its input")
+		}
+		for j := range f.Samples {
+			if f.Samples[j] != before.Fingerprints[i].Samples[j] {
+				t.Fatal("Glove modified input samples")
+			}
+		}
+	}
+}
+
+func TestGloveSuppression(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Mostly clustered users plus one wild outlier whose merge will be
+	// very coarse.
+	fps := make([]*Fingerprint, 0, 11)
+	for i := 0; i < 10; i++ {
+		fps = append(fps, randFingerprint(rng, fmt.Sprintf("u%d", i), 8))
+	}
+	outlier := NewFingerprint("wild", []Sample{
+		NewSample(9e5, 9e5, 100, 19000, 1),
+		NewSample(-9e5, -9e5, 100, 1, 1),
+	})
+	fps = append(fps, outlier)
+	d := NewDataset(fps)
+
+	thr := SuppressionThresholds{MaxSpatialMeters: 15000, MaxTemporalMinutes: 360}
+	out, stats, err := Glove(d, GloveOptions{K: 2, Suppress: thr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SuppressedSamples == 0 {
+		t.Error("no samples suppressed despite wild outlier")
+	}
+	for _, f := range out.Fingerprints {
+		for _, s := range f.Samples {
+			if s.SpatialSpan() > 15000 {
+				t.Fatalf("published sample with span %g m survived suppression", s.SpatialSpan())
+			}
+			if s.TemporalSpan() > 360 {
+				t.Fatalf("published sample with span %g min survived suppression", s.TemporalSpan())
+			}
+		}
+	}
+	// k-anonymity must hold on whatever remains.
+	if err := ValidateKAnonymity(out, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlovePreAnonymizedInput(t *testing.T) {
+	// A fingerprint already hiding k users goes straight to the output.
+	rng := rand.New(rand.NewSource(10))
+	pre := randFingerprint(rng, "pre", 5)
+	pre.Count = 3
+	pre.Members = []string{"p1", "p2", "p3"}
+	others := []*Fingerprint{
+		randFingerprint(rng, "x", 5),
+		randFingerprint(rng, "y", 5),
+	}
+	d := NewDataset(append(others, pre))
+	out, _, err := Glove(d, GloveOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateKAnonymity(out, 3); err != nil {
+		t.Fatal(err)
+	}
+	if out.Users() != 5 {
+		t.Errorf("output hides %d users, want 5", out.Users())
+	}
+}
+
+func TestSuppressionThresholds(t *testing.T) {
+	var zero SuppressionThresholds
+	if zero.Enabled() {
+		t.Error("zero thresholds enabled")
+	}
+	thr := SuppressionThresholds{MaxSpatialMeters: 100}
+	if !thr.Enabled() {
+		t.Error("spatial-only thresholds disabled")
+	}
+	if thr.exceeds(Sample{DX: 50, DY: 50, Weight: 1}) {
+		t.Error("small sample exceeds")
+	}
+	if !thr.exceeds(Sample{DX: 200, DY: 50, Weight: 1}) {
+		t.Error("wide sample does not exceed")
+	}
+	tt := SuppressionThresholds{MaxTemporalMinutes: 60}
+	if !tt.exceeds(Sample{DT: 120, Weight: 1}) {
+		t.Error("long sample does not exceed")
+	}
+}
+
+func TestGloveStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := randDataset(rng, 12, 9)
+	out, stats, err := Glove(d, GloveOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InputFingerprints != 12 {
+		t.Errorf("InputFingerprints = %d", stats.InputFingerprints)
+	}
+	var inSamples int
+	for _, f := range d.Fingerprints {
+		inSamples += f.Len()
+	}
+	if stats.InputSamples != inSamples {
+		t.Errorf("InputSamples = %d, want %d", stats.InputSamples, inSamples)
+	}
+	if stats.OutputFingerprints != out.Len() {
+		t.Errorf("OutputFingerprints = %d, want %d", stats.OutputFingerprints, out.Len())
+	}
+	if stats.OutputSamples != out.TotalSamples() {
+		t.Errorf("OutputSamples = %d, want %d", stats.OutputSamples, out.TotalSamples())
+	}
+	// Without suppression, published weight equals input samples.
+	var outWeight int
+	for _, f := range out.Fingerprints {
+		outWeight += f.TotalWeight()
+	}
+	if outWeight != inSamples {
+		t.Errorf("published weight %d != input samples %d", outWeight, inSamples)
+	}
+}
+
+func TestGloveLargerK(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d := randDataset(rng, 40, 6)
+	out, _, err := Glove(d, GloveOptions{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateKAnonymity(out, 10); err != nil {
+		t.Fatal(err)
+	}
+	if out.Users() != 40 {
+		t.Errorf("users = %d", out.Users())
+	}
+}
+
+func BenchmarkGlove(b *testing.B) {
+	for _, n := range []int{50, 150} {
+		rng := rand.New(rand.NewSource(1))
+		d := randDataset(rng, n, 15)
+		b.Run(fmt.Sprintf("users=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Glove(d, GloveOptions{K: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestGloveNaiveMinPairEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	d := randDataset(rng, 20, 8)
+	cached, _, err := Glove(d, GloveOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, _, err := Glove(d, GloveOptions{K: 3, NaiveMinPair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Len() != naive.Len() {
+		t.Fatalf("cached %d vs naive %d fingerprints", cached.Len(), naive.Len())
+	}
+	for i := range cached.Fingerprints {
+		a, b := cached.Fingerprints[i], naive.Fingerprints[i]
+		if a.ID != b.ID || a.Count != b.Count || a.Len() != b.Len() {
+			t.Fatalf("fingerprint %d differs between cached and naive min-pair", i)
+		}
+		for j := range a.Samples {
+			if a.Samples[j] != b.Samples[j] {
+				t.Fatalf("fingerprint %d sample %d differs", i, j)
+			}
+		}
+	}
+}

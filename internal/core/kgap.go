@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// KGapResult holds the anonymizability measure of one fingerprint: its
+// k-gap (Eq. 11) and the identities of its k-1 nearest fingerprints (the
+// set N^{k-1}_a), which Sec. 5.3 disaggregates further.
+type KGapResult struct {
+	Index   int       // index of the fingerprint in the dataset
+	KGap    float64   // Δ^k_a
+	Nearest []int     // indices of the k-1 fingerprints at lowest Δ_ab
+	Efforts []float64 // Δ_ab for each entry of Nearest
+}
+
+// KGapAll computes the k-gap of every fingerprint in the dataset using
+// the given worker count (<= 0 for all CPUs). It evaluates Eq. 10 for all
+// |M|^2 ordered pairs — the computation the paper offloads to a GPU —
+// pruned (exactly) with bounding-volume lower bounds.
+//
+// k must be at least 2 and at most the number of fingerprints.
+func KGapAll(p Params, d *Dataset, k, workers int) ([]KGapResult, error) {
+	return kGapAll(p, d, k, workers, true)
+}
+
+// KGapAllNoPruning is KGapAll with the bounding-volume pruning disabled;
+// it exists for the pruning ablation and must return identical results.
+func KGapAllNoPruning(p Params, d *Dataset, k, workers int) ([]KGapResult, error) {
+	return kGapAll(p, d, k, workers, false)
+}
+
+func kGapAll(p Params, d *Dataset, k, workers int, prune bool) ([]KGapResult, error) {
+	n := d.Len()
+	if k < 2 {
+		return nil, fmt.Errorf("core: k = %d, need k >= 2", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("core: k = %d exceeds dataset size %d", k, n)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	var bounds []FingerprintBounds
+	if prune {
+		bounds = parallel.Map(n, workers, func(i int) FingerprintBounds {
+			return BoundsOf(d.Fingerprints[i])
+		})
+	}
+	results := parallel.Map(n, workers, func(i int) KGapResult {
+		return kGapOne(p, d, i, k, bounds)
+	})
+	return results, nil
+}
+
+// kGapOne computes Δ^k_a for fingerprint i by scanning all other
+// fingerprints and keeping the k-1 lowest efforts. If bounds is non-nil,
+// pairs whose effort lower bound already exceeds the current k-1-th best
+// are skipped; the result is unchanged because only provably worse pairs
+// are pruned.
+func kGapOne(p Params, d *Dataset, i, k int, bounds []FingerprintBounds) KGapResult {
+	a := d.Fingerprints[i]
+	type pair struct {
+		idx    int
+		effort float64
+	}
+	best := make([]pair, 0, k) // kept sorted ascending by effort, max k-1 entries
+	worst := func() float64 {
+		if len(best) < k-1 {
+			return 2 // efforts are <= 1, so 2 means "accept anything"
+		}
+		return best[len(best)-1].effort
+	}
+	for j, b := range d.Fingerprints {
+		if j == i {
+			continue
+		}
+		w := worst()
+		if bounds != nil && len(best) == k-1 && p.EffortLowerBound(bounds[i], bounds[j]) >= w {
+			continue
+		}
+		e := p.FingerprintEffort(a, b)
+		if e >= w && len(best) == k-1 {
+			continue
+		}
+		pos := sort.Search(len(best), func(m int) bool { return best[m].effort > e })
+		best = append(best, pair{})
+		copy(best[pos+1:], best[pos:])
+		best[pos] = pair{idx: j, effort: e}
+		if len(best) > k-1 {
+			best = best[:k-1]
+		}
+	}
+
+	res := KGapResult{Index: i, Nearest: make([]int, len(best)), Efforts: make([]float64, len(best))}
+	var sum float64
+	for m, b := range best {
+		res.Nearest[m] = b.idx
+		res.Efforts[m] = b.effort
+		sum += b.effort
+	}
+	if len(best) > 0 {
+		res.KGap = sum / float64(len(best))
+	}
+	return res
+}
+
+// KGaps extracts just the k-gap values from a result slice, in dataset
+// order, ready for CDF construction.
+func KGaps(rs []KGapResult) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.KGap
+	}
+	return out
+}
+
+// EffortMatrix computes the full symmetric |M|x|M| matrix of fingerprint
+// stretch efforts Δ_ab (Eq. 10), in parallel. Entry (i, j) is stored at
+// both [i*n+j] and [j*n+i]; the diagonal is zero. This is the
+// initialization phase of GLOVE (Alg. 1 lines 1-3) and is also reused by
+// analysis code.
+func EffortMatrix(p Params, d *Dataset, workers int) []float64 {
+	n := d.Len()
+	m := make([]float64, n*n)
+	parallel.ForPairs(n, workers, func(i, j int) {
+		e := p.FingerprintEffort(d.Fingerprints[i], d.Fingerprints[j])
+		m[i*n+j] = e
+		m[j*n+i] = e
+	})
+	return m
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestMergeFingerprintsBasics(t *testing.T) {
+	p := DefaultParams()
+	a := NewFingerprint("a", []Sample{
+		NewSample(0, 0, 100, 100, 1),
+		NewSample(1000, 0, 100, 500, 1),
+	})
+	b := NewFingerprint("b", []Sample{
+		NewSample(200, 0, 100, 110, 1),
+	})
+	m := MergeFingerprints(p, a, b, MergeOptions{})
+	if m.Count != 2 {
+		t.Errorf("Count = %d, want 2", m.Count)
+	}
+	if len(m.Members) != 2 || !hasMember(m, "a") || !hasMember(m, "b") {
+		t.Errorf("Members = %v", m.Members)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged fingerprint invalid: %v", err)
+	}
+}
+
+func hasMember(f *Fingerprint, id string) bool {
+	for _, m := range f.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Every original sample of both inputs must be covered by some sample of
+// the merged fingerprint: the truthfulness invariant of the merge.
+func TestMergeFingerprintsCoversInputs(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		a := randFingerprint(rng, "a", 1+rng.Intn(25))
+		b := randFingerprint(rng, "b", 1+rng.Intn(25))
+		m := MergeFingerprints(p, a, b, MergeOptions{})
+		for _, in := range [...]*Fingerprint{a, b} {
+			for i, s := range in.Samples {
+				if !coveredBy(s, m.Samples) {
+					t.Fatalf("trial %d: input %s sample %d not covered", trial, in.ID, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeFingerprintsWeightConserved(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 200; trial++ {
+		a := randFingerprint(rng, "a", 1+rng.Intn(20))
+		b := randFingerprint(rng, "b", 1+rng.Intn(20))
+		m := MergeFingerprints(p, a, b, MergeOptions{})
+		if m.TotalWeight() != a.TotalWeight()+b.TotalWeight() {
+			t.Fatalf("trial %d: weight %d != %d + %d", trial,
+				m.TotalWeight(), a.TotalWeight(), b.TotalWeight())
+		}
+	}
+}
+
+func TestMergeFingerprintsAtMostShorterLen(t *testing.T) {
+	// With two-stage matching, the number of published samples cannot
+	// exceed the shorter fingerprint's length: stage one groups by short
+	// samples and stage two folds the unmatched ones in.
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		a := randFingerprint(rng, "a", 1+rng.Intn(30))
+		b := randFingerprint(rng, "b", 1+rng.Intn(30))
+		m := MergeFingerprints(p, a, b, MergeOptions{DisableReshape: true})
+		shorter := a.Len()
+		if b.Len() < shorter {
+			shorter = b.Len()
+		}
+		if m.Len() > shorter {
+			t.Fatalf("trial %d: merged %d samples > shorter input %d", trial, m.Len(), shorter)
+		}
+	}
+}
+
+func TestMergeFingerprintsIdenticalInputs(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(37))
+	a := randFingerprint(rng, "a", 12)
+	b := a.Clone()
+	b.ID = "b"
+	b.Members = []string{"b"}
+	m := MergeFingerprints(p, a, b, MergeOptions{DisableReshape: true})
+	if m.Len() != a.Len() {
+		t.Fatalf("merging identical fingerprints changed sample count: %d != %d", m.Len(), a.Len())
+	}
+	for i := range m.Samples {
+		ms, as := m.Samples[i], a.Samples[i]
+		if ms.X != as.X || ms.DX != as.DX || ms.Y != as.Y || ms.DY != as.DY ||
+			ms.T != as.T || ms.DT != as.DT {
+			t.Fatalf("sample %d geometry changed: %+v vs %+v", i, ms, as)
+		}
+		if ms.Weight != 2*as.Weight {
+			t.Fatalf("sample %d weight = %d, want %d", i, ms.Weight, 2*as.Weight)
+		}
+	}
+}
+
+func TestMergeFingerprintsSingleStageKeepsUnmatched(t *testing.T) {
+	p := DefaultParams()
+	// Long fingerprint with 3 samples near t=0; short with one near t=0
+	// and one far: the far short sample attracts no match.
+	long := NewFingerprint("l", []Sample{
+		NewSample(0, 0, 100, 10, 1),
+		NewSample(100, 0, 100, 20, 1),
+		NewSample(200, 0, 100, 30, 1),
+	})
+	short := NewFingerprint("s", []Sample{
+		NewSample(0, 0, 100, 15, 1),
+		NewSample(0, 0, 100, 10000, 1),
+	})
+	twoStage := MergeFingerprints(p, long, short, MergeOptions{DisableReshape: true})
+	oneStage := MergeFingerprints(p, long, short, MergeOptions{DisableTwoStage: true, DisableReshape: true})
+	if twoStage.Len() != 1 {
+		t.Errorf("two-stage merged to %d samples, want 1 (far sample folded)", twoStage.Len())
+	}
+	if oneStage.Len() != 2 {
+		t.Errorf("single-stage merged to %d samples, want 2 (far sample kept)", oneStage.Len())
+	}
+}
+
+func TestMergeFingerprintsDeterministic(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(41))
+	a := randFingerprint(rng, "a", 15)
+	b := randFingerprint(rng, "b", 9)
+	m1 := MergeFingerprints(p, a, b, MergeOptions{})
+	m2 := MergeFingerprints(p, a, b, MergeOptions{})
+	if m1.Len() != m2.Len() {
+		t.Fatal("merge not deterministic")
+	}
+	for i := range m1.Samples {
+		if m1.Samples[i] != m2.Samples[i] {
+			t.Fatal("merge not deterministic in sample geometry")
+		}
+	}
+}
+
+func TestMergeDoesNotModifyInputs(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(43))
+	a := randFingerprint(rng, "a", 10)
+	b := randFingerprint(rng, "b", 6)
+	aCopy := a.Clone()
+	bCopy := b.Clone()
+	MergeFingerprints(p, a, b, MergeOptions{})
+	for i := range a.Samples {
+		if a.Samples[i] != aCopy.Samples[i] {
+			t.Fatal("merge modified input a")
+		}
+	}
+	for i := range b.Samples {
+		if b.Samples[i] != bCopy.Samples[i] {
+			t.Fatal("merge modified input b")
+		}
+	}
+}
+
+func TestGroupIDBounded(t *testing.T) {
+	id := "x"
+	for i := 0; i < 20; i++ {
+		id = groupID(id, id)
+		if len(id) > 64 {
+			t.Fatalf("groupID grew to %d bytes", len(id))
+		}
+	}
+}
+
+func TestGroupIDDistinct(t *testing.T) {
+	long1 := make([]byte, 100)
+	long2 := make([]byte, 100)
+	for i := range long1 {
+		long1[i] = 'a'
+		long2[i] = 'a'
+	}
+	long2[50] = 'b'
+	if groupID(string(long1), "x") == groupID(string(long2), "x") {
+		t.Error("groupID collision on different inputs")
+	}
+}
+
+func TestReshapeNoOverlapsAndCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(30)
+		samples := make([]Sample, n)
+		for i := range samples {
+			samples[i] = randSample(rng)
+		}
+		sortSamples(samples)
+		out := Reshape(samples)
+		if CountTemporalOverlaps(out) != 0 {
+			t.Fatalf("trial %d: reshape left overlaps", trial)
+		}
+		for i, s := range samples {
+			if !coveredBy(s, out) {
+				t.Fatalf("trial %d: input sample %d not covered after reshape", trial, i)
+			}
+		}
+		var wIn, wOut int
+		for _, s := range samples {
+			wIn += s.Weight
+		}
+		for _, s := range out {
+			wOut += s.Weight
+		}
+		if wIn != wOut {
+			t.Fatalf("trial %d: reshape weight %d != %d", trial, wOut, wIn)
+		}
+	}
+}
+
+func TestReshapeDisjointInputUnchanged(t *testing.T) {
+	samples := []Sample{
+		NewSample(0, 0, 100, 0, 1),
+		NewSample(500, 0, 100, 10, 1),
+		NewSample(900, 100, 100, 30, 1),
+	}
+	out := Reshape(samples)
+	if len(out) != len(samples) {
+		t.Fatalf("reshape of disjoint samples changed count: %d", len(out))
+	}
+	for i := range out {
+		if out[i] != samples[i] {
+			t.Errorf("sample %d changed: %+v", i, out[i])
+		}
+	}
+}
+
+func TestReshapeChainOfOverlaps(t *testing.T) {
+	// Three samples overlapping pairwise in a chain collapse to one.
+	samples := []Sample{
+		{X: 0, DX: 100, Y: 0, DY: 100, T: 0, DT: 10, Weight: 1},
+		{X: 1000, DX: 100, Y: 0, DY: 100, T: 5, DT: 10, Weight: 1},
+		{X: 2000, DX: 100, Y: 0, DY: 100, T: 12, DT: 10, Weight: 1},
+	}
+	out := Reshape(samples)
+	if len(out) != 1 {
+		t.Fatalf("chain reshape produced %d samples, want 1", len(out))
+	}
+	if out[0].DX != 2100 || out[0].DT != 22 {
+		t.Errorf("reshaped sample = %+v", out[0])
+	}
+	if out[0].Weight != 3 {
+		t.Errorf("reshaped weight = %d, want 3", out[0].Weight)
+	}
+}
+
+func TestReshapeEmptyAndSingle(t *testing.T) {
+	if out := Reshape(nil); len(out) != 0 {
+		t.Error("Reshape(nil) not empty")
+	}
+	one := []Sample{NewSample(0, 0, 100, 5, 1)}
+	out := Reshape(one)
+	if len(out) != 1 || out[0] != one[0] {
+		t.Error("Reshape of single sample changed it")
+	}
+}
+
+func TestCountTemporalOverlaps(t *testing.T) {
+	samples := []Sample{
+		{T: 0, DT: 10, Weight: 1},
+		{T: 5, DT: 10, Weight: 1},
+		{T: 30, DT: 5, Weight: 1},
+	}
+	if got := CountTemporalOverlaps(samples); got != 1 {
+		t.Errorf("overlaps = %d, want 1", got)
+	}
+	// Long first interval spanning both others: two overlapping pairs
+	// (0,1) and (0,2); (1,2) are disjoint.
+	samples2 := []Sample{
+		{T: 0, DT: 100, Weight: 1},
+		{T: 5, DT: 10, Weight: 1},
+		{T: 30, DT: 5, Weight: 1},
+	}
+	if got := CountTemporalOverlaps(samples2); got != 2 {
+		t.Errorf("overlaps = %d, want 2", got)
+	}
+}
+
+func BenchmarkMergeFingerprints(b *testing.B) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{20, 100} {
+		fa := randFingerprint(rng, "a", n)
+		fb := randFingerprint(rng, "b", n)
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MergeFingerprints(p, fa, fb, MergeOptions{})
+			}
+		})
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) over the core invariants listed
+// in DESIGN.md Sec. 6. Each property derives its randomness from a
+// seeded generator so failures are reproducible.
+
+func quickCfg(seed int64) *quick.Config {
+	return &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// δ is symmetric when the subscriber counts are equal.
+func TestQuickSampleEffortSymmetric(t *testing.T) {
+	p := DefaultParams()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randSample(rng), randSample(rng)
+		n := 1 + rng.Intn(5)
+		return p.SampleEffort(a, b, n, n) == p.SampleEffort(b, a, n, n)
+	}
+	if err := quick.Check(f, quickCfg(1)); err != nil {
+		t.Error(err)
+	}
+}
+
+// δ grows (weakly) when a sample moves farther away along any axis.
+func TestQuickSampleEffortMonotoneInSeparation(t *testing.T) {
+	p := DefaultParams()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randSample(rng), randSample(rng)
+		near := p.SampleEffort(a, b, 1, 1)
+		far := b
+		far.X += 1000 + rng.Float64()*5000
+		farther := p.SampleEffort(a, far, 1, 1)
+		if b.X >= a.X { // moving b east increases separation only if b starts east-ish
+			return farther+1e-12 >= near
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(2)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Merging a fingerprint with itself (as a distinct user) has zero
+// effort, and effort to a shifted copy grows with the shift.
+func TestQuickFingerprintEffortShift(t *testing.T) {
+	p := DefaultParams()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randFingerprint(rng, "a", 1+rng.Intn(12))
+		b := a.Clone()
+		b.ID = "b"
+		if p.FingerprintEffort(a, b) != 0 {
+			return false
+		}
+		shift := 500 + rng.Float64()*5000
+		for i := range b.Samples {
+			b.Samples[i].X += shift
+		}
+		small := p.FingerprintEffort(a, b)
+		for i := range b.Samples {
+			b.Samples[i].X += shift
+		}
+		big := p.FingerprintEffort(a, b)
+		return small > 0 && big+1e-12 >= small
+	}
+	if err := quick.Check(f, quickCfg(3)); err != nil {
+		t.Error(err)
+	}
+}
+
+// The effort lower bound never exceeds the true effort, under random
+// translations that make pruning fire.
+func TestQuickEffortLowerBound(t *testing.T) {
+	p := DefaultParams()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randFingerprint(rng, "a", 1+rng.Intn(10))
+		b := randFingerprint(rng, "b", 1+rng.Intn(10))
+		dx := rng.Float64() * 2e5
+		dt := rng.Float64() * 1e4
+		for i := range b.Samples {
+			b.Samples[i].X += dx
+			b.Samples[i].T += dt
+		}
+		lb := p.EffortLowerBound(BoundsOf(a), BoundsOf(b))
+		return lb <= p.FingerprintEffort(a, b)+1e-12
+	}
+	if err := quick.Check(f, quickCfg(4)); err != nil {
+		t.Error(err)
+	}
+}
+
+// GLOVE output invariants on random datasets: k-anonymity, user
+// conservation, truthfulness, and k-gap zero within groups.
+func TestQuickGloveInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(14)
+		k := 2 + rng.Intn(3)
+		if k > n {
+			k = n
+		}
+		d := randDataset(rng, n, 1+rng.Intn(8))
+		out, _, err := Glove(d, GloveOptions{K: k})
+		if err != nil {
+			return false
+		}
+		if ValidateKAnonymity(out, k) != nil {
+			return false
+		}
+		if out.Users() != n {
+			return false
+		}
+		rep := CheckTruthfulness(d, out)
+		return rep.MissingFP == 0 && rep.Suppressed == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Published weight equals input samples minus suppressed weight, for
+// random suppression thresholds.
+func TestQuickSuppressionAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randDataset(rng, 8+rng.Intn(10), 2+rng.Intn(6))
+		thr := SuppressionThresholds{
+			MaxSpatialMeters:   1000 + rng.Float64()*20000,
+			MaxTemporalMinutes: 30 + rng.Float64()*600,
+		}
+		out, st, err := Glove(d, GloveOptions{K: 2, Suppress: thr})
+		if err != nil {
+			return false
+		}
+		var published int
+		for _, fp := range out.Fingerprints {
+			published += fp.TotalWeight()
+		}
+		return published+st.SuppressedSamples == st.InputSamples
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Reshape is idempotent.
+func TestQuickReshapeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		samples := make([]Sample, n)
+		for i := range samples {
+			samples[i] = randSample(rng)
+		}
+		sortSamples(samples)
+		once := Reshape(samples)
+		twice := Reshape(once)
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(7)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Fingerprint effort respects the [0, 1] envelope for arbitrary counts
+// and unbalanced weights.
+func TestQuickFingerprintEffortEnvelope(t *testing.T) {
+	p := DefaultParams()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randFingerprint(rng, "a", 1+rng.Intn(15))
+		b := randFingerprint(rng, "b", 1+rng.Intn(15))
+		a.Count = 1 + rng.Intn(50)
+		b.Count = 1 + rng.Intn(50)
+		a.Members = make([]string, a.Count)
+		b.Members = make([]string, b.Count)
+		e := p.FingerprintEffort(a, b)
+		return e >= 0 && e <= 1 && !math.IsNaN(e)
+	}
+	if err := quick.Check(f, quickCfg(8)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Custom (non-default) weights: effort still within [0, w_σ + w_τ].
+func TestQuickCustomWeights(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{
+			MaxSpatial:  1000 + rng.Float64()*50000,
+			MaxTemporal: 10 + rng.Float64()*1000,
+			WSpatial:    rng.Float64(),
+			WTemporal:   rng.Float64(),
+		}
+		if p.Validate() != nil {
+			return true // skip degenerate weight draws
+		}
+		a, b := randSample(rng), randSample(rng)
+		e := p.SampleEffort(a, b, 1, 1)
+		return e >= 0 && e <= p.WSpatial+p.WTemporal+1e-12
+	}
+	if err := quick.Check(f, quickCfg(9)); err != nil {
+		t.Error(err)
+	}
+}
+
+// MergeFingerprints conserves members for random pairs.
+func TestQuickMergeMembersConserved(t *testing.T) {
+	p := DefaultParams()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randFingerprint(rng, "a", 1+rng.Intn(10))
+		b := randFingerprint(rng, "b", 1+rng.Intn(10))
+		m := MergeFingerprints(p, a, b, MergeOptions{})
+		if m.Count != 2 || len(m.Members) != 2 {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, id := range m.Members {
+			seen[id] = true
+		}
+		return seen["a"] && seen["b"]
+	}
+	if err := quick.Check(f, quickCfg(10)); err != nil {
+		t.Error(err)
+	}
+}

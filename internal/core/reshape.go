@@ -1,0 +1,48 @@
+package core
+
+// Reshape resolves temporal overlaps among a fingerprint's samples
+// (Sec. 6.2, Fig. 6b). Merging driven by spatial proximity can produce
+// samples whose time intervals overlap while referring to different
+// areas — formally correct but hard to analyze. Reshape replaces every
+// maximal run of temporally overlapping samples with a single sample
+// covering their union in time, whose spatial box is the union of the
+// overlapping samples' boxes (Eqs. 12-13 applied across the run).
+//
+// The input must be sorted by interval start time (as Fingerprint
+// maintains); the output is sorted, has pairwise non-overlapping time
+// intervals, covers every input sample, and preserves total weight.
+// Reshape trades spatial granularity for temporal legibility, exactly as
+// the paper describes.
+func Reshape(samples []Sample) []Sample {
+	if len(samples) <= 1 {
+		out := make([]Sample, len(samples))
+		copy(out, samples)
+		return out
+	}
+	out := make([]Sample, 0, len(samples))
+	cur := samples[0]
+	for _, s := range samples[1:] {
+		if s.OverlapsTime(cur) {
+			cur = MergeSamples(cur, s)
+			continue
+		}
+		out = append(out, cur)
+		cur = s
+	}
+	out = append(out, cur)
+	return out
+}
+
+// CountTemporalOverlaps returns the number of sample pairs whose time
+// intervals overlap, a diagnostic used by the reshape ablation.
+func CountTemporalOverlaps(samples []Sample) int {
+	var n int
+	for i := range samples {
+		for j := i + 1; j < len(samples); j++ {
+			if samples[i].OverlapsTime(samples[j]) {
+				n++
+			}
+		}
+	}
+	return n
+}

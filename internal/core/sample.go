@@ -1,0 +1,111 @@
+// Package core implements the paper's contribution: the mobile
+// fingerprint model (Sec. 2.1), the anonymizability measure — sample
+// stretch effort, fingerprint stretch effort and k-gap (Sec. 4, Eqs.
+// 1-11) — and the GLOVE k-anonymization algorithm with specialized
+// generalization, reshaping and suppression (Sec. 6, Alg. 1, Eqs. 12-13).
+//
+// Conventions: spatial coordinates are meters on the projected plane
+// (see internal/geo), temporal coordinates are minutes since the dataset
+// epoch. A sample is the spatiotemporal rectangle
+// σ = (x, dx, y, dy), τ = (t, dt): the subscriber was somewhere within
+// the spatial box at some instant within [t, t+dt].
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample is one spatiotemporal sample of a mobile fingerprint. Original
+// (maximum-granularity) samples have DX = DY = 100 m and DT = 1 min; the
+// GLOVE generalization only ever grows these extents.
+type Sample struct {
+	X  float64 // west boundary, meters
+	DX float64 // east-west extent, meters (>= 0)
+	Y  float64 // south boundary, meters
+	DY float64 // north-south extent, meters (>= 0)
+	T  float64 // interval start, minutes since dataset epoch
+	DT float64 // interval extent, minutes (>= 0)
+
+	// Weight is the number of original (ungeneralized) samples this
+	// sample stands for. Originals have Weight 1; merging sums weights.
+	// It drives the suppression accounting of Table 2.
+	Weight int
+}
+
+// NewSample returns an original sample of one grid cell and one time
+// unit, with Weight 1.
+func NewSample(x, y float64, cellSize float64, t float64, timeUnit float64) Sample {
+	return Sample{X: x, DX: cellSize, Y: y, DY: cellSize, T: t, DT: timeUnit, Weight: 1}
+}
+
+// Validate checks structural sanity: finite fields, non-negative extents,
+// positive weight.
+func (s Sample) Validate() error {
+	for _, v := range [...]float64{s.X, s.DX, s.Y, s.DY, s.T, s.DT} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: non-finite sample field in %+v", s)
+		}
+	}
+	if s.DX < 0 || s.DY < 0 || s.DT < 0 {
+		return fmt.Errorf("core: negative extent in sample %+v", s)
+	}
+	if s.Weight < 1 {
+		return fmt.Errorf("core: sample weight %d < 1", s.Weight)
+	}
+	return nil
+}
+
+// coverEps absorbs floating-point rounding in coverage checks: storing
+// boxes as (origin, extent) makes min + (max-min) land one ulp short of
+// max occasionally. One micrometre / microminute is far below any
+// physical significance at the 100 m / 1 min data granularity.
+const coverEps = 1e-6
+
+// Covers reports whether s spatially and temporally contains o (within
+// floating-point tolerance): the record-level truthfulness relation
+// (PPDP principle P2) — a generalized sample must cover every original
+// sample it stands for.
+func (s Sample) Covers(o Sample) bool {
+	return s.X <= o.X+coverEps && s.X+s.DX >= o.X+o.DX-coverEps &&
+		s.Y <= o.Y+coverEps && s.Y+s.DY >= o.Y+o.DY-coverEps &&
+		s.T <= o.T+coverEps && s.T+s.DT >= o.T+o.DT-coverEps
+}
+
+// SpatialSpan returns the larger spatial extent of the sample, the
+// "position accuracy" the paper plots in Figs. 7-11.
+func (s Sample) SpatialSpan() float64 { return math.Max(s.DX, s.DY) }
+
+// TemporalSpan returns the temporal extent, the "time accuracy".
+func (s Sample) TemporalSpan() float64 { return s.DT }
+
+// OverlapsTime reports whether the time intervals of the two samples
+// intersect in more than a single point.
+func (s Sample) OverlapsTime(o Sample) bool {
+	return s.T < o.T+o.DT && o.T < s.T+s.DT
+}
+
+// MergeSamples generalizes two samples into the minimal sample covering
+// both (Eqs. 12-13): each boundary is stretched outward just enough. The
+// weight of the result is the sum of the input weights. Merging more than
+// two samples is done iteratively; the operation is associative and
+// commutative on the geometry.
+func MergeSamples(a, b Sample) Sample {
+	x := math.Min(a.X, b.X)
+	y := math.Min(a.Y, b.Y)
+	t := math.Min(a.T, b.T)
+	return Sample{
+		X:      x,
+		DX:     math.Max(a.X+a.DX, b.X+b.DX) - x,
+		Y:      y,
+		DY:     math.Max(a.Y+a.DY, b.Y+b.DY) - y,
+		T:      t,
+		DT:     math.Max(a.T+a.DT, b.T+b.DT) - t,
+		Weight: a.Weight + b.Weight,
+	}
+}
+
+func (s Sample) String() string {
+	return fmt.Sprintf("σ=[%.0f+%.0f, %.0f+%.0f]m τ=[%.1f+%.1f]min w=%d",
+		s.X, s.DX, s.Y, s.DY, s.T, s.DT, s.Weight)
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randSample produces a bounded random sample for property tests:
+// positions within a ~100 km square, times within two weeks.
+func randSample(rng *rand.Rand) Sample {
+	return Sample{
+		X:      rng.Float64() * 1e5,
+		DX:     rng.Float64() * 5e3,
+		Y:      rng.Float64() * 1e5,
+		DY:     rng.Float64() * 5e3,
+		T:      rng.Float64() * 14 * 24 * 60,
+		DT:     rng.Float64() * 600,
+		Weight: 1 + rng.Intn(5),
+	}
+}
+
+func TestNewSample(t *testing.T) {
+	s := NewSample(1000, 2000, 100, 720, 1)
+	if s.X != 1000 || s.Y != 2000 || s.DX != 100 || s.DY != 100 || s.T != 720 || s.DT != 1 {
+		t.Errorf("NewSample = %+v", s)
+	}
+	if s.Weight != 1 {
+		t.Errorf("Weight = %d, want 1", s.Weight)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestSampleValidate(t *testing.T) {
+	good := NewSample(0, 0, 100, 0, 1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid sample rejected: %v", err)
+	}
+	bad := []Sample{
+		{X: math.NaN(), Weight: 1},
+		{DX: -1, Weight: 1},
+		{DY: -0.5, Weight: 1},
+		{DT: -1, Weight: 1},
+		{T: math.Inf(1), Weight: 1},
+		{Weight: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad sample %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestSampleCovers(t *testing.T) {
+	outer := Sample{X: 0, DX: 1000, Y: 0, DY: 1000, T: 0, DT: 60, Weight: 1}
+	cases := []struct {
+		in   Sample
+		want bool
+	}{
+		{Sample{X: 100, DX: 100, Y: 100, DY: 100, T: 10, DT: 5, Weight: 1}, true},
+		{outer, true}, // covers itself
+		{Sample{X: -1, DX: 100, Y: 0, DY: 100, T: 0, DT: 1, Weight: 1}, false},  // west overflow
+		{Sample{X: 950, DX: 100, Y: 0, DY: 100, T: 0, DT: 1, Weight: 1}, false}, // east overflow
+		{Sample{X: 0, DX: 100, Y: 0, DY: 100, T: 59, DT: 2, Weight: 1}, false},  // time overflow
+	}
+	for i, c := range cases {
+		if got := outer.Covers(c.in); got != c.want {
+			t.Errorf("case %d: Covers = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestMergeSamplesCoversBoth(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		a, b := randSample(rng), randSample(rng)
+		m := MergeSamples(a, b)
+		return m.Covers(a) && m.Covers(b) && m.Weight == a.Weight+b.Weight
+	}
+	for i := 0; i < 2000; i++ {
+		if !f() {
+			t.Fatal("merged sample does not cover inputs")
+		}
+	}
+}
+
+func TestMergeSamplesMinimal(t *testing.T) {
+	// Shrinking any boundary of the merged sample must uncover an input:
+	// the generalization is the minimal one (specialized generalization).
+	rng := rand.New(rand.NewSource(7))
+	const eps = 1e-3 // above the coverage tolerance, below data granularity
+	for i := 0; i < 500; i++ {
+		a, b := randSample(rng), randSample(rng)
+		m := MergeSamples(a, b)
+		shrunk := []Sample{
+			{X: m.X + eps, DX: m.DX - eps, Y: m.Y, DY: m.DY, T: m.T, DT: m.DT, Weight: m.Weight},
+			{X: m.X, DX: m.DX - eps, Y: m.Y, DY: m.DY, T: m.T, DT: m.DT, Weight: m.Weight},
+			{X: m.X, DX: m.DX, Y: m.Y + eps, DY: m.DY - eps, T: m.T, DT: m.DT, Weight: m.Weight},
+			{X: m.X, DX: m.DX, Y: m.Y, DY: m.DY - eps, T: m.T, DT: m.DT, Weight: m.Weight},
+			{X: m.X, DX: m.DX, Y: m.Y, DY: m.DY, T: m.T + eps, DT: m.DT - eps, Weight: m.Weight},
+			{X: m.X, DX: m.DX, Y: m.Y, DY: m.DY, T: m.T, DT: m.DT - eps, Weight: m.Weight},
+		}
+		for j, s := range shrunk {
+			if s.Covers(a) && s.Covers(b) {
+				t.Fatalf("iteration %d: shrunk variant %d still covers both inputs", i, j)
+			}
+		}
+	}
+}
+
+func TestMergeSamplesCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		a, b := randSample(rng), randSample(rng)
+		if MergeSamples(a, b) != MergeSamples(b, a) {
+			t.Fatal("MergeSamples is not commutative")
+		}
+	}
+}
+
+func TestMergeSamplesAssociativeGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		a, b, c := randSample(rng), randSample(rng), randSample(rng)
+		ab := MergeSamples(MergeSamples(a, b), c)
+		bc := MergeSamples(a, MergeSamples(b, c))
+		if math.Abs(ab.X-bc.X) > 1e-9 || math.Abs(ab.DX-bc.DX) > 1e-9 ||
+			math.Abs(ab.Y-bc.Y) > 1e-9 || math.Abs(ab.DY-bc.DY) > 1e-9 ||
+			math.Abs(ab.T-bc.T) > 1e-9 || math.Abs(ab.DT-bc.DT) > 1e-9 {
+			t.Fatal("MergeSamples geometry is not associative")
+		}
+		if ab.Weight != bc.Weight {
+			t.Fatal("MergeSamples weight is not associative")
+		}
+	}
+}
+
+func TestMergeSamplesIdempotentGeometry(t *testing.T) {
+	a := Sample{X: 10, DX: 100, Y: 20, DY: 200, T: 30, DT: 40, Weight: 3}
+	m := MergeSamples(a, a)
+	if m.X != a.X || m.DX != a.DX || m.Y != a.Y || m.DY != a.DY || m.T != a.T || m.DT != a.DT {
+		t.Errorf("MergeSamples(a, a) changed geometry: %+v", m)
+	}
+	if m.Weight != 6 {
+		t.Errorf("MergeSamples(a, a).Weight = %d, want 6", m.Weight)
+	}
+}
+
+func TestSpansAndOverlap(t *testing.T) {
+	s := Sample{DX: 300, DY: 100, T: 10, DT: 20, Weight: 1}
+	if s.SpatialSpan() != 300 {
+		t.Errorf("SpatialSpan = %g", s.SpatialSpan())
+	}
+	if s.TemporalSpan() != 20 {
+		t.Errorf("TemporalSpan = %g", s.TemporalSpan())
+	}
+	o := Sample{T: 29, DT: 5, Weight: 1}
+	if !s.OverlapsTime(o) {
+		t.Error("overlapping intervals reported disjoint")
+	}
+	o2 := Sample{T: 30, DT: 5, Weight: 1}
+	if s.OverlapsTime(o2) {
+		t.Error("touching intervals reported overlapping")
+	}
+}
+
+func TestSampleStringStable(t *testing.T) {
+	s := NewSample(100, 200, 100, 65, 1)
+	if got := s.String(); got == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestQuickCoversTransitive(t *testing.T) {
+	// If a covers b and b covers c then a covers c.
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(11))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randSample(rng)
+		b := MergeSamples(c, randSample(rng))
+		a := MergeSamples(b, randSample(rng))
+		return a.Covers(b) && b.Covers(c) && a.Covers(c)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestValidateKAnonymity(t *testing.T) {
+	good := NewDataset([]*Fingerprint{
+		{ID: "g1", Samples: []Sample{NewSample(0, 0, 100, 0, 1)}, Count: 2, Members: []string{"a", "b"}},
+		{ID: "g2", Samples: []Sample{NewSample(0, 0, 100, 0, 1)}, Count: 3, Members: []string{"c", "d", "e"}},
+	})
+	if err := ValidateKAnonymity(good, 2); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+	if err := ValidateKAnonymity(good, 3); err == nil {
+		t.Error("count-2 group passed k=3 validation")
+	}
+
+	inconsistent := NewDataset([]*Fingerprint{
+		{ID: "g", Count: 2, Members: []string{"a"}},
+	})
+	if err := ValidateKAnonymity(inconsistent, 2); err == nil {
+		t.Error("inconsistent member list accepted")
+	}
+
+	dup := NewDataset([]*Fingerprint{
+		{ID: "g1", Count: 2, Members: []string{"a", "b"}},
+		{ID: "g2", Count: 2, Members: []string{"b", "c"}},
+	})
+	if err := ValidateKAnonymity(dup, 2); err == nil {
+		t.Error("duplicated subscriber accepted")
+	}
+}
+
+func TestCheckTruthfulnessDetectsFabrication(t *testing.T) {
+	orig := NewDataset([]*Fingerprint{
+		NewFingerprint("a", []Sample{NewSample(0, 0, 100, 10, 1)}),
+	})
+	// Published fingerprint that does NOT cover the original sample.
+	published := NewDataset([]*Fingerprint{
+		{
+			ID:      "g",
+			Samples: []Sample{NewSample(5000, 5000, 100, 10, 1)},
+			Count:   1,
+			Members: []string{"a"},
+		},
+	})
+	rep := CheckTruthfulness(orig, published)
+	if rep.Covered != 0 || rep.Suppressed != 1 {
+		t.Errorf("report = %+v, want 0 covered / 1 suppressed", rep)
+	}
+}
+
+func TestCheckTruthfulnessMissing(t *testing.T) {
+	orig := NewDataset([]*Fingerprint{
+		NewFingerprint("a", []Sample{NewSample(0, 0, 100, 10, 1)}),
+	})
+	published := NewDataset(nil)
+	rep := CheckTruthfulness(orig, published)
+	if rep.MissingFP != 1 {
+		t.Errorf("MissingFP = %d, want 1", rep.MissingFP)
+	}
+}
+
+func TestMatchingFingerprintsAttack(t *testing.T) {
+	// Raw data: the adversary pins the target uniquely.
+	rng := rand.New(rand.NewSource(50))
+	d := randDataset(rng, 20, 8)
+	target := d.Fingerprints[7]
+	matches := MatchingFingerprints(d, target.Samples)
+	if len(matches) != 1 || matches[0].ID != target.ID {
+		t.Fatalf("raw-data attack matched %d fingerprints", len(matches))
+	}
+	if crowd := MinMatchCrowd(d, target.Samples); crowd != 1 {
+		t.Fatalf("raw-data crowd = %d, want 1 (unique)", crowd)
+	}
+
+	// After GLOVE, the same knowledge matches a crowd of >= k.
+	out, _, err := Glove(d, GloveOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd := MinMatchCrowd(out, target.Samples)
+	if crowd < 2 {
+		t.Fatalf("GLOVE'd crowd = %d, want >= 2", crowd)
+	}
+}
+
+func TestMinMatchCrowdNoMatch(t *testing.T) {
+	d := NewDataset([]*Fingerprint{
+		NewFingerprint("a", []Sample{NewSample(0, 0, 100, 10, 1)}),
+	})
+	known := []Sample{NewSample(90000, 0, 100, 10, 1)}
+	if crowd := MinMatchCrowd(d, known); crowd != 0 {
+		t.Errorf("crowd = %d, want 0", crowd)
+	}
+}
+
+func TestFingerprintValidate(t *testing.T) {
+	good := NewFingerprint("a", []Sample{NewSample(0, 0, 100, 5, 1), NewSample(0, 0, 100, 1, 1)})
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid fingerprint rejected: %v", err)
+	}
+	if good.Samples[0].T > good.Samples[1].T {
+		t.Error("NewFingerprint did not sort samples")
+	}
+
+	bad := []*Fingerprint{
+		{ID: "", Count: 1, Members: []string{""}, Samples: []Sample{NewSample(0, 0, 100, 0, 1)}},
+		{ID: "x", Count: 0, Members: nil, Samples: []Sample{NewSample(0, 0, 100, 0, 1)}},
+		{ID: "x", Count: 2, Members: []string{"x"}, Samples: []Sample{NewSample(0, 0, 100, 0, 1)}},
+		{ID: "x", Count: 1, Members: []string{"x"}, Samples: nil},
+		{ID: "x", Count: 1, Members: []string{"x"}, Samples: []Sample{{DX: -1, Weight: 1}}},
+		{ID: "x", Count: 1, Members: []string{"x"}, Samples: []Sample{
+			NewSample(0, 0, 100, 10, 1), NewSample(0, 0, 100, 5, 1)}},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("bad fingerprint %d accepted", i)
+		}
+	}
+}
+
+func TestDatasetValidateAndHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	d := randDataset(rng, 5, 4)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 5 || d.Users() != 5 {
+		t.Errorf("Len = %d, Users = %d", d.Len(), d.Users())
+	}
+	if d.TotalSamples() <= 0 {
+		t.Error("TotalSamples <= 0")
+	}
+	if d.MeanFingerprintLen() <= 0 {
+		t.Error("MeanFingerprintLen <= 0")
+	}
+	if (&Dataset{}).MeanFingerprintLen() != 0 {
+		t.Error("empty dataset mean len != 0")
+	}
+
+	dup := NewDataset([]*Fingerprint{d.Fingerprints[0], d.Fingerprints[0]})
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	d := randDataset(rng, 3, 4)
+	c := d.Clone()
+	c.Fingerprints[0].Samples[0].X += 999
+	c.Fingerprints[0].Members[0] = "mutated"
+	if d.Fingerprints[0].Samples[0].X == c.Fingerprints[0].Samples[0].X {
+		t.Error("clone shares sample storage")
+	}
+	if d.Fingerprints[0].Members[0] == "mutated" {
+		t.Error("clone shares member storage")
+	}
+}

@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// runGlove anonymizes a profile dataset and returns the published
+// dataset, its stats, and the accuracy measurement.
+func runGlove(w *Workloads, d *core.Dataset, k int, thr core.SuppressionThresholds) (*core.Dataset, *core.GloveStats, *metrics.Accuracy, error) {
+	out, st, err := core.Glove(d, core.GloveOptions{K: k, Suppress: thr, Workers: w.cfg.Workers})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return out, st, metrics.Measure(out), nil
+}
+
+// Fig7Result holds the accuracy of GLOVE 2-anonymized data on both
+// nationwide profiles (paper Fig. 7): a large share of samples keeps
+// fine granularity, and 70-80% stay within ~2 km / ~2 h.
+type Fig7Result struct {
+	Profiles    []string
+	PositionCDF map[string]*stats.ECDF
+	TimeCDF     map[string]*stats.ECDF
+}
+
+// Fig7 2-anonymizes both profiles with GLOVE (no suppression) and
+// measures the published accuracy.
+func Fig7(w *Workloads) (*Fig7Result, error) {
+	res := &Fig7Result{
+		Profiles:    NationwideProfiles(),
+		PositionCDF: make(map[string]*stats.ECDF),
+		TimeCDF:     make(map[string]*stats.ECDF),
+	}
+	for _, profile := range res.Profiles {
+		d, err := w.Dataset(profile)
+		if err != nil {
+			return nil, err
+		}
+		_, _, acc, err := runGlove(w, d, 2, core.SuppressionThresholds{})
+		if err != nil {
+			return nil, err
+		}
+		if res.PositionCDF[profile], err = acc.PositionCDF(); err != nil {
+			return nil, err
+		}
+		if res.TimeCDF[profile], err = acc.TimeCDF(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// paper x-axis ticks for accuracy CDFs.
+var (
+	positionTicksM  = []float64{200, 1000, 2000, 5000, 20000}
+	timeTicksMin    = []float64{1, 30, 120, 480, 1440}
+	positionTickLbl = []string{"200m", "1km", "2km", "5km", "20km"}
+	timeTickLbl     = []string{"1m", "30m", "2h", "8h", "1d"}
+)
+
+// Render prints CDF values at the paper's axis ticks.
+func (r *Fig7Result) Render(out io.Writer) {
+	fmt.Fprintln(out, "Fig. 7 — spatiotemporal accuracy, GLOVE 2-anonymization")
+	for _, profile := range r.Profiles {
+		fmt.Fprintf(out, "%s position: ", profile)
+		for i, x := range positionTicksM {
+			fmt.Fprintf(out, "F(%s)=%.2f ", positionTickLbl[i], r.PositionCDF[profile].At(x))
+		}
+		fmt.Fprintf(out, "\n%s time:     ", profile)
+		for i, x := range timeTicksMin {
+			fmt.Fprintf(out, "F(%s)=%.2f ", timeTickLbl[i], r.TimeCDF[profile].At(x))
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// Fig8Result holds the accuracy degradation with growing k on the civ
+// profile (paper Fig. 8).
+type Fig8Result struct {
+	Profile     string
+	Ks          []int
+	PositionCDF []*stats.ECDF
+	TimeCDF     []*stats.ECDF
+}
+
+// Fig8 runs GLOVE at k = 2, 3, 5 on civ.
+func Fig8(w *Workloads) (*Fig8Result, error) {
+	d, err := w.Dataset(ProfileCIV)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{Profile: ProfileCIV, Ks: []int{2, 3, 5}}
+	for _, k := range res.Ks {
+		_, _, acc, err := runGlove(w, d, k, core.SuppressionThresholds{})
+		if err != nil {
+			return nil, err
+		}
+		pc, err := acc.PositionCDF()
+		if err != nil {
+			return nil, err
+		}
+		tc, err := acc.TimeCDF()
+		if err != nil {
+			return nil, err
+		}
+		res.PositionCDF = append(res.PositionCDF, pc)
+		res.TimeCDF = append(res.TimeCDF, tc)
+	}
+	return res, nil
+}
+
+// Render prints CDF values at the paper's ticks for each k.
+func (r *Fig8Result) Render(out io.Writer) {
+	fmt.Fprintf(out, "Fig. 8 — accuracy vs k (%s)\n", r.Profile)
+	for i, k := range r.Ks {
+		fmt.Fprintf(out, "k=%d position: ", k)
+		for j, x := range positionTicksM {
+			fmt.Fprintf(out, "F(%s)=%.2f ", positionTickLbl[j], r.PositionCDF[i].At(x))
+		}
+		fmt.Fprintf(out, "\nk=%d time:     ", k)
+		for j, x := range timeTicksMin {
+			fmt.Fprintf(out, "F(%s)=%.2f ", timeTickLbl[j], r.TimeCDF[i].At(x))
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// Fig9Point is one suppression setting of Fig. 9.
+type Fig9Point struct {
+	Thresholds   core.SuppressionThresholds
+	Label        string
+	DiscardedPct float64 // % of original samples suppressed
+	Summary      metrics.Summary
+}
+
+// Fig9Result holds the suppression trade-off sweep (paper Fig. 9):
+// discarding a few percent of hard-to-anonymize samples buys a large
+// accuracy gain.
+type Fig9Result struct {
+	Profile string
+	// Spatial sweep (varying spatial threshold at fixed 6 h temporal)
+	// and temporal sweep (varying temporal threshold only).
+	Spatial  []Fig9Point
+	Temporal []Fig9Point
+	Original metrics.Summary // no suppression baseline
+}
+
+// Fig9 sweeps suppression thresholds on the 2-anonymized civ profile.
+func Fig9(w *Workloads) (*Fig9Result, error) {
+	d, err := w.Dataset(ProfileCIV)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{Profile: ProfileCIV}
+
+	measure := func(thr core.SuppressionThresholds) (Fig9Point, error) {
+		_, st, acc, err := runGlove(w, d, 2, thr)
+		if err != nil {
+			return Fig9Point{}, err
+		}
+		sum, err := acc.Summarize()
+		if err != nil {
+			return Fig9Point{}, err
+		}
+		pct := 0.0
+		if st.InputSamples > 0 {
+			pct = 100 * float64(st.SuppressedSamples) / float64(st.InputSamples)
+		}
+		return Fig9Point{Thresholds: thr, DiscardedPct: pct, Summary: sum}, nil
+	}
+
+	base, err := measure(core.SuppressionThresholds{})
+	if err != nil {
+		return nil, err
+	}
+	res.Original = base.Summary
+
+	// Paper's spatial sweep: 6h-4Km ... 6h-80Km.
+	for _, km := range []float64{4, 8, 10, 15, 20, 40, 80} {
+		pt, err := measure(core.SuppressionThresholds{
+			MaxSpatialMeters:   km * 1000,
+			MaxTemporalMinutes: 360,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt.Label = fmt.Sprintf("6h-%gKm", km)
+		res.Spatial = append(res.Spatial, pt)
+	}
+	// Paper's temporal sweep: 90m ... 8h.
+	for _, min := range []float64{90, 120, 180, 240, 360, 480} {
+		pt, err := measure(core.SuppressionThresholds{MaxTemporalMinutes: min})
+		if err != nil {
+			return nil, err
+		}
+		pt.Label = fmt.Sprintf("%gm", min)
+		res.Temporal = append(res.Temporal, pt)
+	}
+	return res, nil
+}
+
+// Render prints both panels of Fig. 9.
+func (r *Fig9Result) Render(out io.Writer) {
+	fmt.Fprintf(out, "Fig. 9 — suppression trade-off (%s, k=2)\n", r.Profile)
+	fmt.Fprintf(out, "original (no suppression): mean pos %.0f m, mean time %.0f min\n",
+		r.Original.MeanPositionM, r.Original.MeanTimeMin)
+	fmt.Fprintln(out, "spatial thresholding (with 6 h temporal):")
+	for _, pt := range r.Spatial {
+		fmt.Fprintf(out, "  %-9s discarded %5.1f%%  mean pos %7.0f m  median pos %7.0f m\n",
+			pt.Label, pt.DiscardedPct, pt.Summary.MeanPositionM, pt.Summary.MedianPositionM)
+	}
+	fmt.Fprintln(out, "temporal thresholding:")
+	for _, pt := range r.Temporal {
+		fmt.Fprintf(out, "  %-9s discarded %5.1f%%  mean time %6.0f min  median time %6.0f min\n",
+			pt.Label, pt.DiscardedPct, pt.Summary.MeanTimeMin, pt.Summary.MedianTimeMin)
+	}
+}
+
+// SweepPoint is one x-axis position of Figs. 10 and 11.
+type SweepPoint struct {
+	X       float64 // days (Fig. 10) or user fraction (Fig. 11)
+	Summary metrics.Summary
+}
+
+// SweepResult holds an accuracy sweep per profile.
+type SweepResult struct {
+	Name   string
+	Series map[string][]SweepPoint
+}
+
+// Fig10 measures GLOVE 2-anonymization accuracy on timespan subsets
+// (1, 2, 5, 7, 14 days) of both profiles (paper Fig. 10): shorter
+// datasets anonymize with less accuracy loss, sub-linearly.
+func Fig10(w *Workloads) (*SweepResult, error) {
+	res := &SweepResult{Name: "Fig. 10 — accuracy vs dataset timespan", Series: make(map[string][]SweepPoint)}
+	for _, profile := range NationwideProfiles() {
+		table, err := w.Table(profile)
+		if err != nil {
+			return nil, err
+		}
+		for _, days := range []int{1, 2, 5, 7, 14} {
+			if days > w.cfg.Days {
+				continue
+			}
+			sub := table.SubsetDays(days)
+			d, err := sub.BuildDataset()
+			if err != nil {
+				return nil, err
+			}
+			if d.Len() < 4 {
+				continue
+			}
+			_, _, acc, err := runGlove(w, d, 2, core.SuppressionThresholds{})
+			if err != nil {
+				return nil, err
+			}
+			sum, err := acc.Summarize()
+			if err != nil {
+				return nil, err
+			}
+			res.Series[profile] = append(res.Series[profile], SweepPoint{X: float64(days), Summary: sum})
+		}
+	}
+	return res, nil
+}
+
+// Fig11 measures GLOVE 2-anonymization accuracy on population subsets
+// (5%..100%) of both profiles (paper Fig. 11): only small populations
+// hurt anonymizability.
+func Fig11(w *Workloads) (*SweepResult, error) {
+	res := &SweepResult{Name: "Fig. 11 — accuracy vs dataset size", Series: make(map[string][]SweepPoint)}
+	for _, profile := range NationwideProfiles() {
+		table, err := w.Table(profile)
+		if err != nil {
+			return nil, err
+		}
+		for _, fracPct := range []float64{5, 10, 25, 50, 75, 100} {
+			sub := table.SubsetUserFraction(fracPct/100, 7)
+			d, err := sub.BuildDataset()
+			if err != nil {
+				return nil, err
+			}
+			if d.Len() < 4 {
+				continue
+			}
+			_, _, acc, err := runGlove(w, d, 2, core.SuppressionThresholds{})
+			if err != nil {
+				return nil, err
+			}
+			sum, err := acc.Summarize()
+			if err != nil {
+				return nil, err
+			}
+			res.Series[profile] = append(res.Series[profile], SweepPoint{X: fracPct, Summary: sum})
+		}
+	}
+	return res, nil
+}
+
+// Render prints the sweep series.
+func (r *SweepResult) Render(out io.Writer) {
+	fmt.Fprintln(out, r.Name)
+	for _, profile := range NationwideProfiles() {
+		pts := r.Series[profile]
+		if len(pts) == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "%s:\n", profile)
+		for _, pt := range pts {
+			fmt.Fprintf(out, "  x=%-5g mean pos %7.0f m  median pos %7.0f m  mean time %6.0f min  median time %6.0f min\n",
+				pt.X, pt.Summary.MeanPositionM, pt.Summary.MedianPositionM,
+				pt.Summary.MeanTimeMin, pt.Summary.MedianTimeMin)
+		}
+	}
+}

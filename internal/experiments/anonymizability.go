@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/generalize"
+	"repro/internal/stats"
+)
+
+// Fig3aResult is the k-gap CDF of both nationwide datasets at k = 2
+// (paper Fig. 3a). The paper finds: no subscriber is 2-anonymous
+// (CDF(0) = 0), yet the probability mass sits below ~0.2 — anonymity
+// looks close to reach.
+type Fig3aResult struct {
+	CDFs     map[string]*stats.ECDF
+	Medians  map[string]float64
+	AnonFrac map[string]float64 // fraction with zero 2-gap
+}
+
+// Fig3a computes the 2-gap CDFs of the civ and sen profiles.
+func Fig3a(w *Workloads) (*Fig3aResult, error) {
+	res := &Fig3aResult{
+		CDFs:     make(map[string]*stats.ECDF),
+		Medians:  make(map[string]float64),
+		AnonFrac: make(map[string]float64),
+	}
+	p := core.DefaultParams()
+	for _, profile := range NationwideProfiles() {
+		d, err := w.Dataset(profile)
+		if err != nil {
+			return nil, err
+		}
+		cdf, rs, err := analysis.KGapCDF(p, d, 2, w.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		res.CDFs[profile] = cdf
+		res.Medians[profile] = cdf.Quantile(0.5)
+		res.AnonFrac[profile] = analysis.AnonymousFraction(rs)
+	}
+	return res, nil
+}
+
+// Render prints the figure series.
+func (r *Fig3aResult) Render(out io.Writer) {
+	fmt.Fprintln(out, "Fig. 3a — CDF of 2-gap (k = 2)")
+	for _, profile := range NationwideProfiles() {
+		cdf := r.CDFs[profile]
+		fmt.Fprintf(out, "%s: median Δ² = %.3f, already-2-anonymous = %.1f%%\n",
+			profile, r.Medians[profile], 100*r.AnonFrac[profile])
+		fmt.Fprint(out, analysis.FormatCDF(cdf, 11, "Δ²=%.4f"))
+	}
+}
+
+// Fig3bResult is the k-gap CDF under growing k (paper Fig. 3b): the
+// distributions shift right sub-linearly in k.
+type Fig3bResult struct {
+	Profile string
+	Ks      []int
+	Medians []float64
+	CDFs    []*stats.ECDF
+}
+
+// Fig3b sweeps k on the sen profile (the paper's choice; civ behaves
+// identically). k values above the dataset size are skipped.
+func Fig3b(w *Workloads) (*Fig3bResult, error) {
+	d, err := w.Dataset(ProfileSEN)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3bResult{Profile: ProfileSEN}
+	p := core.DefaultParams()
+	for _, k := range []int{2, 5, 10, 25, 50, 100} {
+		if k > d.Len() {
+			continue
+		}
+		cdf, _, err := analysis.KGapCDF(p, d, k, w.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		res.Ks = append(res.Ks, k)
+		res.Medians = append(res.Medians, cdf.Quantile(0.5))
+		res.CDFs = append(res.CDFs, cdf)
+	}
+	return res, nil
+}
+
+// SubLinear reports whether the median k-gap grows sub-linearly in k:
+// median(k_max)/median(k_min) < k_max/k_min, the paper's observation.
+func (r *Fig3bResult) SubLinear() bool {
+	n := len(r.Ks)
+	if n < 2 || r.Medians[0] <= 0 {
+		return false
+	}
+	growth := r.Medians[n-1] / r.Medians[0]
+	return growth < float64(r.Ks[n-1])/float64(r.Ks[0])
+}
+
+// Render prints the figure series.
+func (r *Fig3bResult) Render(out io.Writer) {
+	fmt.Fprintf(out, "Fig. 3b — CDF of k-gap for growing k (%s)\n", r.Profile)
+	for i, k := range r.Ks {
+		fmt.Fprintf(out, "k=%-3d median Δᵏ = %.3f\n", k, r.Medians[i])
+	}
+	fmt.Fprintf(out, "sub-linear growth in k: %v\n", r.SubLinear())
+}
+
+// Fig4Result is the effect of uniform spatiotemporal generalization on
+// the 2-gap (paper Fig. 4): even at 20 km / 8 h granularity only a
+// minority of users become 2-anonymous.
+type Fig4Result struct {
+	Profiles []string
+	Levels   []generalize.Level
+	// AnonFrac[profile][level] = fraction of users with zero 2-gap.
+	AnonFrac map[string][]float64
+	// MedianGap[profile][level] = median 2-gap after generalization.
+	MedianGap map[string][]float64
+}
+
+// Fig4 sweeps the paper's six generalization levels on both profiles.
+func Fig4(w *Workloads) (*Fig4Result, error) {
+	res := &Fig4Result{
+		Profiles:  NationwideProfiles(),
+		Levels:    generalize.PaperLevels(),
+		AnonFrac:  make(map[string][]float64),
+		MedianGap: make(map[string][]float64),
+	}
+	p := core.DefaultParams()
+	for _, profile := range res.Profiles {
+		d, err := w.Dataset(profile)
+		if err != nil {
+			return nil, err
+		}
+		for _, level := range res.Levels {
+			g, err := generalize.Dataset(d, level)
+			if err != nil {
+				return nil, err
+			}
+			cdf, rs, err := analysis.KGapCDF(p, g, 2, w.cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			res.AnonFrac[profile] = append(res.AnonFrac[profile], analysis.AnonymousFraction(rs))
+			res.MedianGap[profile] = append(res.MedianGap[profile], cdf.Quantile(0.5))
+		}
+	}
+	return res, nil
+}
+
+// Render prints the figure series.
+func (r *Fig4Result) Render(out io.Writer) {
+	fmt.Fprintln(out, "Fig. 4 — 2-gap under uniform generalization (km-min levels)")
+	for _, profile := range r.Profiles {
+		fmt.Fprintf(out, "%s:\n", profile)
+		for i, level := range r.Levels {
+			fmt.Fprintf(out, "  %-8s 2-anonymous = %5.1f%%  median Δ² = %.4f\n",
+				level, 100*r.AnonFrac[profile][i], r.MedianGap[profile][i])
+		}
+	}
+}
+
+// Fig5Result carries the effort decomposition analysis (paper Fig. 5):
+// the TWI CDFs of the total/spatial/temporal sample stretch efforts
+// (5a) and the temporal-to-spatial ratio CDF (5b).
+type Fig5Result struct {
+	Profile string
+
+	TWI *analysis.TWIResult
+	// Heavy-tail fractions (TWI >= 1.5).
+	HeavyTotal    float64
+	HeavySpatial  float64
+	HeavyTemporal float64
+
+	// Ratio analysis (per profile, Fig. 5b).
+	RatioProfiles      []string
+	TemporalDominant   map[string]float64 // fraction with temporal > spatial
+	TemporalShare80Pct map[string]float64 // fraction with temporal share >= 0.8
+	ShareCDF           map[string]*stats.ECDF
+}
+
+// Fig5 runs the Sec. 5.3 analysis: decomposition on civ for the TWI plot
+// and ratio statistics on both profiles.
+func Fig5(w *Workloads) (*Fig5Result, error) {
+	p := core.DefaultParams()
+	res := &Fig5Result{
+		Profile:            ProfileCIV,
+		RatioProfiles:      NationwideProfiles(),
+		TemporalDominant:   make(map[string]float64),
+		TemporalShare80Pct: make(map[string]float64),
+		ShareCDF:           make(map[string]*stats.ECDF),
+	}
+	for _, profile := range res.RatioProfiles {
+		d, err := w.Dataset(profile)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := core.KGapAll(p, d, 2, w.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		decs := analysis.Decompose(p, d, rs, w.cfg.Workers)
+
+		if profile == res.Profile {
+			res.TWI = analysis.TWIs(decs)
+			res.HeavyTotal = analysis.HeavyTailFraction(res.TWI.Total)
+			res.HeavySpatial = analysis.HeavyTailFraction(res.TWI.Spatial)
+			res.HeavyTemporal = analysis.HeavyTailFraction(res.TWI.Temporal)
+		}
+
+		var dominant, share80 int
+		shares := make([]float64, 0, len(decs))
+		for i := range decs {
+			s := decs[i].TemporalShare()
+			shares = append(shares, s)
+			if s > 0.5 {
+				dominant++
+			}
+			if s >= 0.8 {
+				share80++
+			}
+		}
+		res.TemporalDominant[profile] = float64(dominant) / float64(len(decs))
+		res.TemporalShare80Pct[profile] = float64(share80) / float64(len(decs))
+		cdf, err := stats.NewECDF(shares)
+		if err != nil {
+			return nil, err
+		}
+		res.ShareCDF[profile] = cdf
+	}
+	return res, nil
+}
+
+// Render prints both panels.
+func (r *Fig5Result) Render(out io.Writer) {
+	fmt.Fprintf(out, "Fig. 5a — Tail Weight Index of sample stretch efforts (%s, k=2)\n", r.Profile)
+	fmt.Fprintf(out, "  heavy-tailed (TWI >= 1.5): total %.0f%%, spatial %.0f%%, temporal %.0f%%\n",
+		100*r.HeavyTotal, 100*r.HeavySpatial, 100*r.HeavyTemporal)
+	if r.TWI.Skipped > 0 {
+		fmt.Fprintf(out, "  (%d fingerprints with degenerate distributions skipped)\n", r.TWI.Skipped)
+	}
+	fmt.Fprintln(out, "Fig. 5b — temporal share of the total stretch effort")
+	for _, profile := range r.RatioProfiles {
+		fmt.Fprintf(out, "  %s: temporal > spatial in %.0f%% of fingerprints; temporal >= 80%% of effort in %.0f%%\n",
+			profile, 100*r.TemporalDominant[profile], 100*r.TemporalShare80Pct[profile])
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/w4m"
+)
+
+// Table2GloveThresholds are the suppression thresholds the paper uses
+// for GLOVE in the comparative analysis: 6 hours and 15 km.
+var Table2GloveThresholds = core.SuppressionThresholds{
+	MaxSpatialMeters:   15000,
+	MaxTemporalMinutes: 360,
+}
+
+// Table2Result holds the comparative analysis of W4M-LC and GLOVE
+// (paper Table 2) over the four dataset profiles at k = 2 and k = 5.
+type Table2Result struct {
+	Rows []metrics.Table2Row
+}
+
+// Table2 runs both algorithms on every profile and k.
+func Table2(w *Workloads) (*Table2Result, error) {
+	res := &Table2Result{}
+	for _, k := range []int{2, 5} {
+		for _, profile := range AllProfiles() {
+			d, err := w.Dataset(profile)
+			if err != nil {
+				return nil, err
+			}
+			if d.Len() < k+2 {
+				return nil, fmt.Errorf("experiments: profile %s too small (%d fingerprints) for k=%d", profile, d.Len(), k)
+			}
+
+			wrow, err := w4mRow(profile, k, d)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, wrow)
+
+			out, st, err := core.Glove(d, core.GloveOptions{
+				K:        k,
+				Suppress: Table2GloveThresholds,
+				Workers:  w.cfg.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			grow, err := metrics.GloveRow(profile, k, d, out, st)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, grow)
+		}
+	}
+	return res, nil
+}
+
+// w4mRow runs W4M-LC and converts its accounting into a Table 2 row.
+func w4mRow(profile string, k int, d *core.Dataset) (metrics.Table2Row, error) {
+	_, st, err := w4m.Run(d, w4m.DefaultOptions(k))
+	if err != nil {
+		return metrics.Table2Row{}, err
+	}
+	pctOf := func(part, whole int) float64 {
+		if whole == 0 {
+			return 0
+		}
+		return 100 * float64(part) / float64(whole)
+	}
+	return metrics.Table2Row{
+		Algorithm: "W4M-LC",
+		Dataset:   profile,
+		K:         k,
+
+		DiscardedFingerprints:    st.DiscardedFingerprints,
+		DiscardedFingerprintsPct: pctOf(st.DiscardedFingerprints, st.InputFingerprints),
+		CreatedSamples:           st.CreatedSamples,
+		CreatedSamplesPct:        pctOf(st.CreatedSamples, st.InputSamples),
+		DeletedSamples:           st.DeletedSamples + st.DiscardedSamples,
+		DeletedSamplesPct:        pctOf(st.DeletedSamples+st.DiscardedSamples, st.InputSamples),
+		MeanPositionErrorM:       st.MeanPositionError(),
+		MeanTimeErrorMin:         st.MeanTimeError(),
+	}, nil
+}
+
+// Render prints the table.
+func (r *Table2Result) Render(out io.Writer) {
+	fmt.Fprintln(out, "Table 2 — W4M-LC vs GLOVE")
+	for _, row := range r.Rows {
+		fmt.Fprintln(out, row.String())
+	}
+}
+
+// Row returns the row for (algorithm, dataset, k), or false.
+func (r *Table2Result) Row(algorithm, dataset string, k int) (metrics.Table2Row, bool) {
+	for _, row := range r.Rows {
+		if row.Algorithm == algorithm && row.Dataset == dataset && row.K == k {
+			return row, true
+		}
+	}
+	return metrics.Table2Row{}, false
+}

@@ -1,0 +1,161 @@
+// Package experiments reproduces every figure and table of the paper's
+// evaluation (Secs. 5 and 7) on the synthetic D4D-like workloads. Each
+// driver returns a structured result and can render it as the text
+// series/rows the paper plots; DESIGN.md maps drivers to paper figures
+// and EXPERIMENTS.md records paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// Config scales the experiment workloads. The paper runs on 82k-320k
+// subscribers; the defaults here are laptop-sized, and every driver
+// scales with the config.
+type Config struct {
+	Users   int // subscribers per nationwide dataset
+	Days    int // recording period
+	Workers int // parallelism (<= 0: all CPUs)
+}
+
+// DefaultConfig returns the default experiment scale.
+func DefaultConfig() Config {
+	return Config{Users: 300, Days: 14}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Users < 10 {
+		return fmt.Errorf("experiments: Users = %d, need >= 10", c.Users)
+	}
+	if c.Days < 1 {
+		return fmt.Errorf("experiments: Days = %d", c.Days)
+	}
+	return nil
+}
+
+// Profile names accepted by Workloads.
+const (
+	ProfileCIV     = "civ"     // nationwide Ivory Coast-like
+	ProfileSEN     = "sen"     // nationwide Senegal-like
+	ProfileAbidjan = "abidjan" // largest-city subset of civ
+	ProfileDakar   = "dakar"   // largest-city subset of sen
+)
+
+// NationwideProfiles lists the two full datasets.
+func NationwideProfiles() []string { return []string{ProfileCIV, ProfileSEN} }
+
+// AllProfiles lists the four datasets of Table 2.
+func AllProfiles() []string {
+	return []string{ProfileCIV, ProfileSEN, ProfileAbidjan, ProfileDakar}
+}
+
+// Workloads generates and caches the synthetic datasets shared by the
+// experiment drivers. It is safe for concurrent use.
+type Workloads struct {
+	cfg Config
+
+	mu        sync.Mutex
+	tables    map[string]*cdr.Table
+	datasets  map[string]*core.Dataset
+	countries map[string]*synth.Country
+}
+
+// NewWorkloads returns a workload cache at the given scale.
+func NewWorkloads(cfg Config) (*Workloads, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Workloads{
+		cfg:       cfg,
+		tables:    make(map[string]*cdr.Table),
+		datasets:  make(map[string]*core.Dataset),
+		countries: make(map[string]*synth.Country),
+	}, nil
+}
+
+// Config returns the workload scale.
+func (w *Workloads) Config() Config { return w.cfg }
+
+// Table returns the CDR table of a profile, generating it on first use.
+func (w *Workloads) Table(profile string) (*cdr.Table, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tableLocked(profile)
+}
+
+func (w *Workloads) tableLocked(profile string) (*cdr.Table, error) {
+	if t, ok := w.tables[profile]; ok {
+		return t, nil
+	}
+	switch profile {
+	case ProfileCIV, ProfileSEN:
+		cfg := synth.CIV(w.cfg.Users)
+		if profile == ProfileSEN {
+			cfg = synth.SEN(w.cfg.Users)
+		}
+		cfg.Days = w.cfg.Days
+		table, country, _, err := synth.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// The paper's civ screening: at least one sample per day.
+		table = table.FilterMinRate(1)
+		w.tables[profile] = table
+		w.countries[profile] = country
+		return table, nil
+
+	case ProfileAbidjan, ProfileDakar:
+		parent := ProfileCIV
+		if profile == ProfileDakar {
+			parent = ProfileSEN
+		}
+		pt, err := w.tableLocked(parent)
+		if err != nil {
+			return nil, err
+		}
+		country := w.countries[parent]
+		// Largest city = city 0 of the Zipf system.
+		cityCenter, err := country.Proj.Inverse(country.Cities[0].Center)
+		if err != nil {
+			return nil, err
+		}
+		radius := country.Cities[0].RadiusM*2 + 10000
+		sub, err := pt.SubsetRegion(cityCenter, radius)
+		if err != nil {
+			return nil, err
+		}
+		if sub.Users() < 10 {
+			return nil, fmt.Errorf("experiments: %s subset too small (%d users)", profile, sub.Users())
+		}
+		w.tables[profile] = sub
+		return sub, nil
+
+	default:
+		return nil, fmt.Errorf("experiments: unknown profile %q", profile)
+	}
+}
+
+// Dataset returns the fingerprint dataset of a profile.
+func (w *Workloads) Dataset(profile string) (*core.Dataset, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if d, ok := w.datasets[profile]; ok {
+		return d, nil
+	}
+	t, err := w.tableLocked(profile)
+	if err != nil {
+		return nil, err
+	}
+	d, err := t.BuildDataset()
+	if err != nil {
+		return nil, err
+	}
+	w.datasets[profile] = d
+	return d, nil
+}

@@ -1,0 +1,112 @@
+// Package generalize implements the legacy anonymization baseline the
+// paper evaluates in Sec. 5.2 (Fig. 4): uniform spatiotemporal
+// generalization, where every sample of every fingerprint is coarsened
+// to the same spatial and temporal granularity. The paper shows this
+// approach cannot k-anonymize mobile traffic datasets at any useful
+// granularity — the motivation for GLOVE's specialized generalization.
+package generalize
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Level is one uniform generalization setting, e.g. {2500, 60} for the
+// paper's "2.5-60" (2.5 km, 60 min) curve.
+type Level struct {
+	SpatialMeters   float64
+	TemporalMinutes float64
+}
+
+func (l Level) String() string {
+	return fmt.Sprintf("%g-%g", l.SpatialMeters/1000, l.TemporalMinutes)
+}
+
+// Validate checks the level is usable.
+func (l Level) Validate() error {
+	if l.SpatialMeters <= 0 || l.TemporalMinutes <= 0 {
+		return fmt.Errorf("generalize: non-positive level %+v", l)
+	}
+	return nil
+}
+
+// PaperLevels returns the six generalization levels of Fig. 4, labeled
+// km-min: 0.1-1, 1-30, 2.5-60, 5-120, 10-240, 20-480.
+func PaperLevels() []Level {
+	return []Level{
+		{100, 1},
+		{1000, 30},
+		{2500, 60},
+		{5000, 120},
+		{10000, 240},
+		{20000, 480},
+	}
+}
+
+// Dataset returns a copy of d with every sample generalized to the
+// level's granularity: each sample is replaced by the aligned
+// spatiotemporal cell(s) covering it, so truthfulness is preserved.
+// Consecutive samples that become identical are coalesced (their weights
+// summed), mirroring how a released coarse dataset would be encoded.
+func Dataset(d *core.Dataset, l Level) (*core.Dataset, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	out := d.Clone()
+	for _, f := range out.Fingerprints {
+		for i := range f.Samples {
+			f.Samples[i] = Sample(f.Samples[i], l)
+		}
+		f.Samples = coalesce(f.Samples)
+	}
+	return out, nil
+}
+
+// Sample generalizes one sample to the level's granularity. The result
+// is the smallest grid-aligned box (spatial pitch l.SpatialMeters,
+// temporal pitch l.TemporalMinutes) covering the input, so the output
+// always covers the original sample.
+func Sample(s core.Sample, l Level) core.Sample {
+	x0 := math.Floor(s.X/l.SpatialMeters) * l.SpatialMeters
+	x1 := math.Ceil((s.X+s.DX)/l.SpatialMeters) * l.SpatialMeters
+	if x1 <= x0 { // degenerate zero-extent sample on a boundary
+		x1 = x0 + l.SpatialMeters
+	}
+	y0 := math.Floor(s.Y/l.SpatialMeters) * l.SpatialMeters
+	y1 := math.Ceil((s.Y+s.DY)/l.SpatialMeters) * l.SpatialMeters
+	if y1 <= y0 {
+		y1 = y0 + l.SpatialMeters
+	}
+	t0 := math.Floor(s.T/l.TemporalMinutes) * l.TemporalMinutes
+	t1 := math.Ceil((s.T+s.DT)/l.TemporalMinutes) * l.TemporalMinutes
+	if t1 <= t0 {
+		t1 = t0 + l.TemporalMinutes
+	}
+	return core.Sample{
+		X: x0, DX: x1 - x0,
+		Y: y0, DY: y1 - y0,
+		T: t0, DT: t1 - t0,
+		Weight: s.Weight,
+	}
+}
+
+// coalesce merges runs of identical adjacent samples (same cell, same
+// interval), summing weights. Samples arrive time-sorted.
+func coalesce(samples []core.Sample) []core.Sample {
+	if len(samples) <= 1 {
+		return samples
+	}
+	out := samples[:1]
+	for _, s := range samples[1:] {
+		last := &out[len(out)-1]
+		if s.X == last.X && s.DX == last.DX && s.Y == last.Y && s.DY == last.DY &&
+			s.T == last.T && s.DT == last.DT {
+			last.Weight += s.Weight
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

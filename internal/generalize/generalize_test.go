@@ -1,0 +1,179 @@
+package generalize
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestLevelValidateAndString(t *testing.T) {
+	if err := (Level{1000, 30}).Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, l := range []Level{{0, 30}, {1000, 0}, {-1, -1}} {
+		if err := l.Validate(); err == nil {
+			t.Errorf("bad level %+v accepted", l)
+		}
+	}
+	if got := (Level{2500, 60}).String(); got != "2.5-60" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPaperLevels(t *testing.T) {
+	ls := PaperLevels()
+	if len(ls) != 6 {
+		t.Fatalf("got %d levels", len(ls))
+	}
+	if ls[0] != (Level{100, 1}) || ls[5] != (Level{20000, 480}) {
+		t.Errorf("levels = %v", ls)
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i].SpatialMeters <= ls[i-1].SpatialMeters {
+			t.Error("levels not increasing")
+		}
+	}
+}
+
+func TestSampleCoversOriginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := Level{2500, 60}
+	for i := 0; i < 2000; i++ {
+		s := core.Sample{
+			X: rng.Float64()*2e5 - 1e5, DX: rng.Float64() * 500,
+			Y: rng.Float64()*2e5 - 1e5, DY: rng.Float64() * 500,
+			T: rng.Float64() * 20000, DT: rng.Float64() * 100,
+			Weight: 1,
+		}
+		g := Sample(s, l)
+		if !g.Covers(s) {
+			t.Fatalf("generalized sample does not cover original: %+v -> %+v", s, g)
+		}
+		if g.DX < l.SpatialMeters || g.DY < l.SpatialMeters || g.DT < l.TemporalMinutes {
+			t.Fatalf("generalized sample finer than level: %+v", g)
+		}
+	}
+}
+
+func TestSampleAligned(t *testing.T) {
+	l := Level{1000, 30}
+	s := core.Sample{X: 1234, DX: 100, Y: -567, DY: 100, T: 100, DT: 1, Weight: 2}
+	g := Sample(s, l)
+	if g.X != 1000 || g.DX != 1000 {
+		t.Errorf("x generalization = [%g, +%g]", g.X, g.DX)
+	}
+	if g.Y != -1000 || g.DY != 1000 {
+		t.Errorf("y generalization = [%g, +%g]", g.Y, g.DY)
+	}
+	if g.T != 90 || g.DT != 30 {
+		t.Errorf("t generalization = [%g, +%g]", g.T, g.DT)
+	}
+	if g.Weight != 2 {
+		t.Errorf("weight = %d", g.Weight)
+	}
+}
+
+func TestSampleCrossingBoundary(t *testing.T) {
+	l := Level{1000, 30}
+	s := core.Sample{X: 950, DX: 100, Y: 0, DY: 100, T: 29, DT: 2, Weight: 1}
+	g := Sample(s, l)
+	if g.X != 0 || g.DX != 2000 {
+		t.Errorf("boundary-crossing x = [%g, +%g], want [0, +2000]", g.X, g.DX)
+	}
+	if g.T != 0 || g.DT != 60 {
+		t.Errorf("boundary-crossing t = [%g, +%g], want [0, +60]", g.T, g.DT)
+	}
+}
+
+func TestSampleDegenerateOnBoundary(t *testing.T) {
+	l := Level{1000, 30}
+	s := core.Sample{X: 1000, DX: 0, Y: 2000, DY: 0, T: 30, DT: 0, Weight: 1}
+	g := Sample(s, l)
+	if g.DX != 1000 || g.DY != 1000 || g.DT != 30 {
+		t.Errorf("degenerate sample got zero-extent cell: %+v", g)
+	}
+	if !g.Covers(s) {
+		t.Error("degenerate sample not covered")
+	}
+}
+
+func TestDatasetGeneralization(t *testing.T) {
+	fps := []*core.Fingerprint{
+		core.NewFingerprint("a", []core.Sample{
+			core.NewSample(100, 100, 100, 5, 1),
+			core.NewSample(150, 120, 100, 8, 1), // same 1km/30min cell
+			core.NewSample(5000, 100, 100, 200, 1),
+		}),
+	}
+	d := core.NewDataset(fps)
+	out, err := Dataset(d, Level{1000, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := out.Fingerprints[0]
+	if f.Len() != 2 {
+		t.Fatalf("coalesced to %d samples, want 2", f.Len())
+	}
+	if f.Samples[0].Weight != 2 {
+		t.Errorf("coalesced weight = %d, want 2", f.Samples[0].Weight)
+	}
+	// Input untouched.
+	if d.Fingerprints[0].Len() != 3 {
+		t.Error("generalization modified input")
+	}
+	if _, err := Dataset(d, Level{}); err == nil {
+		t.Error("invalid level accepted")
+	}
+}
+
+// Coarser generalization must never increase the k-gap: the dataset can
+// only become easier to anonymize (the monotonicity behind Fig. 4).
+func TestGeneralizationReducesKGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fps := make([]*core.Fingerprint, 30)
+	for i := range fps {
+		n := 3 + rng.Intn(10)
+		samples := make([]core.Sample, n)
+		for j := range samples {
+			samples[j] = core.Sample{
+				X: rng.Float64() * 3e4, DX: 100,
+				Y: rng.Float64() * 3e4, DY: 100,
+				T: rng.Float64() * 5000, DT: 1,
+				Weight: 1,
+			}
+		}
+		fps[i] = core.NewFingerprint(string(rune('a'+i%26))+string(rune('0'+i/26)), samples)
+	}
+	d := core.NewDataset(fps)
+	p := core.DefaultParams()
+
+	base, err := core.KGapAll(p, d, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := mean(core.KGaps(base))
+	for _, l := range []Level{{1000, 30}, {5000, 120}, {20000, 480}} {
+		g, err := Dataset(d, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := core.KGapAll(p, g, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := mean(core.KGaps(rs))
+		if cur > prev+0.02 {
+			t.Errorf("level %v increased mean k-gap: %.4f -> %.4f", l, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,230 @@
+// Package geo provides the geographic substrate used by the GLOVE
+// reproduction: WGS84 coordinates, the Lambert azimuthal equal-area
+// projection the paper uses to map antenna positions to a plane, and the
+// 100 m regular grid on which positions are discretized (Sec. 3 of the
+// paper).
+//
+// All planar coordinates are expressed in meters. The projection is the
+// spherical form of the Lambert azimuthal equal-area projection (Snyder,
+// "Map Projections: A Working Manual", USGS 1987, Eqs. 24-2..24-4), which
+// is accurate to well below the 100 m grid pitch over country-scale
+// extents.
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the authalic sphere radius used by the spherical
+// Lambert azimuthal equal-area projection.
+const EarthRadiusMeters = 6371007.1809
+
+// GridPitchMeters is the spatial discretization pitch: the paper snaps
+// antenna positions to a 100 m regular grid, its maximum spatial
+// granularity.
+const GridPitchMeters = 100.0
+
+// LatLon is a WGS84 geographic coordinate in decimal degrees.
+type LatLon struct {
+	Lat float64 // degrees, positive north
+	Lon float64 // degrees, positive east
+}
+
+// Valid reports whether the coordinate lies in the legal WGS84 range.
+func (ll LatLon) Valid() bool {
+	return ll.Lat >= -90 && ll.Lat <= 90 && ll.Lon >= -180 && ll.Lon <= 180 &&
+		!math.IsNaN(ll.Lat) && !math.IsNaN(ll.Lon)
+}
+
+func (ll LatLon) String() string {
+	return fmt.Sprintf("(%.6f, %.6f)", ll.Lat, ll.Lon)
+}
+
+// Point is a position on the projected plane, in meters.
+type Point struct {
+	X float64 // meters east of the projection center
+	Y float64 // meters north of the projection center
+}
+
+// Dist returns the Euclidean distance in meters between two points.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Projection is a Lambert azimuthal equal-area projection centered on a
+// reference coordinate. The zero value is not usable; construct one with
+// NewProjection.
+type Projection struct {
+	center  LatLon
+	sinPhi1 float64
+	cosPhi1 float64
+	lambda0 float64 // radians
+	radius  float64
+}
+
+// NewProjection returns a Lambert azimuthal equal-area projection centered
+// at the given coordinate.
+func NewProjection(center LatLon) (*Projection, error) {
+	if !center.Valid() {
+		return nil, fmt.Errorf("geo: invalid projection center %v", center)
+	}
+	phi1 := center.Lat * math.Pi / 180
+	return &Projection{
+		center:  center,
+		sinPhi1: math.Sin(phi1),
+		cosPhi1: math.Cos(phi1),
+		lambda0: center.Lon * math.Pi / 180,
+		radius:  EarthRadiusMeters,
+	}, nil
+}
+
+// Center returns the projection center.
+func (p *Projection) Center() LatLon { return p.center }
+
+// ErrAntipodal is returned when projecting the point antipodal to the
+// projection center, where the Lambert azimuthal equal-area projection is
+// undefined.
+var ErrAntipodal = errors.New("geo: point is antipodal to projection center")
+
+// Forward projects a WGS84 coordinate onto the plane. It returns
+// ErrAntipodal for the (single) point where the projection is undefined.
+func (p *Projection) Forward(ll LatLon) (Point, error) {
+	if !ll.Valid() {
+		return Point{}, fmt.Errorf("geo: invalid coordinate %v", ll)
+	}
+	phi := ll.Lat * math.Pi / 180
+	lambda := ll.Lon * math.Pi / 180
+	sinPhi, cosPhi := math.Sin(phi), math.Cos(phi)
+	cosDLambda := math.Cos(lambda - p.lambda0)
+
+	// kPrime = sqrt(2 / (1 + sin φ1 sin φ + cos φ1 cos φ cos(λ-λ0)))
+	denom := 1 + p.sinPhi1*sinPhi + p.cosPhi1*cosPhi*cosDLambda
+	if denom <= 1e-12 {
+		return Point{}, ErrAntipodal
+	}
+	kPrime := math.Sqrt(2 / denom)
+
+	x := p.radius * kPrime * cosPhi * math.Sin(lambda-p.lambda0)
+	y := p.radius * kPrime * (p.cosPhi1*sinPhi - p.sinPhi1*cosPhi*cosDLambda)
+	return Point{X: x, Y: y}, nil
+}
+
+// Inverse maps a planar point back to a WGS84 coordinate.
+func (p *Projection) Inverse(pt Point) (LatLon, error) {
+	rho := math.Hypot(pt.X, pt.Y)
+	if rho == 0 {
+		return p.center, nil
+	}
+	if rho > 2*p.radius {
+		return LatLon{}, fmt.Errorf("geo: point (%g, %g) outside projection disc", pt.X, pt.Y)
+	}
+	c := 2 * math.Asin(rho/(2*p.radius))
+	sinC, cosC := math.Sin(c), math.Cos(c)
+
+	phi := math.Asin(cosC*p.sinPhi1 + pt.Y*sinC*p.cosPhi1/rho)
+	lambda := p.lambda0 + math.Atan2(pt.X*sinC, rho*p.cosPhi1*cosC-pt.Y*p.sinPhi1*sinC)
+
+	return LatLon{Lat: phi * 180 / math.Pi, Lon: lambda * 180 / math.Pi}, nil
+}
+
+// Cell identifies one cell of the regular discretization grid by its
+// integer column and row indices.
+type Cell struct {
+	Col int64
+	Row int64
+}
+
+// Grid discretizes the projected plane on a regular grid. The zero value
+// uses GridPitchMeters; a custom pitch can be set for tests.
+type Grid struct {
+	// Pitch is the cell edge length in meters; zero means GridPitchMeters.
+	Pitch float64
+}
+
+func (g Grid) pitch() float64 {
+	if g.Pitch > 0 {
+		return g.Pitch
+	}
+	return GridPitchMeters
+}
+
+// CellOf returns the grid cell containing a point. Points on a cell
+// boundary belong to the cell to their north-east, matching floor
+// semantics.
+func (g Grid) CellOf(pt Point) Cell {
+	p := g.pitch()
+	return Cell{
+		Col: int64(math.Floor(pt.X / p)),
+		Row: int64(math.Floor(pt.Y / p)),
+	}
+}
+
+// Origin returns the south-west corner of a cell.
+func (g Grid) Origin(c Cell) Point {
+	p := g.pitch()
+	return Point{X: float64(c.Col) * p, Y: float64(c.Row) * p}
+}
+
+// Snap returns the south-west corner of the cell containing pt: the
+// canonical discretized representation of the point.
+func (g Grid) Snap(pt Point) Point {
+	return g.Origin(g.CellOf(pt))
+}
+
+// Center returns the center of a cell.
+func (g Grid) Center(c Cell) Point {
+	p := g.pitch()
+	o := g.Origin(c)
+	return Point{X: o.X + p/2, Y: o.Y + p/2}
+}
+
+// Box is an axis-aligned rectangle on the projected plane, described by
+// its south-west corner and non-negative extents, mirroring the spatial
+// tuple σ = (x, dx, y, dy) of the paper.
+type Box struct {
+	X, Y   float64 // south-west corner, meters
+	DX, DY float64 // extents, meters (>= 0)
+}
+
+// BoxAround returns the grid-aligned box of one grid cell containing pt.
+func (g Grid) BoxAround(pt Point) Box {
+	o := g.Snap(pt)
+	p := g.pitch()
+	return Box{X: o.X, Y: o.Y, DX: p, DY: p}
+}
+
+// Contains reports whether the box contains the point (boundaries
+// inclusive).
+func (b Box) Contains(pt Point) bool {
+	return pt.X >= b.X && pt.X <= b.X+b.DX && pt.Y >= b.Y && pt.Y <= b.Y+b.DY
+}
+
+// Covers reports whether b fully contains o.
+func (b Box) Covers(o Box) bool {
+	return o.X >= b.X && o.Y >= b.Y &&
+		o.X+o.DX <= b.X+b.DX && o.Y+o.DY <= b.Y+b.DY
+}
+
+// Union returns the smallest box covering both b and o: the geometric
+// realization of the paper's generalization operator (Eqs. 12-13) in
+// space.
+func (b Box) Union(o Box) Box {
+	x := math.Min(b.X, o.X)
+	y := math.Min(b.Y, o.Y)
+	x2 := math.Max(b.X+b.DX, o.X+o.DX)
+	y2 := math.Max(b.Y+b.DY, o.Y+o.DY)
+	return Box{X: x, Y: y, DX: x2 - x, DY: y2 - y}
+}
+
+// Center returns the center point of the box.
+func (b Box) Center() Point {
+	return Point{X: b.X + b.DX/2, Y: b.Y + b.DY/2}
+}
+
+// Span returns the larger of the two extents, used as the position
+// accuracy of a generalized sample.
+func (b Box) Span() float64 {
+	return math.Max(b.DX, b.DY)
+}

@@ -1,0 +1,282 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatLonValid(t *testing.T) {
+	cases := []struct {
+		ll   LatLon
+		want bool
+	}{
+		{LatLon{0, 0}, true},
+		{LatLon{7.54, -5.55}, true},   // Ivory Coast
+		{LatLon{14.49, -14.45}, true}, // Senegal
+		{LatLon{90, 180}, true},
+		{LatLon{-90, -180}, true},
+		{LatLon{90.01, 0}, false},
+		{LatLon{0, 180.5}, false},
+		{LatLon{math.NaN(), 0}, false},
+		{LatLon{0, math.NaN()}, false},
+	}
+	for _, c := range cases {
+		if got := c.ll.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.ll, got, c.want)
+		}
+	}
+}
+
+func TestNewProjectionRejectsInvalidCenter(t *testing.T) {
+	if _, err := NewProjection(LatLon{Lat: 91}); err == nil {
+		t.Fatal("NewProjection accepted an invalid center")
+	}
+}
+
+func TestForwardCenterIsOrigin(t *testing.T) {
+	p, err := NewProjection(LatLon{Lat: 7.54, Lon: -5.55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := p.Forward(p.Center())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pt.X) > 1e-6 || math.Abs(pt.Y) > 1e-6 {
+		t.Errorf("center projects to (%g, %g), want origin", pt.X, pt.Y)
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	p, err := NewProjection(LatLon{Lat: 14.49, Lon: -14.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		ll := LatLon{
+			Lat: p.Center().Lat + (rng.Float64()-0.5)*8,
+			Lon: p.Center().Lon + (rng.Float64()-0.5)*8,
+		}
+		pt, err := p.Forward(ll)
+		if err != nil {
+			t.Fatalf("Forward(%v): %v", ll, err)
+		}
+		back, err := p.Inverse(pt)
+		if err != nil {
+			t.Fatalf("Inverse(%v): %v", pt, err)
+		}
+		if math.Abs(back.Lat-ll.Lat) > 1e-9 || math.Abs(back.Lon-ll.Lon) > 1e-9 {
+			t.Fatalf("round trip %v -> %v -> %v", ll, pt, back)
+		}
+	}
+}
+
+func TestForwardDistancesAreMetric(t *testing.T) {
+	// One degree of latitude is ~111.2 km on the authalic sphere; near the
+	// projection center the planar distance must match closely.
+	p, err := NewProjection(LatLon{Lat: 7.5, Lon: -5.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Forward(LatLon{Lat: 7.5, Lon: -5.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Forward(LatLon{Lat: 8.5, Lon: -5.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EarthRadiusMeters * math.Pi / 180
+	if got := a.Dist(b); math.Abs(got-want) > 50 {
+		t.Errorf("1 degree latitude = %.1f m, want ~%.1f m", got, want)
+	}
+}
+
+func TestForwardEqualArea(t *testing.T) {
+	// The projection must preserve areas: a small quadrangle far from the
+	// center has (near) the same planar area as its spherical area.
+	p, err := NewProjection(LatLon{Lat: 7.5, Lon: -5.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const d = 0.01 // degrees
+	for _, off := range []LatLon{{0, 0}, {3, 3}, {-4, 2}, {5, -5}} {
+		lat := 7.5 + off.Lat
+		lon := -5.5 + off.Lon
+		corners := []LatLon{
+			{lat, lon}, {lat, lon + d}, {lat + d, lon + d}, {lat + d, lon},
+		}
+		pts := make([]Point, 4)
+		for i, c := range corners {
+			pts[i], err = p.Forward(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Shoelace formula.
+		var area float64
+		for i := 0; i < 4; i++ {
+			j := (i + 1) % 4
+			area += pts[i].X*pts[j].Y - pts[j].X*pts[i].Y
+		}
+		area = math.Abs(area) / 2
+		// Spherical area of the quadrangle.
+		rad := math.Pi / 180
+		sph := EarthRadiusMeters * EarthRadiusMeters * d * rad *
+			(math.Sin((lat+d)*rad) - math.Sin(lat*rad))
+		if rel := math.Abs(area-sph) / sph; rel > 1e-6 {
+			t.Errorf("area at offset %v: planar %.1f vs spherical %.1f (rel %g)", off, area, sph, rel)
+		}
+	}
+}
+
+func TestForwardAntipodal(t *testing.T) {
+	p, err := NewProjection(LatLon{Lat: 10, Lon: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Forward(LatLon{Lat: -10, Lon: -160}); err == nil {
+		t.Error("Forward of antipodal point did not fail")
+	}
+}
+
+func TestForwardRejectsInvalid(t *testing.T) {
+	p, err := NewProjection(LatLon{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Forward(LatLon{Lat: 400}); err == nil {
+		t.Error("Forward accepted invalid coordinate")
+	}
+}
+
+func TestGridSnapIdempotent(t *testing.T) {
+	g := Grid{}
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+			return true
+		}
+		// Stay within a country-scale range to avoid float blowup.
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		s := g.Snap(Point{x, y})
+		return g.Snap(s) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridCellOfBoundaries(t *testing.T) {
+	g := Grid{Pitch: 100}
+	cases := []struct {
+		pt   Point
+		want Cell
+	}{
+		{Point{0, 0}, Cell{0, 0}},
+		{Point{99.999, 99.999}, Cell{0, 0}},
+		{Point{100, 100}, Cell{1, 1}},
+		{Point{-0.001, 0}, Cell{-1, 0}},
+		{Point{-100, -100}, Cell{-1, -1}},
+		{Point{-100.001, 0}, Cell{-2, 0}},
+	}
+	for _, c := range cases {
+		if got := g.CellOf(c.pt); got != c.want {
+			t.Errorf("CellOf(%v) = %v, want %v", c.pt, got, c.want)
+		}
+	}
+}
+
+func TestGridCenterInsideCell(t *testing.T) {
+	g := Grid{Pitch: 250}
+	c := Cell{Col: 3, Row: -2}
+	ctr := g.Center(c)
+	if g.CellOf(ctr) != c {
+		t.Errorf("center %v of cell %v maps to cell %v", ctr, c, g.CellOf(ctr))
+	}
+}
+
+func TestGridDefaultPitch(t *testing.T) {
+	g := Grid{}
+	b := g.BoxAround(Point{X: 12345, Y: -678})
+	if b.DX != GridPitchMeters || b.DY != GridPitchMeters {
+		t.Errorf("default pitch box = %+v, want %v m extents", b, GridPitchMeters)
+	}
+	if !b.Contains(Point{X: 12345, Y: -678}) {
+		t.Error("BoxAround does not contain its seed point")
+	}
+}
+
+func TestBoxUnionCovers(t *testing.T) {
+	f := func(x1, y1, dx1, dy1, x2, y2, dx2, dy2 float64) bool {
+		norm := func(v float64) float64 { return math.Mod(math.Abs(v), 1e5) }
+		a := Box{X: math.Mod(x1, 1e5), Y: math.Mod(y1, 1e5), DX: norm(dx1), DY: norm(dy1)}
+		b := Box{X: math.Mod(x2, 1e5), Y: math.Mod(y2, 1e5), DX: norm(dx2), DY: norm(dy2)}
+		if math.IsNaN(a.X + a.Y + a.DX + a.DY + b.X + b.Y + b.DX + b.DY) {
+			return true
+		}
+		u := a.Union(b)
+		return u.Covers(a) && u.Covers(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxUnionMinimal(t *testing.T) {
+	a := Box{X: 0, Y: 0, DX: 100, DY: 100}
+	b := Box{X: 300, Y: 500, DX: 100, DY: 100}
+	u := a.Union(b)
+	want := Box{X: 0, Y: 0, DX: 400, DY: 600}
+	if u != want {
+		t.Errorf("Union = %+v, want %+v", u, want)
+	}
+}
+
+func TestBoxUnionCommutativeIdempotent(t *testing.T) {
+	a := Box{X: -50, Y: 20, DX: 10, DY: 40}
+	b := Box{X: 5, Y: -5, DX: 300, DY: 1}
+	if a.Union(b) != b.Union(a) {
+		t.Error("Union is not commutative")
+	}
+	if a.Union(a) != a {
+		t.Error("Union is not idempotent")
+	}
+}
+
+func TestBoxSpanAndCenter(t *testing.T) {
+	b := Box{X: 100, Y: 200, DX: 300, DY: 50}
+	if b.Span() != 300 {
+		t.Errorf("Span = %g, want 300", b.Span())
+	}
+	if c := b.Center(); c.X != 250 || c.Y != 225 {
+		t.Errorf("Center = %+v, want (250, 225)", c)
+	}
+}
+
+func TestInverseOutsideDisc(t *testing.T) {
+	p, err := NewProjection(LatLon{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Inverse(Point{X: 3 * EarthRadiusMeters}); err == nil {
+		t.Error("Inverse accepted point outside projection disc")
+	}
+}
+
+func BenchmarkForward(b *testing.B) {
+	p, err := NewProjection(LatLon{Lat: 7.5, Lon: -5.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ll := LatLon{Lat: 8.1, Lon: -4.9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Forward(ll); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

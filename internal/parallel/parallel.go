@@ -1,0 +1,136 @@
+// Package parallel provides the small concurrency substrate used by the
+// GLOVE reproduction. The paper offloads its embarrassingly parallel pair
+// computations (Eq. 10 over all fingerprint pairs) to a CUDA GPU; here the
+// same decomposition runs on goroutine worker pools across CPU cores.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the worker count used when a caller passes a
+// non-positive value: the number of usable CPUs.
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n) using the given number of workers
+// (<= 0 means DefaultWorkers). Iterations are distributed dynamically in
+// small chunks so uneven per-iteration cost (e.g. fingerprints of very
+// different lengths) still balances. It blocks until all iterations
+// complete.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	// Chunked dynamic scheduling: grabbing a chunk costs one atomic add.
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForPairs runs fn(i, j) for every unordered pair 0 <= i < j < n,
+// distributing pairs across workers. The pair (i, j) enumeration order
+// within a worker is deterministic, but the interleaving across workers is
+// not; fn must only write to pair-local state (e.g. a matrix cell).
+func ForPairs(n, workers int, fn func(i, j int)) {
+	if n < 2 {
+		return
+	}
+	total := n * (n - 1) / 2
+	For(total, workers, func(p int) {
+		i, j := PairFromIndex(p)
+		fn(i, j)
+	})
+}
+
+// PairFromIndex maps a linear index p in [0, n(n-1)/2) to the p-th
+// unordered pair (i, j), i < j, in the enumeration (0,1), (0,2), (1,2),
+// (0,3), (1,3), (2,3), ... — i.e. pairs grouped by their larger element.
+// This closed form avoids coordination between workers.
+func PairFromIndex(p int) (i, j int) {
+	// j is the largest integer with j(j-1)/2 <= p.
+	j = int((1 + isqrt(8*uint64(p)+1)) / 2)
+	for j*(j-1)/2 > p {
+		j--
+	}
+	for (j+1)*j/2 <= p {
+		j++
+	}
+	i = p - j*(j-1)/2
+	return i, j
+}
+
+// isqrt returns floor(sqrt(x)) for a uint64 without float rounding
+// hazards for the magnitudes used here.
+func isqrt(x uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	r := uint64(1) << ((bits(x) + 1) / 2)
+	for {
+		nr := (r + x/r) / 2
+		if nr >= r {
+			return r
+		}
+		r = nr
+	}
+}
+
+func bits(x uint64) uint {
+	var n uint
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Map applies fn to every index in [0, n) and collects the results in
+// order. It is a convenience wrapper over For for result-producing
+// computations such as per-fingerprint k-gap evaluation.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

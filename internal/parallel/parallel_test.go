@@ -1,0 +1,109 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 2, 3, 100, 1001} {
+			seen := make([]int32, n)
+			For(n, workers, func(i int) {
+				atomic.AddInt32(&seen[i], 1)
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForNegativeN(t *testing.T) {
+	called := false
+	For(-5, 4, func(int) { called = true })
+	if called {
+		t.Error("For called fn for negative n")
+	}
+}
+
+func TestForPairsCoversAllPairs(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 10, 50} {
+		var mu [64][64]int32
+		ForPairs(n, 4, func(i, j int) {
+			if i >= j {
+				t.Errorf("got pair (%d, %d) with i >= j", i, j)
+			}
+			atomic.AddInt32(&mu[i][j], 1)
+		})
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if mu[i][j] != 1 {
+					t.Fatalf("n=%d: pair (%d, %d) visited %d times", n, i, j, mu[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestPairFromIndexEnumeration(t *testing.T) {
+	want := [][2]int{{0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3}, {2, 3}, {0, 4}}
+	for p, w := range want {
+		i, j := PairFromIndex(p)
+		if i != w[0] || j != w[1] {
+			t.Errorf("PairFromIndex(%d) = (%d, %d), want (%d, %d)", p, i, j, w[0], w[1])
+		}
+	}
+}
+
+func TestPairFromIndexBijective(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := int(raw)
+		i, j := PairFromIndex(p)
+		return i >= 0 && i < j && j*(j-1)/2+i == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	cases := []struct{ x, want uint64 }{
+		{0, 0}, {1, 1}, {2, 1}, {3, 1}, {4, 2}, {8, 2}, {9, 3},
+		{99, 9}, {100, 10}, {1 << 40, 1 << 20}, {(1 << 40) - 1, (1 << 20) - 1},
+	}
+	for _, c := range cases {
+		if got := isqrt(c.x); got != c.want {
+			t.Errorf("isqrt(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	out := Map(100, 8, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out := Map(0, 4, func(i int) string { return "x" })
+	if len(out) != 0 {
+		t.Errorf("Map(0) returned %d elements", len(out))
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	var sink int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		For(1024, 0, func(j int) {
+			atomic.AddInt64(&sink, 1)
+		})
+	}
+}

@@ -1,0 +1,190 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func groupWith(id string, count int, samples ...core.Sample) *core.Fingerprint {
+	members := make([]string, count)
+	for i := range members {
+		members[i] = id + string(rune('a'+i))
+	}
+	f := &core.Fingerprint{ID: id, Count: count, Members: members, Samples: samples}
+	return f
+}
+
+func s(x, y, dx, t, dt float64) core.Sample {
+	return core.Sample{X: x, Y: y, DX: dx, DY: dx, T: t, DT: dt, Weight: 1}
+}
+
+func TestLocalizationArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Localization(core.NewDataset(nil), 10, rng); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	d := core.NewDataset([]*core.Fingerprint{groupWith("g", 2, s(0, 0, 100, 0, 10))})
+	if _, err := Localization(d, 0, rng); err == nil {
+		t.Error("zero probes accepted")
+	}
+}
+
+func TestLocalizationTightSamples(t *testing.T) {
+	// A group whose samples cover its whole range with 500 m boxes: all
+	// probes localize within 500 m.
+	d := core.NewDataset([]*core.Fingerprint{
+		groupWith("g", 2, s(0, 0, 500, 0, 100), s(1000, 0, 500, 100, 100)),
+	})
+	rng := rand.New(rand.NewSource(2))
+	res, err := Localization(d, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Errorf("misses = %d on fully covered range", res.Misses)
+	}
+	if res.MedianSpan() != 500 {
+		t.Errorf("median span = %g, want 500", res.MedianSpan())
+	}
+}
+
+func TestLocalizationGaps(t *testing.T) {
+	// Samples cover only 2 of 1000 minutes: most probes miss.
+	d := core.NewDataset([]*core.Fingerprint{
+		groupWith("g", 2, s(0, 0, 100, 0, 1), s(0, 0, 100, 999, 1)),
+	})
+	rng := rand.New(rand.NewSource(3))
+	res, err := Localization(d, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses < 150 {
+		t.Errorf("misses = %d, want mostly misses on sparse coverage", res.Misses)
+	}
+}
+
+func TestLocalizationEmptyResult(t *testing.T) {
+	r := &LocalizationResult{}
+	if !math.IsInf(r.MedianSpan(), 1) {
+		t.Error("empty result median not +Inf")
+	}
+}
+
+func TestHomeDisclosure(t *testing.T) {
+	d := core.NewDataset([]*core.Fingerprint{
+		// Tight night activity: two 100 m night samples 200 m apart.
+		groupWith("tight", 2,
+			s(0, 0, 100, 2*60, 10),     // 02:00
+			s(200, 0, 100, 23*60, 10),  // 23:00
+			s(9000, 0, 100, 12*60, 10), // noon — ignored
+		),
+		// Dispersed night activity.
+		groupWith("wide", 2,
+			s(0, 0, 100, 3*60, 10),
+			s(20000, 0, 100, 26*60, 10), // 02:00 next day
+		),
+		// No night data at all.
+		groupWith("daysonly", 2, s(0, 0, 100, 12*60, 10)),
+	})
+	res := HomeDisclosure(d)
+	if res.NoNightData != 1 {
+		t.Errorf("NoNightData = %d, want 1", res.NoNightData)
+	}
+	if len(res.NightSpanMeters) != 2 {
+		t.Fatalf("assessed %d groups, want 2", len(res.NightSpanMeters))
+	}
+	if f := res.DisclosedFraction(1000); f != 0.5 {
+		t.Errorf("disclosed fraction at 1 km = %g, want 0.5", f)
+	}
+	if f := res.DisclosedFraction(50000); f != 1 {
+		t.Errorf("disclosed fraction at 50 km = %g, want 1", f)
+	}
+	empty := &HomeDisclosureResult{}
+	if empty.DisclosedFraction(1000) != 0 {
+		t.Error("empty disclosed fraction != 0")
+	}
+}
+
+func TestCoLocation(t *testing.T) {
+	d := core.NewDataset([]*core.Fingerprint{
+		groupWith("a", 2, s(0, 0, 1000, 0, 60)),
+		groupWith("b", 2, s(500, 0, 1000, 30, 60)),   // overlaps a
+		groupWith("c", 2, s(90000, 0, 1000, 30, 60)), // far away
+	})
+	res := CoLocation(d, 0)
+	if res.ComparedPairs != 3 {
+		t.Errorf("compared %d sample pairs, want 3", res.ComparedPairs)
+	}
+	if res.OverlappingPairs != 1 {
+		t.Errorf("overlapping = %d, want 1 (a-b)", res.OverlappingPairs)
+	}
+	if r := res.Rate(); math.Abs(r-1.0/3) > 1e-12 {
+		t.Errorf("rate = %g", r)
+	}
+	// Pair budget.
+	limited := CoLocation(d, 1)
+	if limited.ComparedPairs != 1 {
+		t.Errorf("budgeted comparison did %d pairs", limited.ComparedPairs)
+	}
+	if (&CoLocationResult{}).Rate() != 0 {
+		t.Error("empty rate != 0")
+	}
+}
+
+func TestSamplesOverlapGeometry(t *testing.T) {
+	base := s(0, 0, 100, 0, 10)
+	cases := []struct {
+		other core.Sample
+		want  bool
+	}{
+		{s(50, 50, 100, 5, 10), true},  // overlap all axes
+		{s(200, 0, 100, 5, 10), false}, // x-disjoint
+		{s(0, 200, 100, 5, 10), false}, // y-disjoint
+		{s(0, 0, 100, 20, 10), false},  // time-disjoint
+		{s(100, 0, 100, 5, 10), true},  // touching in x counts (shared boundary)
+	}
+	for i, c := range cases {
+		if got := samplesOverlap(base, c.other); got != c.want {
+			t.Errorf("case %d: overlap = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestReportOnGloveOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fps := make([]*core.Fingerprint, 16)
+	for i := range fps {
+		samples := make([]core.Sample, 8)
+		hx, hy := rng.Float64()*20000, rng.Float64()*20000
+		for j := range samples {
+			samples[j] = core.Sample{
+				X: hx + rng.NormFloat64()*800, DX: 100,
+				Y: hy + rng.NormFloat64()*800, DY: 100,
+				T: rng.Float64() * 3000, DT: 1,
+				Weight: 1,
+			}
+		}
+		fps[i] = core.NewFingerprint(string(rune('a'+i)), samples)
+	}
+	d := core.NewDataset(fps)
+	out, _, err := core.Glove(d, core.GloveOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Report(out, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"localization", "home area", "co-location"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if _, err := Report(core.NewDataset(nil), rng); err == nil {
+		t.Error("report on empty dataset did not fail")
+	}
+}

@@ -1,0 +1,300 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewECDFEmpty(t *testing.T) {
+	if _, err := NewECDF(nil); err == nil {
+		t.Error("NewECDF(nil) did not fail")
+	}
+}
+
+func TestNewECDFNaN(t *testing.T) {
+	if _, err := NewECDF([]float64{1, math.NaN()}); err == nil {
+		t.Error("NewECDF with NaN did not fail")
+	}
+}
+
+func TestECDFAt(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFAtMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10
+	}
+	e, err := NewECDF(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for x := -40.0; x <= 40; x += 0.5 {
+		f := e.At(x)
+		if f < prev {
+			t.Fatalf("CDF decreased at x=%g: %g < %g", x, f, prev)
+		}
+		prev = f
+	}
+	if e.At(math.Inf(1)) != 1 {
+		t.Error("CDF at +inf is not 1")
+	}
+}
+
+func TestECDFQuantileKnown(t *testing.T) {
+	e, err := NewECDF([]float64{10, 20, 30, 40, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {0.25, 20}, {0.5, 30}, {0.75, 40}, {1, 50}, {0.125, 15},
+	}
+	for _, c := range cases {
+		if got := e.Quantile(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestQuantileUnsortedMatchesECDF(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		e, err := NewECDF(xs)
+		if err != nil {
+			return false
+		}
+		for _, p := range []float64{0, 0.1, 0.5, 0.9, 1} {
+			q, err := Quantile(xs, p)
+			if err != nil || q != e.Quantile(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := e.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points(5) returned %d points", len(pts))
+	}
+	if pts[0].X != 1 || pts[0].F != 0 {
+		t.Errorf("first point %+v, want {1 0}", pts[0])
+	}
+	if pts[4].X != 10 || pts[4].F != 1 {
+		t.Errorf("last point %+v, want {10 1}", pts[4])
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].X < pts[j].X }) {
+		t.Error("points not sorted by X")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{4, 1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || s.Mean != 2.5 || s.Median != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.P25 != 1.75 || s.P75 != 3.25 {
+		t.Errorf("quartiles = %g, %g; want 1.75, 3.25", s.P25, s.P75)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("Summarize(nil) did not fail")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean([2 4]) != 3")
+	}
+}
+
+func TestNormQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.75, 0.674489750196082},
+		{0.975, 1.959963984540054},
+		{0.99, 2.326347874040841},
+		{0.001, -3.090232306167814},
+	}
+	for _, c := range cases {
+		if got := NormQuantile(c.p); math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("NormQuantile(%g) = %.12f, want %.12f", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormQuantileSymmetry(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.3, 0.45} {
+		if d := NormQuantile(p) + NormQuantile(1-p); math.Abs(d) > 1e-9 {
+			t.Errorf("NormQuantile(%g) + NormQuantile(%g) = %g, want 0", p, 1-p, d)
+		}
+	}
+}
+
+func TestNormQuantilePanicsOutsideRange(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormQuantile(%v) did not panic", p)
+				}
+			}()
+			NormQuantile(p)
+		}()
+	}
+}
+
+// The TWI calibration points from the paper's footnote 5: Exp(1) has TWI
+// ~1.6 and Pareto(shape 1) has TWI ~14. A Gaussian sample should score
+// ~1. We check against the analytic quantiles to avoid sampling noise.
+func TestTWICalibration(t *testing.T) {
+	// Build large ideal samples via inverse-CDF at evenly spaced
+	// probabilities (a deterministic "perfect" sample).
+	n := 200000
+	exp := make([]float64, n)
+	par := make([]float64, n)
+	nor := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p := (float64(i) + 0.5) / float64(n)
+		exp[i] = -math.Log(1 - p)
+		par[i] = 1 / (1 - p)
+		nor[i] = NormQuantile(p)
+	}
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+		tol  float64
+	}{
+		{"exp", exp, 1.6, 0.1},
+		{"pareto", par, 14, 0.8},
+		{"normal", nor, 1.0, 0.02},
+	}
+	for _, c := range cases {
+		got, err := TWI(c.xs)
+		if err != nil {
+			t.Fatalf("TWI(%s): %v", c.name, err)
+		}
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("TWI(%s) = %.3f, want %.3f +- %.2f", c.name, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestTWIErrors(t *testing.T) {
+	if _, err := TWI([]float64{1, 2, 3}); err == nil {
+		t.Error("TWI of 3 observations did not fail")
+	}
+	if _, err := TWI([]float64{5, 5, 5, 5, 5}); err == nil {
+		t.Error("TWI of constant sample did not fail")
+	}
+}
+
+func TestTWIScaleInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	a, err := TWI(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := make([]float64, len(xs))
+	for i, v := range xs {
+		scaled[i] = 1000*v + 7
+	}
+	b, err := TWI(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("TWI not affine invariant: %g vs %g", a, b)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, err := Histogram([]float64{-1, 0, 0.5, 1, 2.5, 9, 11}, 0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 3 { // -1 clamps in, 0 and 0.5 in bin 0
+		t.Errorf("bin 0 = %d, want 3", counts[0])
+	}
+	if counts[9] != 2 { // 9 in last bin, 11 clamps in
+		t.Errorf("bin 9 = %d, want 2", counts[9])
+	}
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	if total != 7 {
+		t.Errorf("total = %d, want 7", total)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := Histogram(nil, 0, 1, 0); err == nil {
+		t.Error("nbins=0 did not fail")
+	}
+	if _, err := Histogram(nil, 1, 1, 5); err == nil {
+		t.Error("empty range did not fail")
+	}
+}
+
+func BenchmarkECDFAt(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	e, err := NewECDF(xs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(0.42)
+	}
+}

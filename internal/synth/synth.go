@@ -1,0 +1,594 @@
+// Package synth generates synthetic nationwide CDR datasets that stand
+// in for the proprietary D4D Ivory Coast and Senegal datasets of Sec. 3
+// (see DESIGN.md, "Substitutions").
+//
+// The generator reproduces the structural properties the paper's
+// analysis depends on:
+//
+//   - a primate-city system: city populations follow a Zipf law, antennas
+//     are allocated proportionally to population and placed with Gaussian
+//     density around city centers;
+//   - anchored individual mobility: every subscriber has home and work
+//     antennas plus a small set of preferred places, visited with strong
+//     diurnal and weekly periodicity, and occasionally explores new
+//     nearby antennas (exploration and preferential return);
+//   - spatial locality: home-work commutes are a few km, so the median
+//     radius of gyration lands near the paper's ~2 km;
+//   - a sparse, heterogeneous, bursty event process: per-user daily
+//     rates are log-normal, event times follow a circadian profile with
+//     night minima, and events arrive in short bursts — which creates
+//     exactly the long-tailed inter-event diversity that makes the
+//     temporal dimension hard to anonymize (Sec. 5.3).
+//
+// Everything is deterministic given Config.Seed.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cdr"
+	"repro/internal/geo"
+)
+
+// Config parameterizes a synthetic dataset.
+type Config struct {
+	Name string // dataset label, e.g. "civ"
+	Seed int64
+
+	Users int // number of subscribers
+	Days  int // recording period length
+
+	Center          geo.LatLon // projection / country center
+	CountryRadiusKm float64    // country disc radius
+	NumCities       int
+	NumAntennas     int
+
+	// MedianEventsPerDay is the median of the per-user log-normal daily
+	// event rate; RateSigma is its log-space standard deviation.
+	MedianEventsPerDay float64
+	RateSigma          float64
+
+	// CommuteScaleKm is the mean home-work distance (exponential).
+	CommuteScaleKm float64
+}
+
+// Validate checks that the configuration is generable.
+func (c Config) Validate() error {
+	switch {
+	case c.Users <= 0:
+		return fmt.Errorf("synth: Users = %d", c.Users)
+	case c.Days <= 0:
+		return fmt.Errorf("synth: Days = %d", c.Days)
+	case !c.Center.Valid():
+		return fmt.Errorf("synth: invalid center %v", c.Center)
+	case c.NumCities <= 0 || c.NumAntennas < c.NumCities:
+		return fmt.Errorf("synth: %d cities / %d antennas", c.NumCities, c.NumAntennas)
+	case c.CountryRadiusKm <= 0:
+		return fmt.Errorf("synth: CountryRadiusKm = %g", c.CountryRadiusKm)
+	case c.MedianEventsPerDay <= 0:
+		return fmt.Errorf("synth: MedianEventsPerDay = %g", c.MedianEventsPerDay)
+	case c.RateSigma < 0:
+		return fmt.Errorf("synth: RateSigma = %g", c.RateSigma)
+	case c.CommuteScaleKm <= 0:
+		return fmt.Errorf("synth: CommuteScaleKm = %g", c.CommuteScaleKm)
+	}
+	return nil
+}
+
+// scaleCities keeps the population density per city realistic at any
+// dataset size: the paper's datasets give every subscriber thousands of
+// same-city peers, so reduced-scale workloads must shrink the city
+// system rather than spread a handful of users over a whole country.
+func scaleCities(users, maxCities int) int {
+	c := users / 15
+	if c < 3 {
+		c = 3
+	}
+	if c > maxCities {
+		c = maxCities
+	}
+	return c
+}
+
+// scaleAntennas keeps the user/antenna density in a regime where
+// subscribers share anchor antennas (as tens of users per antenna do in
+// the real datasets) while cities stay spatially fine-grained.
+func scaleAntennas(users, cities int) int {
+	a := users
+	if a < cities*8 {
+		a = cities * 8
+	}
+	if a > 2400 {
+		a = 2400
+	}
+	return a
+}
+
+// CIV returns an Ivory Coast-like profile scaled to the given user
+// count: one large primate city (Abidjan-like), two weeks of data.
+func CIV(users int) Config {
+	cities := scaleCities(users, 22)
+	return Config{
+		Name: "civ", Seed: 101,
+		Users: users, Days: 14,
+		Center:          geo.LatLon{Lat: 7.54, Lon: -5.55},
+		CountryRadiusKm: 280,
+		NumCities:       cities, NumAntennas: scaleAntennas(users, cities),
+		MedianEventsPerDay: 14, RateSigma: 0.7,
+		CommuteScaleKm: 3,
+	}
+}
+
+// SEN returns a Senegal-like profile: slightly more concentrated
+// population (Dakar-like primate city), two weeks of data.
+func SEN(users int) Config {
+	cities := scaleCities(users, 18)
+	return Config{
+		Name: "sen", Seed: 202,
+		Users: users, Days: 14,
+		Center:          geo.LatLon{Lat: 14.49, Lon: -14.45},
+		CountryRadiusKm: 260,
+		NumCities:       cities, NumAntennas: scaleAntennas(users, cities),
+		MedianEventsPerDay: 16, RateSigma: 0.6,
+		CommuteScaleKm: 2.5,
+	}
+}
+
+// City is one population center of the synthetic country.
+type City struct {
+	Center   geo.Point // planar position
+	RadiusM  float64   // Gaussian scale of antenna placement
+	PopShare float64   // fraction of national population
+}
+
+// Antenna is one cell tower.
+type Antenna struct {
+	ID   int
+	Pos  geo.Point  // planar position
+	Geo  geo.LatLon // geographic position (what CDRs log)
+	City int        // index into Country.Cities, -1 for rural
+}
+
+// Country is the static radio-access substrate.
+type Country struct {
+	Cities   []City
+	Antennas []Antenna
+	Proj     *geo.Projection
+}
+
+// User is the ground truth behind one subscriber's records, exposed so
+// utility studies (e.g. the commute example) can score their inferences.
+type User struct {
+	ID         string
+	Home       int // antenna ID
+	Work       int
+	Preferred  []int   // leisure antennas
+	RatePerDay float64 // mean daily event rate
+}
+
+// Population is the generated ground truth.
+type Population struct {
+	Users []User
+}
+
+// Generate builds the synthetic dataset: the country, the population,
+// and the CDR table.
+func Generate(cfg Config) (*cdr.Table, *Country, *Population, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	country, err := buildCountry(cfg, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pop := buildPopulation(cfg, country, rng)
+	table := buildTraffic(cfg, country, pop, rng)
+	return table, country, pop, nil
+}
+
+// buildCountry places cities (Zipf populations, minimum separation) and
+// antennas (population-proportional with a rural remainder).
+func buildCountry(cfg Config, rng *rand.Rand) (*Country, error) {
+	proj, err := geo.NewProjection(cfg.Center)
+	if err != nil {
+		return nil, err
+	}
+	radius := cfg.CountryRadiusKm * 1000
+
+	// Zipf city sizes with exponent ~0.95 (primate-city regime).
+	shares := make([]float64, cfg.NumCities)
+	var total float64
+	for i := range shares {
+		shares[i] = 1 / math.Pow(float64(i+1), 0.95)
+		total += shares[i]
+	}
+	for i := range shares {
+		shares[i] /= total
+	}
+
+	cities := make([]City, 0, cfg.NumCities)
+	minSep := radius / 8
+	for i := 0; i < cfg.NumCities; i++ {
+		var c geo.Point
+		ok := false
+		for attempt := 0; attempt < 200; attempt++ {
+			c = randInDisc(rng, radius*0.9)
+			ok = true
+			for _, prev := range cities {
+				if prev.Center.Dist(c) < minSep {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		if !ok {
+			// Dense configurations: accept the last candidate anyway
+			// rather than failing generation.
+			ok = true
+		}
+		cities = append(cities, City{
+			Center:   c,
+			RadiusM:  1200 + 5000*math.Sqrt(shares[i]),
+			PopShare: shares[i],
+		})
+	}
+
+	// Antennas: 90% urban (proportional to population), 10% rural.
+	urban := cfg.NumAntennas * 9 / 10
+	antennas := make([]Antenna, 0, cfg.NumAntennas)
+	for i := 0; i < urban; i++ {
+		ci := sampleIndex(rng, shares)
+		city := cities[ci]
+		pos := geo.Point{
+			X: city.Center.X + rng.NormFloat64()*city.RadiusM/2,
+			Y: city.Center.Y + rng.NormFloat64()*city.RadiusM/2,
+		}
+		antennas = append(antennas, Antenna{ID: len(antennas), Pos: pos, City: ci})
+	}
+	for len(antennas) < cfg.NumAntennas {
+		antennas = append(antennas, Antenna{
+			ID:   len(antennas),
+			Pos:  randInDisc(rng, radius),
+			City: -1,
+		})
+	}
+	for i := range antennas {
+		ll, err := proj.Inverse(antennas[i].Pos)
+		if err != nil {
+			return nil, fmt.Errorf("synth: antenna %d: %w", i, err)
+		}
+		antennas[i].Geo = ll
+	}
+	return &Country{Cities: cities, Antennas: antennas, Proj: proj}, nil
+}
+
+// buildPopulation assigns every subscriber a home antenna (population-
+// proportional city, central-weighted antenna), a work antenna at
+// commute distance, and a handful of preferred places.
+func buildPopulation(cfg Config, country *Country, rng *rand.Rand) *Population {
+	shares := make([]float64, len(country.Cities))
+	for i, c := range country.Cities {
+		shares[i] = c.PopShare
+	}
+	byCity := antennasByCity(country)
+
+	users := make([]User, cfg.Users)
+	for u := range users {
+		homeCity := sampleIndex(rng, shares)
+		home := pickNearAntenna(rng, country, byCity, homeCity, country.Cities[homeCity].Center, country.Cities[homeCity].RadiusM/2)
+
+		// Work: usually the same city, at exponential commute distance
+		// from home; 10% commute to another (population-weighted) city.
+		workCity := homeCity
+		if rng.Float64() < 0.10 && len(country.Cities) > 1 {
+			for workCity == homeCity {
+				workCity = sampleIndex(rng, shares)
+			}
+		}
+		commute := rng.ExpFloat64() * cfg.CommuteScaleKm * 1000
+		angle := rng.Float64() * 2 * math.Pi
+		target := geo.Point{
+			X: country.Antennas[home].Pos.X + commute*math.Cos(angle),
+			Y: country.Antennas[home].Pos.Y + commute*math.Sin(angle),
+		}
+		if workCity != homeCity {
+			target = country.Cities[workCity].Center
+		}
+		work := pickNearAntenna(rng, country, byCity, workCity, target, 1500)
+
+		// Preferred leisure antennas near home.
+		nPref := 3 + rng.Intn(4)
+		pref := make([]int, 0, nPref)
+		for len(pref) < nPref {
+			p := pickNearAntenna(rng, country, byCity, homeCity,
+				country.Antennas[home].Pos, 1500+rng.Float64()*2500)
+			pref = append(pref, p)
+		}
+
+		rate := cfg.MedianEventsPerDay * math.Exp(rng.NormFloat64()*cfg.RateSigma)
+		users[u] = User{
+			ID:         fmt.Sprintf("%s-%06d", cfg.Name, u),
+			Home:       home,
+			Work:       work,
+			Preferred:  pref,
+			RatePerDay: rate,
+		}
+	}
+	return &Population{Users: users}
+}
+
+func antennasByCity(country *Country) map[int][]int {
+	m := make(map[int][]int)
+	for _, a := range country.Antennas {
+		m[a.City] = append(m[a.City], a.ID)
+	}
+	return m
+}
+
+// pickNearAntenna samples an antenna of the given city, preferring those
+// close to target (softmax over negative squared distance at the given
+// scale). Falls back to any antenna if the city has none.
+func pickNearAntenna(rng *rand.Rand, country *Country, byCity map[int][]int, city int, target geo.Point, scale float64) int {
+	cands := byCity[city]
+	if len(cands) == 0 {
+		return rng.Intn(len(country.Antennas))
+	}
+	// Among up to 16 random candidates, pick with probability
+	// proportional to exp(-d^2 / 2 scale^2).
+	best := cands[rng.Intn(len(cands))]
+	bestW := -1.0
+	for i := 0; i < 16 && i < len(cands); i++ {
+		id := cands[rng.Intn(len(cands))]
+		d := country.Antennas[id].Pos.Dist(target)
+		w := math.Exp(-d*d/(2*scale*scale)) * (0.01 + rng.Float64())
+		if w > bestW {
+			bestW = w
+			best = id
+		}
+	}
+	return best
+}
+
+// dayProfile is the circadian density of event times (per-hour weights):
+// night minimum, morning and evening peaks, reflecting observed mobile
+// traffic profiles.
+var dayProfile = [24]float64{
+	0.2, 0.1, 0.1, 0.1, 0.15, 0.3, // 00-05
+	0.7, 1.2, 1.6, 1.4, 1.2, 1.3, // 06-11
+	1.5, 1.3, 1.2, 1.2, 1.3, 1.5, // 12-17
+	1.7, 1.9, 1.8, 1.4, 0.9, 0.45, // 18-23
+}
+
+// weekend scales the profile down in the morning and shifts activity
+// later.
+var weekendProfile = [24]float64{
+	0.35, 0.2, 0.15, 0.1, 0.1, 0.15,
+	0.3, 0.5, 0.8, 1.0, 1.2, 1.4,
+	1.5, 1.4, 1.3, 1.3, 1.4, 1.5,
+	1.6, 1.8, 1.9, 1.7, 1.2, 0.7,
+}
+
+// buildTraffic runs the event process for every subscriber.
+func buildTraffic(cfg Config, country *Country, pop *Population, rng *rand.Rand) *cdr.Table {
+	table := &cdr.Table{Center: cfg.Center, SpanDays: cfg.Days}
+	for _, u := range pop.Users {
+		emitUser(cfg, country, u, rng, table)
+	}
+	sort.SliceStable(table.Records, func(i, j int) bool {
+		a, b := table.Records[i], table.Records[j]
+		if a.User != b.User {
+			return a.User < b.User
+		}
+		return a.Minute < b.Minute
+	})
+	return table
+}
+
+// visitSet is the preferential-return memory of one subscriber. It
+// preserves insertion order so sampling is deterministic for a seeded
+// generator (map iteration order would not be).
+type visitSet struct {
+	ids    []int
+	counts []int
+	index  map[int]int
+	total  int
+}
+
+func newVisitSet() *visitSet {
+	return &visitSet{index: make(map[int]int)}
+}
+
+func (v *visitSet) add(id, n int) {
+	if i, ok := v.index[id]; ok {
+		v.counts[i] += n
+	} else {
+		v.index[id] = len(v.ids)
+		v.ids = append(v.ids, id)
+		v.counts = append(v.counts, n)
+	}
+	v.total += n
+}
+
+func (v *visitSet) len() int { return len(v.ids) }
+
+// sample draws a visited antenna proportionally to its visit count.
+func (v *visitSet) sample(rng *rand.Rand) int {
+	pick := rng.Intn(v.total)
+	for i, c := range v.counts {
+		pick -= c
+		if pick < 0 {
+			return v.ids[i]
+		}
+	}
+	return v.ids[len(v.ids)-1]
+}
+
+// emitUser generates one subscriber's records: an inhomogeneous Poisson
+// process over the circadian profile with burst doubling, located via an
+// anchor schedule with exploration and preferential return.
+func emitUser(cfg Config, country *Country, u User, rng *rand.Rand, table *cdr.Table) {
+	visits := newVisitSet() // preferential-return memory
+	visits.add(u.Home, 3)
+	visits.add(u.Work, 2)
+	for _, p := range u.Preferred {
+		visits.add(p, 1)
+	}
+	for day := 0; day < cfg.Days; day++ {
+		weekend := day%7 >= 5
+		profile := &dayProfile
+		if weekend {
+			profile = &weekendProfile
+		}
+		var profSum float64
+		for _, w := range profile {
+			profSum += w
+		}
+
+		n := poisson(rng, u.RatePerDay)
+		for e := 0; e < n; e++ {
+			hour := sampleIndexArr(rng, profile[:], profSum)
+			minute := float64(day*cdr.MinutesPerDay) +
+				float64(hour)*60 + rng.Float64()*60
+			ant := locateEvent(country, u, visits, hour, weekend, rng)
+			visits.add(ant, 1)
+			table.Records = append(table.Records, cdr.Record{
+				User:   u.ID,
+				Pos:    country.Antennas[ant].Geo,
+				Minute: minute,
+			})
+			// Bursts: a third of events trigger a near-immediate
+			// follow-up from the same place (callbacks, SMS threads).
+			if rng.Float64() < 0.3 {
+				followUp := minute + 1 + rng.ExpFloat64()*6
+				if followUp < float64(cfg.Days*cdr.MinutesPerDay) {
+					table.Records = append(table.Records, cdr.Record{
+						User:   u.ID,
+						Pos:    country.Antennas[ant].Geo,
+						Minute: followUp,
+					})
+				}
+			}
+		}
+	}
+}
+
+// locateEvent picks the antenna of an event given the hour-of-day
+// schedule: home at night, work during weekday working hours, preferred
+// places and exploration otherwise.
+func locateEvent(country *Country, u User, visits *visitSet, hour int, weekend bool, rng *rand.Rand) int {
+	r := rng.Float64()
+	switch {
+	case hour < 7 || hour >= 22: // night
+		if r < 0.93 {
+			return u.Home
+		}
+		return exploreOrReturn(country, u, visits, rng)
+	case !weekend && hour >= 9 && hour < 17: // working hours
+		switch {
+		case r < 0.75:
+			return u.Work
+		case r < 0.85:
+			return u.Home
+		default:
+			return exploreOrReturn(country, u, visits, rng)
+		}
+	default: // mornings, evenings, weekends
+		switch {
+		case r < 0.35:
+			return u.Home
+		case r < 0.50 && !weekend:
+			return u.Work
+		case r < 0.80:
+			return u.Preferred[rng.Intn(len(u.Preferred))]
+		default:
+			return exploreOrReturn(country, u, visits, rng)
+		}
+	}
+}
+
+// exploreOrReturn implements exploration and preferential return: with
+// probability ρ S^-γ the user visits a new antenna near home; otherwise
+// an already-visited antenna sampled proportionally to visit counts.
+func exploreOrReturn(country *Country, u User, visits *visitSet, rng *rand.Rand) int {
+	const (
+		rho   = 0.6
+		gamma = 0.6
+	)
+	s := float64(visits.len())
+	if rng.Float64() < rho*math.Pow(s, -gamma) {
+		// Explore: a random antenna within ~10 km of home.
+		homePos := country.Antennas[u.Home].Pos
+		bestID, bestD := u.Home, math.Inf(1)
+		target := geo.Point{
+			X: homePos.X + rng.NormFloat64()*5000,
+			Y: homePos.Y + rng.NormFloat64()*5000,
+		}
+		for attempt := 0; attempt < 24; attempt++ {
+			id := rng.Intn(len(country.Antennas))
+			if d := country.Antennas[id].Pos.Dist(target); d < bestD {
+				bestD = d
+				bestID = id
+			}
+		}
+		return bestID
+	}
+	// Preferential return.
+	return visits.sample(rng)
+}
+
+// poisson samples a Poisson variate via Knuth's method for small means
+// and a normal approximation above 30.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		n := int(math.Round(mean + math.Sqrt(mean)*rng.NormFloat64()))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for p > l {
+		k++
+		p *= rng.Float64()
+	}
+	return k - 1
+}
+
+// randInDisc returns a uniform point in a disc of the given radius.
+func randInDisc(rng *rand.Rand, radius float64) geo.Point {
+	r := radius * math.Sqrt(rng.Float64())
+	a := rng.Float64() * 2 * math.Pi
+	return geo.Point{X: r * math.Cos(a), Y: r * math.Sin(a)}
+}
+
+// sampleIndex draws an index proportionally to the given weights.
+func sampleIndex(rng *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	return sampleIndexArr(rng, weights, total)
+}
+
+func sampleIndexArr(rng *rand.Rand, weights []float64, total float64) int {
+	pick := rng.Float64() * total
+	for i, w := range weights {
+		pick -= w
+		if pick < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

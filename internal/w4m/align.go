@@ -1,0 +1,112 @@
+package w4m
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// alignCluster anonymizes one cluster: every member is synchronized to
+// the pivot's time points ("wait for me") and pushed inside the
+// uncertainty cylinder of diameter δ around the pivot.
+//
+// The LC variant assumes trajectories sampled uniformly and at similar
+// rates (GPS-like data, the setting W4M was designed for), so the
+// synchronization is a *linear order correspondence*: a member's j-th
+// point is matched to the pivot's j-th time point. On CDR data, whose
+// per-user sampling rates differ by orders of magnitude, this is exactly
+// what breaks down: a chatty subscriber's mid-trajectory points land on
+// a quiet pivot's slots hours or days away (the huge time errors of
+// Table 2), surplus member points are deleted, and missing slots are
+// filled with fabricated waiting points.
+//
+// The published fingerprint holds, per pivot time point, the cylinder
+// cross-section as a spatial box.
+func alignCluster(trajectories []Trajectory, cluster []int, ci int, opt Options, stats *Stats) *core.Fingerprint {
+	pivot := medoid(trajectories, cluster, opt.TimeWeightMetersPerMinute)
+	grid := trajectories[pivot].Points // the cluster's common time points
+
+	mapped := make([]int, len(grid)) // originals mapped to each slot
+	for _, ti := range cluster {
+		tr := &trajectories[ti]
+		n := len(tr.Points)
+		if n > len(grid) {
+			// Surplus points beyond the pivot's sampling are deleted.
+			stats.DeletedSamples += n - len(grid)
+			n = len(grid)
+		}
+		for j := 0; j < n; j++ {
+			p := tr.Points[j]
+			shift := math.Abs(p.T - grid[j].T)
+			if shift > opt.MaxTimeShiftMinutes {
+				stats.DeletedSamples++
+				continue
+			}
+			mapped[j]++
+
+			// Spatial translation into the cylinder.
+			d := math.Hypot(p.X-grid[j].X, p.Y-grid[j].Y)
+			var posErr float64
+			if d > opt.DeltaMeters/2 {
+				posErr = d - opt.DeltaMeters/2
+			}
+			stats.PositionErrorsM = append(stats.PositionErrorsM, posErr)
+			stats.TimeErrorsMin = append(stats.TimeErrorsMin, shift)
+		}
+		// Waiting points: fabricate a synchronization point at every slot
+		// beyond the member's own length.
+		if n < len(grid) {
+			stats.CreatedSamples += len(grid) - n
+		}
+	}
+
+	members := make([]string, 0, len(cluster))
+	for _, ti := range cluster {
+		members = append(members, trajectories[ti].ID)
+	}
+	sort.Strings(members)
+
+	samples := make([]core.Sample, 0, len(grid))
+	for slot, g := range grid {
+		w := mapped[slot]
+		if w < 1 {
+			w = 1 // slot populated only by fabricated waiting points
+		}
+		samples = append(samples, core.Sample{
+			X: g.X - opt.DeltaMeters/2, DX: opt.DeltaMeters,
+			Y: g.Y - opt.DeltaMeters/2, DY: opt.DeltaMeters,
+			T: g.T, DT: 1,
+			Weight: w,
+		})
+	}
+
+	return &core.Fingerprint{
+		ID:      fmt.Sprintf("w4m-c%04d", ci),
+		Samples: samples,
+		Count:   len(cluster),
+		Members: members,
+	}
+}
+
+// medoid returns the cluster member with minimum total LST distance to
+// the others.
+func medoid(trajectories []Trajectory, cluster []int, timeWeight float64) int {
+	best := cluster[0]
+	bestSum := math.Inf(1)
+	for _, i := range cluster {
+		var sum float64
+		for _, j := range cluster {
+			if i == j {
+				continue
+			}
+			sum += LSTDistance(&trajectories[i], &trajectories[j], timeWeight)
+		}
+		if sum < bestSum {
+			bestSum = sum
+			best = i
+		}
+	}
+	return best
+}

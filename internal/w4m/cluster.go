@@ -1,0 +1,196 @@
+package w4m
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// LSTDistance is the linear spatiotemporal distance between two
+// trajectories: for each point of one, the closest point of the other
+// under the combined metric (Euclidean space + weighted absolute time
+// difference), averaged, then symmetrized. It plays the role the EDR
+// distance plays in the original W4M and shares the cost structure of
+// GLOVE's Eq. 10, making the comparison fair.
+func LSTDistance(a, b *Trajectory, timeWeight float64) float64 {
+	if len(a.Points) == 0 || len(b.Points) == 0 {
+		return math.Inf(1)
+	}
+	return (directedLST(a, b, timeWeight) + directedLST(b, a, timeWeight)) / 2
+}
+
+func directedLST(a, b *Trajectory, timeWeight float64) float64 {
+	var sum float64
+	for _, p := range a.Points {
+		best := math.Inf(1)
+		for _, q := range b.Points {
+			d := math.Hypot(p.X-q.X, p.Y-q.Y) + timeWeight*math.Abs(p.T-q.T)
+			if d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(a.Points))
+}
+
+// cluster partitions the trajectories into groups of at least K using
+// chunked greedy k-member clustering with trashing. It returns the
+// clusters (as index slices into trajectories) and the indices of
+// trashed trajectories.
+func cluster(trajectories []Trajectory, opt Options) (clusters [][]int, trashed []int) {
+	n := len(trajectories)
+	budget := int(opt.TrashPct * float64(n))
+
+	// Deterministic chunk layout: order trajectories by the grid cell of
+	// their centroid (a crude space-filling order) so chunks are
+	// spatially coherent, which is the best case for W4M.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	cent := make([][2]float64, n)
+	for i := range trajectories {
+		var cx, cy float64
+		for _, p := range trajectories[i].Points {
+			cx += p.X
+			cy += p.Y
+		}
+		m := float64(len(trajectories[i].Points))
+		if m > 0 {
+			cent[i] = [2]float64{cx / m, cy / m}
+		}
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		a, b := cent[order[x]], cent[order[y]]
+		ka := [2]float64{math.Floor(a[0] / 25000), math.Floor(a[1] / 25000)}
+		kb := [2]float64{math.Floor(b[0] / 25000), math.Floor(b[1] / 25000)}
+		if ka[0] != kb[0] {
+			return ka[0] < kb[0]
+		}
+		if ka[1] != kb[1] {
+			return ka[1] < kb[1]
+		}
+		return trajectories[order[x]].ID < trajectories[order[y]].ID
+	})
+
+	for start := 0; start < n; start += opt.ChunkSize {
+		end := start + opt.ChunkSize
+		if end > n {
+			end = n
+		}
+		chunk := order[start:end]
+		cs, tr := clusterChunk(trajectories, chunk, opt, &budget)
+		clusters = append(clusters, cs...)
+		trashed = append(trashed, tr...)
+	}
+	return clusters, trashed
+}
+
+// clusterChunk greedily clusters one chunk. The pairwise distances of a
+// chunk are computed in parallel once, then consumed serially so results
+// are deterministic.
+func clusterChunk(trajectories []Trajectory, chunk []int, opt Options, budget *int) (clusters [][]int, trashed []int) {
+	m := len(chunk)
+	if m == 0 {
+		return nil, nil
+	}
+	dist := make([]float64, m*m)
+	parallel.ForPairs(m, 0, func(i, j int) {
+		d := LSTDistance(&trajectories[chunk[i]], &trajectories[chunk[j]], opt.TimeWeightMetersPerMinute)
+		dist[i*m+j] = d
+		dist[j*m+i] = d
+	})
+
+	unassigned := make([]bool, m)
+	remaining := m
+	for i := range unassigned {
+		unassigned[i] = true
+	}
+	var localClusters [][]int // chunk-local indices, parallel to clusters
+
+	for remaining >= opt.K {
+		// Pivot: first unassigned trajectory (deterministic).
+		pivot := -1
+		for i := 0; i < m; i++ {
+			if unassigned[i] {
+				pivot = i
+				break
+			}
+		}
+
+		// Gather the k-1 nearest unassigned neighbours of the pivot.
+		type cand struct {
+			idx int
+			d   float64
+		}
+		var cands []cand
+		for j := 0; j < m; j++ {
+			if j == pivot || !unassigned[j] {
+				continue
+			}
+			cands = append(cands, cand{j, dist[pivot*m+j]})
+		}
+		sort.Slice(cands, func(x, y int) bool {
+			if cands[x].d != cands[y].d {
+				return cands[x].d < cands[y].d
+			}
+			return cands[x].idx < cands[y].idx
+		})
+
+		// If even the nearest neighbours are beyond the trash radius, the
+		// pivot is unclusterable: trash it (budget allowing) or force the
+		// cluster anyway.
+		if cands[opt.K-2].d > opt.TrashRadiusMeters && *budget > 0 {
+			unassigned[pivot] = false
+			remaining--
+			*budget--
+			trashed = append(trashed, chunk[pivot])
+			continue
+		}
+
+		group := []int{chunk[pivot]}
+		local := []int{pivot}
+		unassigned[pivot] = false
+		remaining--
+		for _, c := range cands[:opt.K-1] {
+			group = append(group, chunk[c.idx])
+			local = append(local, c.idx)
+			unassigned[c.idx] = false
+			remaining--
+		}
+		clusters = append(clusters, group)
+		localClusters = append(localClusters, local)
+	}
+
+	// Leftovers (< K): trash within budget; otherwise append to the last
+	// cluster when reasonably close, or trash regardless of budget (a
+	// bounded overrun) when the leftover is beyond the trash radius —
+	// forcing it into a cluster would blow up that cluster's cylinder.
+	for i := 0; i < m; i++ {
+		if !unassigned[i] {
+			continue
+		}
+		joinable := -1
+		if len(localClusters) > 0 {
+			lastPivot := localClusters[len(localClusters)-1][0]
+			if dist[i*m+lastPivot] <= opt.TrashRadiusMeters {
+				joinable = len(clusters) - 1
+			}
+		}
+		switch {
+		case *budget > 0:
+			*budget--
+			trashed = append(trashed, chunk[i])
+		case joinable >= 0:
+			clusters[joinable] = append(clusters[joinable], chunk[i])
+			localClusters[len(localClusters)-1] = append(localClusters[len(localClusters)-1], i)
+		default:
+			trashed = append(trashed, chunk[i])
+		}
+		unassigned[i] = false
+		remaining--
+	}
+	return clusters, trashed
+}

@@ -1,0 +1,263 @@
+package w4m
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// clusteredDataset builds users in tight spatial clusters so W4M has
+// something reasonable to work with.
+func clusteredDataset(rng *rand.Rand, users, samplesEach int) *core.Dataset {
+	fps := make([]*core.Fingerprint, users)
+	for i := range fps {
+		// Four "cities".
+		cx := float64(i%4) * 50000
+		cy := float64(i%4) * 30000
+		samples := make([]core.Sample, samplesEach)
+		for j := range samples {
+			samples[j] = core.Sample{
+				X: cx + rng.NormFloat64()*1500, DX: 100,
+				Y: cy + rng.NormFloat64()*1500, DY: 100,
+				T: rng.Float64() * 10000, DT: 1,
+				Weight: 1,
+			}
+		}
+		fps[i] = core.NewFingerprint(fmt.Sprintf("u%03d", i), samples)
+	}
+	return core.NewDataset(fps)
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions(2).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Options{
+		{},
+		func() Options { o := DefaultOptions(2); o.K = 1; return o }(),
+		func() Options { o := DefaultOptions(2); o.DeltaMeters = 0; return o }(),
+		func() Options { o := DefaultOptions(2); o.TrashPct = 1.5; return o }(),
+		func() Options { o := DefaultOptions(2); o.ChunkSize = 1; return o }(),
+		func() Options { o := DefaultOptions(2); o.TimeWeightMetersPerMinute = 0; return o }(),
+		func() Options { o := DefaultOptions(2); o.MaxTimeShiftMinutes = 0; return o }(),
+		func() Options { o := DefaultOptions(2); o.TrashRadiusMeters = 0; return o }(),
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+}
+
+func TestFromDataset(t *testing.T) {
+	d := core.NewDataset([]*core.Fingerprint{
+		core.NewFingerprint("a", []core.Sample{
+			{X: 0, DX: 100, Y: 0, DY: 100, T: 10, DT: 2, Weight: 1},
+		}),
+	})
+	trs := FromDataset(d)
+	if len(trs) != 1 || len(trs[0].Points) != 1 {
+		t.Fatalf("FromDataset shape wrong: %+v", trs)
+	}
+	p := trs[0].Points[0]
+	if p.X != 50 || p.Y != 50 || p.T != 11 {
+		t.Errorf("center point = %+v, want (50, 50, 11)", p)
+	}
+}
+
+func TestLSTDistance(t *testing.T) {
+	a := &Trajectory{ID: "a", Points: []Point{{0, 0, 0}}}
+	b := &Trajectory{ID: "b", Points: []Point{{3000, 4000, 0}}}
+	if d := LSTDistance(a, b, 10); d != 5000 {
+		t.Errorf("spatial-only distance = %g, want 5000", d)
+	}
+	c := &Trajectory{ID: "c", Points: []Point{{0, 0, 100}}}
+	if d := LSTDistance(a, c, 10); d != 1000 {
+		t.Errorf("temporal-only distance = %g, want 1000", d)
+	}
+	if d := LSTDistance(a, a, 10); d != 0 {
+		t.Errorf("self distance = %g", d)
+	}
+	if d := LSTDistance(a, b, 10); d != LSTDistance(b, a, 10) {
+		t.Error("LST distance asymmetric")
+	}
+	empty := &Trajectory{ID: "e"}
+	if !math.IsInf(LSTDistance(a, empty, 10), 1) {
+		t.Error("distance to empty trajectory not +Inf")
+	}
+}
+
+func TestRunKAnonymity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := clusteredDataset(rng, 24, 8)
+	for _, k := range []int{2, 5} {
+		out, stats, err := Run(d, DefaultOptions(k))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := core.ValidateKAnonymity(out, k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		published := out.Users()
+		if published+stats.DiscardedFingerprints != 24 {
+			t.Errorf("k=%d: %d published + %d trashed != 24", k, published, stats.DiscardedFingerprints)
+		}
+		if stats.Clusters != out.Len() {
+			t.Errorf("k=%d: %d clusters vs %d fingerprints", k, stats.Clusters, out.Len())
+		}
+	}
+}
+
+func TestRunCreatesSyntheticSamples(t *testing.T) {
+	// Heterogeneous sampling: users with very different event counts in
+	// one cluster force fabrication of waiting points.
+	rng := rand.New(rand.NewSource(2))
+	fps := make([]*core.Fingerprint, 6)
+	for i := range fps {
+		n := 3 + 10*i // 3, 13, 23, ... samples
+		samples := make([]core.Sample, n)
+		for j := range samples {
+			samples[j] = core.Sample{
+				X: rng.NormFloat64() * 500, DX: 100,
+				Y: rng.NormFloat64() * 500, DY: 100,
+				T: rng.Float64() * 10000, DT: 1,
+				Weight: 1,
+			}
+		}
+		fps[i] = core.NewFingerprint(fmt.Sprintf("u%d", i), samples)
+	}
+	d := core.NewDataset(fps)
+	_, stats, err := Run(d, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CreatedSamples == 0 {
+		t.Error("heterogeneous sampling produced no fabricated samples")
+	}
+	if stats.MeanTimeError() <= 0 {
+		t.Error("alignment produced zero time error on heterogeneous data")
+	}
+}
+
+func TestRunTrashesOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := clusteredDataset(rng, 20, 6)
+	// One pathological loner very far away in space and time.
+	loner := core.NewFingerprint("loner", []core.Sample{
+		{X: 9e6, DX: 100, Y: 9e6, DY: 100, T: 1, DT: 1, Weight: 1},
+	})
+	d = core.NewDataset(append(d.Fingerprints, loner))
+	out, stats, err := Run(d, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DiscardedFingerprints == 0 {
+		t.Error("no trajectory trashed despite extreme outlier")
+	}
+	for _, f := range out.Fingerprints {
+		for _, m := range f.Members {
+			if m == "loner" {
+				t.Error("outlier was clustered instead of trashed")
+			}
+		}
+	}
+}
+
+func TestRunTrashBudgetZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := clusteredDataset(rng, 12, 5)
+	opt := DefaultOptions(2)
+	opt.TrashPct = 0
+	out, stats, err := Run(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DiscardedFingerprints != 0 {
+		t.Errorf("trashed %d with zero budget", stats.DiscardedFingerprints)
+	}
+	if out.Users() != 12 {
+		t.Errorf("published %d users, want 12", out.Users())
+	}
+}
+
+func TestRunErrorsAccounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := clusteredDataset(rng, 16, 10)
+	_, stats, err := Run(d, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := len(stats.PositionErrorsM)
+	if kept != len(stats.TimeErrorsMin) {
+		t.Fatal("error slices misaligned")
+	}
+	total := kept + stats.DeletedSamples + stats.DiscardedSamples
+	if total != stats.InputSamples {
+		t.Errorf("samples: kept %d + deleted %d + trashed %d != input %d",
+			kept, stats.DeletedSamples, stats.DiscardedSamples, stats.InputSamples)
+	}
+	for _, e := range stats.PositionErrorsM {
+		if e < 0 || math.IsNaN(e) {
+			t.Fatal("negative position error")
+		}
+	}
+	for _, e := range stats.TimeErrorsMin {
+		if e < 0 || e > DefaultOptions(2).MaxTimeShiftMinutes {
+			t.Fatalf("time error %g outside [0, maxShift]", e)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := clusteredDataset(rng, 14, 6)
+	out1, st1, err := Run(d, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, st2, err := Run(d, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Len() != out2.Len() || st1.CreatedSamples != st2.CreatedSamples ||
+		st1.DeletedSamples != st2.DeletedSamples {
+		t.Fatal("W4M run not deterministic")
+	}
+}
+
+func TestRunArgErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := clusteredDataset(rng, 3, 4)
+	if _, _, err := Run(d, Options{}); err == nil {
+		t.Error("zero options accepted")
+	}
+	if _, _, err := Run(d, DefaultOptions(5)); err == nil {
+		t.Error("k > |D| accepted")
+	}
+}
+
+func TestMedoid(t *testing.T) {
+	trs := []Trajectory{
+		{ID: "a", Points: []Point{{0, 0, 0}}},
+		{ID: "b", Points: []Point{{100, 0, 0}}},
+		{ID: "c", Points: []Point{{5000, 0, 0}}},
+	}
+	// b is central: sum distances a=100+5000 > b=100+4900 < c.
+	if got := medoid(trs, []int{0, 1, 2}, 1); got != 1 {
+		t.Errorf("medoid = %d, want 1", got)
+	}
+}
+
+func TestStatsMeans(t *testing.T) {
+	s := &Stats{PositionErrorsM: []float64{0, 100}, TimeErrorsMin: []float64{30}}
+	if s.MeanPositionError() != 50 || s.MeanTimeError() != 30 {
+		t.Errorf("means = %g / %g", s.MeanPositionError(), s.MeanTimeError())
+	}
+	empty := &Stats{}
+	if empty.MeanPositionError() != 0 || empty.MeanTimeError() != 0 {
+		t.Error("empty means != 0")
+	}
+}
