@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/service/ ./internal/parallel/ ./internal/core/
+
+bench:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+check: build vet test

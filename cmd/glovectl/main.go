@@ -4,6 +4,10 @@
 // validates the result (k-anonymity + truthfulness), reports the
 // accuracy of the published data, and writes the anonymized dataset.
 //
+// SIGINT/SIGTERM cancel the run gracefully: the GLOVE loop stops at the
+// next iteration and no partial -out file is left behind (output is
+// written to a temporary file and renamed only on success).
+//
 // Usage:
 //
 //	glovectl -in civ.csv -lat 7.54 -lon -5.55 -days 14 -k 2 \
@@ -11,12 +15,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "glovectl: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -10,12 +11,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/metrics"
+	"repro/internal/version"
 )
 
 // run executes glovectl with the given arguments, writing the anonymized
-// CSV to stdout (or -out) and diagnostics to stderr. Extracted from main
-// for testability.
-func run(args []string, stdout, stderr io.Writer) error {
+// CSV to stdout (or -out) and diagnostics to stderr. A cancelled ctx
+// (SIGINT) aborts the GLOVE run and leaves no partial output file.
+// Extracted from main for testability.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("glovectl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -28,9 +31,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		suppressMin = fs.Float64("suppress-min", 0, "suppress samples longer than this many minutes (0 = off)")
 		out         = fs.String("out", "", "output CSV path for the anonymized dataset (default stdout)")
 		workers     = fs.Int("workers", 0, "worker count (0 = all CPUs)")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String("glovectl"))
+		return nil
 	}
 	if *in == "" {
 		fs.Usage()
@@ -64,7 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "glovectl: %d fingerprints, %d samples, mean length %.1f\n",
 		dataset.Len(), dataset.TotalSamples(), dataset.MeanFingerprintLen())
 
-	published, stats, err := core.Glove(dataset, core.GloveOptions{
+	published, stats, err := core.GloveContext(ctx, dataset, core.GloveOptions{
 		K: *k,
 		Suppress: core.SuppressionThresholds{
 			MaxSpatialMeters:   *suppressKm * 1000,
@@ -73,6 +81,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Workers: *workers,
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("interrupted, no output written")
+		}
 		return err
 	}
 
@@ -100,13 +111,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *out == "" {
 		return cdr.WriteAnonymizedCSV(stdout, published)
 	}
-	of, err := os.Create(*out)
+	return writeFileAtomic(*out, published)
+}
+
+// writeFileAtomic writes the anonymized dataset to path via a temporary
+// sibling file and a rename, so an interrupted or failed run never
+// leaves a truncated output behind.
+func writeFileAtomic(path string, d *core.Dataset) error {
+	tmp := path + ".tmp"
+	of, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := cdr.WriteAnonymizedCSV(of, published); err != nil {
+	if err := cdr.WriteAnonymizedCSV(of, d); err != nil {
 		of.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return of.Close()
+	if err := of.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

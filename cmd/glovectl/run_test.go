@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -39,7 +40,7 @@ func TestRunEndToEnd(t *testing.T) {
 	in := writeTestCSV(t)
 	out := filepath.Join(t.TempDir(), "anon.csv")
 	var stdout, stderr bytes.Buffer
-	err := run([]string{"-in", in, "-days", "3", "-k", "2", "-out", out}, &stdout, &stderr)
+	err := run(context.Background(), []string{"-in", in, "-days", "3", "-k", "2", "-out", out}, &stdout, &stderr)
 	if err != nil {
 		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
 	}
@@ -65,7 +66,7 @@ func TestRunEndToEnd(t *testing.T) {
 func TestRunToStdout(t *testing.T) {
 	in := writeTestCSV(t)
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"-in", in, "-days", "3"}, &stdout, &stderr); err != nil {
+	if err := run(context.Background(), []string{"-in", in, "-days", "3"}, &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(stdout.String(), "group,count,") {
@@ -76,7 +77,7 @@ func TestRunToStdout(t *testing.T) {
 func TestRunWithSuppression(t *testing.T) {
 	in := writeTestCSV(t)
 	var stdout, stderr bytes.Buffer
-	err := run([]string{"-in", in, "-days", "3", "-suppress-km", "15", "-suppress-min", "360"}, &stdout, &stderr)
+	err := run(context.Background(), []string{"-in", in, "-days", "3", "-suppress-km", "15", "-suppress-min", "360"}, &stdout, &stderr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,20 +88,20 @@ func TestRunWithSuppression(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{}, &stdout, &stderr); err == nil {
+	if err := run(context.Background(), []string{}, &stdout, &stderr); err == nil {
 		t.Error("missing -in accepted")
 	}
-	if err := run([]string{"-in", "/nonexistent/file.csv"}, &stdout, &stderr); err == nil {
+	if err := run(context.Background(), []string{"-in", "/nonexistent/file.csv"}, &stdout, &stderr); err == nil {
 		t.Error("nonexistent input accepted")
 	}
 	in := writeTestCSV(t)
-	if err := run([]string{"-in", in, "-k", "1"}, &stdout, &stderr); err == nil {
+	if err := run(context.Background(), []string{"-in", in, "-k", "1"}, &stdout, &stderr); err == nil {
 		t.Error("k=1 accepted")
 	}
-	if err := run([]string{"-in", in, "-lat", "400"}, &stdout, &stderr); err == nil {
+	if err := run(context.Background(), []string{"-in", in, "-lat", "400"}, &stdout, &stderr); err == nil {
 		t.Error("invalid projection center accepted")
 	}
-	if err := run([]string{"-bogus-flag"}, &stdout, &stderr); err == nil {
+	if err := run(context.Background(), []string{"-bogus-flag"}, &stdout, &stderr); err == nil {
 		t.Error("bogus flag accepted")
 	}
 	// Malformed CSV content.
@@ -108,7 +109,40 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("not,a,valid,header\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-in", bad}, &stdout, &stderr); err == nil {
+	if err := run(context.Background(), []string{"-in", bad}, &stdout, &stderr); err == nil {
 		t.Error("malformed CSV accepted")
+	}
+}
+
+func TestRunVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(stdout.String(), "glovectl ") {
+		t.Errorf("version output %q", stdout.String())
+	}
+}
+
+// TestRunCancelled interrupts the run via context (the SIGINT path) and
+// checks that no partial -out file is left behind.
+func TestRunCancelled(t *testing.T) {
+	in := writeTestCSV(t)
+	out := filepath.Join(t.TempDir(), "anon.csv")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	err := run(ctx, []string{"-in", in, "-days", "3", "-out", out}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	if !strings.Contains(err.Error(), "interrupted") {
+		t.Errorf("err = %v, want interruption message", err)
+	}
+	if _, serr := os.Stat(out); !os.IsNotExist(serr) {
+		t.Errorf("partial output file left behind: %v", serr)
+	}
+	if _, serr := os.Stat(out + ".tmp"); !os.IsNotExist(serr) {
+		t.Errorf("temporary output file left behind: %v", serr)
 	}
 }

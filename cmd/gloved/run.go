@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/version"
+)
+
+// run starts the daemon and blocks until ctx is cancelled (SIGINT /
+// SIGTERM) or the listener fails. Extracted from main for testability.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gloved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		maxJobs     = fs.Int("max-jobs", 1, "jobs executed concurrently")
+		queueLimit  = fs.Int("queue-limit", 256, "queued job limit")
+		workers     = fs.Int("workers", 0, "per-job worker count (0 = all CPUs)")
+		maxRecords  = fs.Int("max-records", 0, "per-dataset record limit (0 = unlimited)")
+		maxBody     = fs.Int64("max-body-bytes", 0, "per-ingestion body byte limit (0 = unlimited)")
+		analysisCap = fs.Int("analysis-cap", 2000, "max input fingerprints for the k-gap analysis pass")
+		showVersion = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String("gloved"))
+		return nil
+	}
+
+	reg := service.NewRegistry()
+	reg.MaxRecords = *maxRecords
+	mgr := service.NewManager(reg, service.ManagerOptions{
+		MaxConcurrentJobs:       *maxJobs,
+		QueueLimit:              *queueLimit,
+		Workers:                 *workers,
+		AnalysisMaxFingerprints: *analysisCap,
+	})
+	defer mgr.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	handler := service.NewServer(reg, mgr)
+	handler.MaxIngestBytes = *maxBody
+	srv := &http.Server{Handler: handler}
+	fmt.Fprintf(stderr, "gloved: %s listening on %s\n", version.Version, ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, let in-flight
+	// requests finish, then cancel whatever jobs are still running via
+	// mgr.Close (deferred).
+	fmt.Fprintln(stderr, "gloved: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	return nil
+}

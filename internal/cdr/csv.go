@@ -7,7 +7,6 @@ import (
 	"strconv"
 
 	"repro/internal/core"
-	"repro/internal/geo"
 )
 
 // CSV formats. Raw CDR tables use the 3-column format
@@ -44,18 +43,46 @@ func WriteCSV(w io.Writer, t *Table) error {
 
 // ReadCSV reads a raw record table written by WriteCSV. Center and
 // SpanDays must be supplied by the caller (they are dataset metadata, not
-// per-record data).
+// per-record data). It is a convenience wrapper over RecordReader for
+// callers that want the whole table in memory.
 func ReadCSV(r io.Reader) ([]Record, error) {
+	var out []Record
+	rr := NewRecordReader(r)
+	for {
+		rec, err := rr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// ReadAnonymizedCSV reads a dataset in the generalized format written by
+// WriteAnonymizedCSV, reconstructing one fingerprint per group. Members
+// are synthesized as "<group>#<i>" placeholders: the published format
+// deliberately does not carry subscriber identities, only crowd sizes.
+func ReadAnonymizedCSV(r io.Reader) (*core.Dataset, error) {
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = 4
+	cr.FieldsPerRecord = 8
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("cdr: reading header: %w", err)
 	}
-	if header[0] != "user" || header[1] != "lat" || header[2] != "lon" || header[3] != "minute" {
-		return nil, fmt.Errorf("cdr: unexpected header %v", header)
+	want := []string{"group", "count", "x", "dx", "y", "dy", "t", "dt"}
+	for i, h := range want {
+		if header[i] != h {
+			return nil, fmt.Errorf("cdr: unexpected anonymized header %v", header)
+		}
 	}
-	var out []Record
+	type group struct {
+		count   int
+		samples []core.Sample
+	}
+	groups := make(map[string]*group)
+	var order []string
 	for line := 2; ; line++ {
 		row, err := cr.Read()
 		if err == io.EOF {
@@ -64,25 +91,48 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cdr: line %d: %w", line, err)
 		}
-		lat, err := strconv.ParseFloat(row[1], 64)
+		count, err := strconv.Atoi(row[1])
 		if err != nil {
-			return nil, fmt.Errorf("cdr: line %d: bad lat: %w", line, err)
+			return nil, fmt.Errorf("cdr: line %d: bad count: %w", line, err)
 		}
-		lon, err := strconv.ParseFloat(row[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("cdr: line %d: bad lon: %w", line, err)
+		if count < 1 {
+			return nil, fmt.Errorf("cdr: line %d: group count %d < 1", line, count)
 		}
-		min, err := strconv.ParseFloat(row[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("cdr: line %d: bad minute: %w", line, err)
+		var vals [6]float64
+		for i := 0; i < 6; i++ {
+			vals[i], err = strconv.ParseFloat(row[2+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("cdr: line %d: bad %s: %w", line, want[2+i], err)
+			}
 		}
-		rec := Record{User: row[0], Pos: geo.LatLon{Lat: lat, Lon: lon}, Minute: min}
-		if err := rec.Validate(); err != nil {
-			return nil, fmt.Errorf("cdr: line %d: %w", line, err)
+		g := groups[row[0]]
+		if g == nil {
+			g = &group{count: count}
+			groups[row[0]] = g
+			order = append(order, row[0])
+		} else if g.count != count {
+			return nil, fmt.Errorf("cdr: line %d: group %s count changed %d -> %d", line, row[0], g.count, count)
 		}
-		out = append(out, rec)
+		g.samples = append(g.samples, core.Sample{
+			X: vals[0], DX: vals[1],
+			Y: vals[2], DY: vals[3],
+			T: vals[4], DT: vals[5],
+			Weight: 1,
+		})
 	}
-	return out, nil
+	fps := make([]*core.Fingerprint, 0, len(order))
+	for _, id := range order {
+		g := groups[id]
+		members := make([]string, g.count)
+		for i := range members {
+			members[i] = fmt.Sprintf("%s#%d", id, i)
+		}
+		f := core.NewFingerprint(id, g.samples)
+		f.Count = g.count
+		f.Members = members
+		fps = append(fps, f)
+	}
+	return core.NewDataset(fps), nil
 }
 
 // WriteAnonymizedCSV writes a k-anonymized dataset in the generalized

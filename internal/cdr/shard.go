@@ -1,0 +1,37 @@
+package cdr
+
+// ShardByUser partitions the table into at most `shards` disjoint tables,
+// assigning whole subscribers (never splitting a trajectory) by a stable
+// hash of their identifier mixed with the seed — the same family of
+// hashes as SubsetUserFraction, so assignment is deterministic across
+// runs and processes. Empty shards are dropped, so the result may be
+// shorter than `shards`.
+//
+// Sharding is the unit of parallelism of the gloved service: each shard
+// is anonymized independently, which preserves the k-anonymity guarantee
+// (every shard output hides >= k subscribers per group) while turning
+// GLOVE's quadratic cost into a sum of smaller quadratics, as the
+// paper's locality analysis (Sec. 7.3) licenses.
+func (t *Table) ShardByUser(shards int, seed uint64) []*Table {
+	if shards <= 1 {
+		return []*Table{t.clone(t.Records)}
+	}
+	buckets := make([][]Record, shards)
+	assigned := make(map[string]int)
+	for _, r := range t.Records {
+		b, ok := assigned[r.User]
+		if !ok {
+			b = int(userHash(r.User, seed) % uint64(shards))
+			assigned[r.User] = b
+		}
+		buckets[b] = append(buckets[b], r)
+	}
+	out := make([]*Table, 0, shards)
+	for _, recs := range buckets {
+		if len(recs) == 0 {
+			continue
+		}
+		out = append(out, t.clone(recs))
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package cdr
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"iter"
+	"strconv"
+
+	"repro/internal/geo"
+)
+
+// RecordReader decodes a raw record CSV stream one record at a time, so
+// ingestion of an operator-sized feed never needs the whole table in
+// memory. The header row is consumed and checked lazily on the first
+// Next call.
+type RecordReader struct {
+	cr     *csv.Reader
+	line   int
+	header bool
+	err    error
+}
+
+// NewRecordReader wraps an io.Reader producing the WriteCSV format
+// (user,lat,lon,minute with header).
+func NewRecordReader(r io.Reader) *RecordReader {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	cr.ReuseRecord = true
+	return &RecordReader{cr: cr, line: 1}
+}
+
+// Next returns the next record. It returns io.EOF after the last record
+// and any other error exactly once; subsequent calls repeat the error.
+func (rr *RecordReader) Next() (Record, error) {
+	if rr.err != nil {
+		return Record{}, rr.err
+	}
+	if !rr.header {
+		h, err := rr.cr.Read()
+		if err != nil {
+			rr.err = fmt.Errorf("cdr: reading header: %w", err)
+			return Record{}, rr.err
+		}
+		if h[0] != "user" || h[1] != "lat" || h[2] != "lon" || h[3] != "minute" {
+			rr.err = fmt.Errorf("cdr: unexpected header %v", h)
+			return Record{}, rr.err
+		}
+		rr.header = true
+	}
+	rr.line++
+	row, err := rr.cr.Read()
+	if err == io.EOF {
+		rr.err = io.EOF
+		return Record{}, io.EOF
+	}
+	if err != nil {
+		rr.err = fmt.Errorf("cdr: line %d: %w", rr.line, err)
+		return Record{}, rr.err
+	}
+	rec, err := parseRecord(row, rr.line)
+	if err != nil {
+		rr.err = err
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+func parseRecord(row []string, line int) (Record, error) {
+	lat, err := strconv.ParseFloat(row[1], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("cdr: line %d: bad lat: %w", line, err)
+	}
+	lon, err := strconv.ParseFloat(row[2], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("cdr: line %d: bad lon: %w", line, err)
+	}
+	min, err := strconv.ParseFloat(row[3], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("cdr: line %d: bad minute: %w", line, err)
+	}
+	rec := Record{User: row[0], Pos: geo.LatLon{Lat: lat, Lon: lon}, Minute: min}
+	if err := rec.Validate(); err != nil {
+		return Record{}, fmt.Errorf("cdr: line %d: %w", line, err)
+	}
+	return rec, nil
+}
+
+// Records returns an iterator over the record stream. Iteration stops at
+// the first error, which is yielded with a zero Record; a clean end of
+// stream yields nothing (io.EOF is not surfaced).
+func Records(r io.Reader) iter.Seq2[Record, error] {
+	rr := NewRecordReader(r)
+	return func(yield func(Record, error) bool) {
+		for {
+			rec, err := rr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				yield(Record{}, err)
+				return
+			}
+			if !yield(rec, nil) {
+				return
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -60,6 +61,13 @@ type GloveOptions struct {
 	// for the ablation benchmark of the cache (DESIGN.md Sec. 5) and
 	// must produce identical output.
 	NaiveMinPair bool
+
+	// Progress, if non-nil, is called from the goroutine running GLOVE
+	// as the run advances: once after the pairwise effort matrix is
+	// built, then after every merge, and a final time on completion.
+	// done grows monotonically to total. The callback must be fast; it
+	// is on the hot path of the merge loop.
+	Progress func(done, total int)
 }
 
 func (o GloveOptions) withDefaults() GloveOptions {
@@ -107,6 +115,15 @@ type GloveStats struct {
 // group so that no subscriber is ever discarded. Optional suppression
 // then removes over-generalized samples.
 func Glove(d *Dataset, opt GloveOptions) (*Dataset, *GloveStats, error) {
+	return GloveContext(context.Background(), d, opt)
+}
+
+// GloveContext is Glove with cooperative cancellation: when ctx is done
+// the run stops — between merge iterations, or mid-way through building
+// the pairwise effort matrix — and ctx.Err() is returned. The input
+// dataset is never modified, so an interrupted run leaves no partial
+// state behind.
+func GloveContext(ctx context.Context, d *Dataset, opt GloveOptions) (*Dataset, *GloveStats, error) {
 	opt = opt.withDefaults()
 	if opt.K < 2 {
 		return nil, nil, fmt.Errorf("core: glove k = %d, need k >= 2", opt.K)
@@ -127,11 +144,28 @@ func Glove(d *Dataset, opt GloveOptions) (*Dataset, *GloveStats, error) {
 		InputSamples:      totalWeight(d),
 	}
 
-	st := newGloveState(d, opt)
+	st, err := newGloveState(ctx, d, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Progress accounting: step 0 -> 1 is the matrix build, then one
+	// step per merge (at most one merge per initially-active
+	// fingerprint, counting the leftover fold).
+	total := st.activeCount() + 1
+	progress := func(done int) {
+		if opt.Progress != nil {
+			opt.Progress(done, total)
+		}
+	}
+	progress(1)
 	for st.activeCount() >= 2 {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		i, j := st.minPair()
 		st.merge(i, j)
 		stats.Merges++
+		progress(1 + stats.Merges)
 	}
 	if leftover, ok := st.lastActive(); ok {
 		// One fingerprint remains below K: hide it inside the nearest
@@ -145,6 +179,7 @@ func Glove(d *Dataset, opt GloveOptions) (*Dataset, *GloveStats, error) {
 
 	stats.OutputFingerprints = out.Len()
 	stats.OutputSamples = out.TotalSamples()
+	progress(total)
 	return out, stats, nil
 }
 
@@ -173,7 +208,7 @@ type gloveState struct {
 	done []*Fingerprint // anonymized fingerprints (count >= K)
 }
 
-func newGloveState(d *Dataset, opt GloveOptions) *gloveState {
+func newGloveState(ctx context.Context, d *Dataset, opt GloveOptions) (*gloveState, error) {
 	n := d.Len()
 	st := &gloveState{
 		opt:     opt,
@@ -194,7 +229,9 @@ func newGloveState(d *Dataset, opt GloveOptions) *gloveState {
 		st.alive[i] = true
 	}
 	p := opt.Params
-	parallel.ForPairs(n, opt.Workers, func(i, j int) {
+	// The O(n^2) matrix build dominates start-up cost; run it under the
+	// context so a cancelled job does not have to wait it out.
+	err := parallel.ForPairsContext(ctx, n, opt.Workers, func(i, j int) {
 		if !st.alive[i] || !st.alive[j] {
 			return
 		}
@@ -202,12 +239,15 @@ func newGloveState(d *Dataset, opt GloveOptions) *gloveState {
 		st.matrix[i*n+j] = e
 		st.matrix[j*n+i] = e
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < n; i++ {
 		if st.alive[i] {
 			st.rescanNearest(i)
 		}
 	}
-	return st
+	return st, nil
 }
 
 func (st *gloveState) activeCount() int {

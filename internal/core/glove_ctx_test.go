@@ -1,0 +1,105 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// ctxTestDataset builds a small random dataset of single-user
+// fingerprints.
+func ctxTestDataset(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	fps := make([]*Fingerprint, n)
+	for i := range fps {
+		m := 3 + rng.Intn(4)
+		samples := make([]Sample, m)
+		for s := range samples {
+			samples[s] = Sample{
+				X: 100 * rng.Float64() * 1000, DX: 100,
+				Y: 100 * rng.Float64() * 1000, DY: 100,
+				T: float64(rng.Intn(1000)), DT: 1,
+				Weight: 1,
+			}
+		}
+		fps[i] = NewFingerprint(string(rune('a'+i/26))+string(rune('a'+i%26)), samples)
+	}
+	return NewDataset(fps)
+}
+
+func TestGloveContextMatchesGlove(t *testing.T) {
+	d := ctxTestDataset(20, 7)
+	want, wantStats, err := Glove(d, GloveOptions{K: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotStats, err := GloveContext(context.Background(), d, GloveOptions{K: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() || gotStats.Merges != wantStats.Merges {
+		t.Errorf("GloveContext diverged: %d groups / %d merges, want %d / %d",
+			got.Len(), gotStats.Merges, want.Len(), wantStats.Merges)
+	}
+}
+
+func TestGloveProgress(t *testing.T) {
+	d := ctxTestDataset(15, 3)
+	var calls int
+	last, lastTotal := -1, 0
+	_, stats, err := Glove(d, GloveOptions{
+		K:       2,
+		Workers: 1,
+		Progress: func(done, total int) {
+			calls++
+			if done < last {
+				t.Errorf("progress went backwards: %d after %d", done, last)
+			}
+			if lastTotal != 0 && total != lastTotal {
+				t.Errorf("total changed mid-run: %d -> %d", lastTotal, total)
+			}
+			if done > total {
+				t.Errorf("done %d > total %d", done, total)
+			}
+			last, lastTotal = done, total
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls < stats.Merges {
+		t.Errorf("progress called %d times for %d merges", calls, stats.Merges)
+	}
+	if last != lastTotal {
+		t.Errorf("final progress %d/%d, want completion", last, lastTotal)
+	}
+}
+
+func TestGloveContextCancelledBeforeStart(t *testing.T) {
+	d := ctxTestDataset(10, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := GloveContext(ctx, d, GloveOptions{K: 2, Workers: 1})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestGloveContextCancelledMidRun(t *testing.T) {
+	d := ctxTestDataset(40, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	var merges int
+	_, _, err := GloveContext(ctx, d, GloveOptions{
+		K:       4,
+		Workers: 1,
+		Progress: func(done, total int) {
+			merges++
+			if merges == 5 {
+				cancel()
+			}
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// ForContext is For with cooperative cancellation: once ctx is done,
+// workers stop grabbing new chunks and the call returns ctx.Err().
+// Iterations already started run to completion (fn is never interrupted
+// mid-call), so fn sees the usual exactly-once-per-index guarantee for
+// every index that was dispatched. When ForContext returns nil, fn ran
+// for every i in [0, n).
+//
+// Cancellation granularity is one chunk: a long fn that wants faster
+// reaction should check ctx itself.
+func ForContext(ctx context.Context, n, workers int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		// Match the multi-worker path: cancellation during the last
+		// iteration is still reported.
+		return ctx.Err()
+	}
+
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	done := ctx.Done()
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				start := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// ForPairsContext is ForPairs with cooperative cancellation, mirroring
+// ForContext.
+func ForPairsContext(ctx context.Context, n, workers int, fn func(i, j int)) error {
+	if n < 2 {
+		return ctx.Err()
+	}
+	total := n * (n - 1) / 2
+	return ForContext(ctx, total, workers, func(p int) {
+		i, j := PairFromIndex(p)
+		fn(i, j)
+	})
+}

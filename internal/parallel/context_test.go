@@ -1,0 +1,81 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForContextCompletes(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		var sum int64
+		err := ForContext(context.Background(), 1000, workers, func(i int) {
+			atomic.AddInt64(&sum, int64(i))
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want := int64(1000 * 999 / 2); sum != want {
+			t.Errorf("workers=%d: sum = %d, want %d", workers, sum, want)
+		}
+	}
+}
+
+func TestForContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int64
+	// Cancel from inside an early iteration: later chunks must not be
+	// dispatched.
+	err := ForContext(ctx, 100000, 4, func(i int) {
+		if atomic.AddInt64(&ran, 1) == 10 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt64(&ran); n == 100000 {
+		t.Error("cancellation did not stop dispatching")
+	}
+}
+
+func TestForContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	err := ForContext(ctx, 10, 1, func(i int) { atomic.AddInt64(&ran, 1) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d iterations ran on a pre-cancelled context", ran)
+	}
+}
+
+func TestForContextZeroN(t *testing.T) {
+	if err := ForContext(context.Background(), 0, 4, func(int) { t.Error("fn called") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForPairsContext(t *testing.T) {
+	const n = 40
+	seen := make([]int64, n*n)
+	err := ForPairsContext(context.Background(), n, 3, func(i, j int) {
+		atomic.AddInt64(&seen[i*n+j], 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := int64(0)
+			if i < j {
+				want = 1
+			}
+			if seen[i*n+j] != want {
+				t.Fatalf("pair (%d,%d) visited %d times, want %d", i, j, seen[i*n+j], want)
+			}
+		}
+	}
+}

@@ -5,9 +5,8 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // DefaultWorkers returns the worker count used when a caller passes a
@@ -22,49 +21,10 @@ func DefaultWorkers() int {
 // different lengths) still balances. It blocks until all iterations
 // complete.
 func For(n, workers int, fn func(i int)) {
-	if n <= 0 {
-		return
-	}
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-
-	// Chunked dynamic scheduling: grabbing a chunk costs one atomic add.
-	chunk := n / (workers * 8)
-	if chunk < 1 {
-		chunk = 1
-	}
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				start := int(atomic.AddInt64(&next, int64(chunk))) - chunk
-				if start >= n {
-					return
-				}
-				end := start + chunk
-				if end > n {
-					end = n
-				}
-				for i := start; i < end; i++ {
-					fn(i)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	// context.Background is never done, so the error is always nil and
+	// the cancellation checks are no-ops; this keeps a single copy of
+	// the chunked scheduler.
+	ForContext(context.Background(), n, workers, fn)
 }
 
 // ForPairs runs fn(i, j) for every unordered pair 0 <= i < j < n,

@@ -1,0 +1,251 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/cdr"
+	"repro/internal/geo"
+	"repro/internal/version"
+)
+
+// Server is the HTTP front of the service: a thin JSON/CSV layer over
+// the Registry and Manager.
+//
+//	POST   /v1/datasets           ingest a raw record CSV (streaming body)
+//	GET    /v1/datasets           list datasets
+//	GET    /v1/datasets/{id}      dataset metadata
+//	POST   /v1/jobs               submit an anonymization job (JSON JobSpec)
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          job status with live progress
+//	DELETE /v1/jobs/{id}          cancel a queued or running job
+//	GET    /v1/jobs/{id}/result   download the anonymized CSV
+//	GET    /v1/metrics            accuracy / anonymizability summary
+//	GET    /healthz               liveness + version
+type Server struct {
+	// MaxIngestBytes bounds the request body of a single ingestion
+	// (0 = unlimited). Unlike Registry.MaxRecords it caps raw bytes, so
+	// a pathological body that never completes a CSV record cannot grow
+	// the reader's buffer without limit.
+	MaxIngestBytes int64
+
+	reg *Registry
+	mgr *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the routes.
+func NewServer(reg *Registry, mgr *Manager) *Server {
+	s := &Server{reg: reg, mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/datasets", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleGetDataset)
+	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDeleteDataset)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleIngest streams the request body into a new dataset. Metadata
+// rides in query parameters: name, lat, lon (projection center, default
+// the Ivory Coast center used throughout the repo) and days (span).
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	lat, lon, days := 7.54, -5.55, 14
+	var err error
+	if v := q.Get("lat"); v != "" {
+		if lat, err = strconv.ParseFloat(v, 64); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad lat: %w", err))
+			return
+		}
+	}
+	if v := q.Get("lon"); v != "" {
+		if lon, err = strconv.ParseFloat(v, 64); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad lon: %w", err))
+			return
+		}
+	}
+	if v := q.Get("days"); v != "" {
+		if days, err = strconv.Atoi(v); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad days: %w", err))
+			return
+		}
+	}
+	body := r.Body
+	if s.MaxIngestBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.MaxIngestBytes)
+	}
+	info, err := s.reg.Ingest(body, q.Get("name"), geo.LatLon{Lat: lat, Lon: lon}, days)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, tooBig)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.reg.List()})
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.reg.Delete(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	st, err := s.mgr.Submit(spec)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			// Transient load, not a bad request: tell the client to
+			// retry.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleCancelJob implements DELETE on a job: an active job is
+// cancelled; a terminal job is removed from memory only when the client
+// passes ?purge=1. The explicit flag keeps a cancel attempt that races
+// a just-finished job from silently destroying its result.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	purge := r.URL.Query().Get("purge") != ""
+	st, err := s.mgr.Cancel(id)
+	if err == nil {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	if _, ok := s.mgr.Get(id); !ok {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if !purge {
+		// Already terminal and the client asked to cancel, not delete.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	if rerr := s.mgr.Remove(id); rerr != nil {
+		writeError(w, http.StatusConflict, rerr)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ds, err := s.mgr.Result(id)
+	if err != nil {
+		if _, ok := s.mgr.Get(id); !ok {
+			writeError(w, http.StatusNotFound, err)
+		} else {
+			writeError(w, http.StatusConflict, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".csv"))
+	if err := cdr.WriteAnonymizedCSV(w, ds); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
+// MetricsReport aggregates what the service has published so far.
+type MetricsReport struct {
+	Datasets    int              `json:"datasets"`
+	Jobs        int              `json:"jobs"`
+	JobsByState map[JobState]int `json:"jobs_by_state"`
+	// Completed holds the per-job utility summaries (accuracy from
+	// internal/metrics, anonymizability from internal/analysis).
+	Completed []JobStatus `json:"completed"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rep := MetricsReport{
+		Datasets:    len(s.reg.List()),
+		JobsByState: make(map[JobState]int),
+	}
+	for _, st := range s.mgr.List() {
+		rep.Jobs++
+		rep.JobsByState[st.State]++
+		if st.State == JobDone {
+			rep.Completed = append(rep.Completed, st)
+		}
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":  "ok",
+		"version": version.Version,
+	})
+}

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// JobState is the lifecycle state of an anonymization job.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	switch s {
+	case JobDone, JobFailed, JobCancelled:
+		return true
+	}
+	return false
+}
+
+// validTransition encodes the job state machine: queued jobs start
+// running or are cancelled before starting; running jobs finish, fail,
+// or are cancelled; terminal states never change.
+func validTransition(from, to JobState) bool {
+	switch from {
+	case JobQueued:
+		return to == JobRunning || to == JobCancelled
+	case JobRunning:
+		return to == JobDone || to == JobFailed || to == JobCancelled
+	}
+	return false
+}
+
+// JobSpec is the client-supplied description of an anonymization job.
+type JobSpec struct {
+	// DatasetID names a dataset previously registered via ingestion.
+	DatasetID string `json:"dataset_id"`
+	// K is the anonymity level (>= 2).
+	K int `json:"k"`
+	// SuppressKm / SuppressMin optionally discard over-generalized
+	// samples (Sec. 7.1); 0 disables that dimension.
+	SuppressKm  float64 `json:"suppress_km,omitempty"`
+	SuppressMin float64 `json:"suppress_min,omitempty"`
+	// Shards is the requested number of dataset shards anonymized
+	// independently; <= 0 lets the scheduler pick one per worker. The
+	// effective count is clamped so every shard can k-anonymize on its
+	// own.
+	Shards int `json:"shards,omitempty"`
+	// Workers bounds the job's CPU parallelism; <= 0 uses all CPUs.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Validate checks the statically checkable parts of the spec.
+func (s JobSpec) Validate() error {
+	if s.DatasetID == "" {
+		return fmt.Errorf("service: job without dataset_id")
+	}
+	if s.K < 2 {
+		return fmt.Errorf("service: job k = %d, need k >= 2", s.K)
+	}
+	if s.SuppressKm < 0 || s.SuppressMin < 0 {
+		return fmt.Errorf("service: negative suppression thresholds")
+	}
+	return nil
+}
+
+// JobStatus is a point-in-time snapshot of a job, the payload of
+// GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	Spec  JobSpec  `json:"spec"`
+	State JobState `json:"state"`
+	// Progress advances from 0 to 1 over the job's lifetime; while
+	// running it is the mean completion fraction across shards.
+	Progress float64 `json:"progress"`
+	// Shards is the effective shard count chosen by the scheduler (0
+	// until the job starts).
+	Shards int    `json:"shards"`
+	Error  string `json:"error,omitempty"`
+
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+
+	// Stats and Accuracy are populated once the job is done.
+	Stats    *core.GloveStats `json:"stats,omitempty"`
+	Accuracy *metrics.Summary `json:"accuracy,omitempty"`
+	// AnonymousFraction is the fraction of input fingerprints that were
+	// already k-anonymous (Sec. 5 k-gap analysis); nil when the input
+	// was too large for the quadratic analysis pass.
+	AnonymousFraction *float64 `json:"anonymous_fraction,omitempty"`
+}
+
+// Job is one anonymization run owned by the Manager.
+type Job struct {
+	mu sync.Mutex
+
+	id      string
+	spec    JobSpec
+	state   JobState
+	err     string
+	created time.Time
+
+	started  time.Time
+	finished time.Time
+
+	// cancel aborts the running job's context; cancelRequested
+	// distinguishes a user cancellation from an internal failure when
+	// the run returns a context error.
+	cancel          context.CancelFunc
+	cancelRequested bool
+
+	// shardProgress has one 0..1 entry per effective shard while
+	// running.
+	shardProgress []float64
+
+	result            *core.Dataset
+	stats             *core.GloveStats
+	accuracy          *metrics.Summary
+	anonymousFraction *float64
+}
+
+// transition moves the job to the target state, enforcing the state
+// machine; it must be called with j.mu held.
+func (j *Job) transition(to JobState) error {
+	if !validTransition(j.state, to) {
+		return fmt.Errorf("service: job %s: invalid transition %s -> %s", j.id, j.state, to)
+	}
+	j.state = to
+	now := time.Now().UTC()
+	switch to {
+	case JobRunning:
+		j.started = now
+	case JobDone, JobFailed, JobCancelled:
+		j.finished = now
+	}
+	return nil
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:                j.id,
+		Spec:              j.spec,
+		State:             j.state,
+		Shards:            len(j.shardProgress),
+		Error:             j.err,
+		CreatedAt:         j.created,
+		Stats:             j.stats,
+		Accuracy:          j.accuracy,
+		AnonymousFraction: j.anonymousFraction,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	switch j.state {
+	case JobDone:
+		st.Progress = 1
+	case JobRunning, JobFailed, JobCancelled:
+		// Failed/cancelled jobs keep the last observed fraction rather
+		// than snapping back to zero.
+		var sum float64
+		for _, p := range j.shardProgress {
+			sum += p
+		}
+		if n := len(j.shardProgress); n > 0 {
+			st.Progress = sum / float64(n)
+		}
+	}
+	return st
+}
+
+// setShardProgress records the completion fraction of one shard.
+func (j *Job) setShardProgress(shard int, frac float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if shard >= 0 && shard < len(j.shardProgress) && frac > j.shardProgress[shard] {
+		j.shardProgress[shard] = frac
+	}
+}

@@ -1,0 +1,378 @@
+// Package service is the resident anonymization subsystem behind the
+// gloved daemon: a dataset registry fed by streaming CSV ingestion, a
+// job manager that runs GLOVE k-anonymization asynchronously with
+// per-job progress and cancellation, and a shard scheduler that
+// partitions a dataset by subscriber and anonymizes the shards through
+// a bounded worker pool before merging outputs and accounting.
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// ErrQueueFull is returned by Submit when the job queue is at capacity;
+// the condition is transient and the submission can be retried.
+var ErrQueueFull = fmt.Errorf("service: job queue is full")
+
+// ManagerOptions tunes the job manager.
+type ManagerOptions struct {
+	// MaxConcurrentJobs is the number of jobs executed simultaneously
+	// (each job additionally parallelizes internally); <= 0 means 1.
+	MaxConcurrentJobs int
+	// QueueLimit bounds the number of queued-but-not-started jobs;
+	// <= 0 means 256. Submissions beyond the limit are rejected.
+	QueueLimit int
+	// Workers is the default per-job CPU parallelism when a spec leaves
+	// it unset; <= 0 uses all CPUs.
+	Workers int
+	// AnalysisMaxFingerprints caps the input size for the quadratic
+	// k-gap anonymizability analysis attached to finished jobs; inputs
+	// above the cap skip the analysis. <= 0 means 2000.
+	AnalysisMaxFingerprints int
+	// ShardSeed drives the deterministic user-to-shard assignment.
+	ShardSeed uint64
+}
+
+func (o ManagerOptions) withDefaults() ManagerOptions {
+	if o.MaxConcurrentJobs <= 0 {
+		o.MaxConcurrentJobs = 1
+	}
+	if o.QueueLimit <= 0 {
+		o.QueueLimit = 256
+	}
+	if o.AnalysisMaxFingerprints <= 0 {
+		o.AnalysisMaxFingerprints = 2000
+	}
+	return o
+}
+
+// Manager owns the job lifecycle: submission, queueing, execution on a
+// fixed pool of executor goroutines, cancellation, and result retention.
+type Manager struct {
+	reg *Registry
+	opt ManagerOptions
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	seq    int
+	jobs   map[string]*Job
+	order  []string
+	closed bool
+}
+
+// NewManager starts a manager executing jobs against the registry.
+// Close must be called to release its executor goroutines.
+func NewManager(reg *Registry, opt ManagerOptions) *Manager {
+	opt = opt.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		reg:        reg,
+		opt:        opt,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, opt.QueueLimit),
+		jobs:       make(map[string]*Job),
+	}
+	m.wg.Add(opt.MaxConcurrentJobs)
+	for i := 0; i < opt.MaxConcurrentJobs; i++ {
+		go m.executor()
+	}
+	return m
+}
+
+// Close stops accepting jobs, cancels any running ones, and waits for
+// the executors to exit. Queued jobs that never started are moved to
+// cancelled.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	m.baseCancel()
+	m.wg.Wait()
+
+	// Anything still sitting in the (now drained) queue map as queued
+	// was never picked up: mark it cancelled so clients see a terminal
+	// state.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.state == JobQueued {
+			j.transition(JobCancelled)
+			j.err = "service shut down before the job started"
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Submit validates the spec, registers a new job, and enqueues it.
+func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	info, ok := m.reg.Get(spec.DatasetID)
+	if !ok {
+		return JobStatus{}, fmt.Errorf("service: unknown dataset %q", spec.DatasetID)
+	}
+	if info.Users < spec.K {
+		return JobStatus{}, fmt.Errorf("service: dataset %s hides %d users, cannot %d-anonymize",
+			info.ID, info.Users, spec.K)
+	}
+	if spec.Workers <= 0 {
+		spec.Workers = m.opt.Workers
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("service: manager is shut down")
+	}
+	m.seq++
+	job := &Job{
+		id:      fmt.Sprintf("job-%06d", m.seq),
+		spec:    spec,
+		state:   JobQueued,
+		created: time.Now().UTC(),
+	}
+	// The enqueue happens under m.mu so Close (which also takes m.mu)
+	// cannot close the channel between the closed check and the send.
+	// The send is non-blocking: a full queue rejects the submission.
+	select {
+	case m.queue <- job:
+	default:
+		m.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("%w (limit %d)", ErrQueueFull, m.opt.QueueLimit)
+	}
+	m.jobs[job.id] = job
+	m.order = append(m.order, job.id)
+	m.mu.Unlock()
+	return job.Status(), nil
+}
+
+// Get returns the status of a job.
+func (m *Manager) Get(id string) (JobStatus, bool) {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return job.Status(), true
+}
+
+// List returns the status of every job in submission order.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	return out
+}
+
+// Cancel requests cancellation of a queued or running job. Queued jobs
+// move to cancelled immediately; running jobs are interrupted via their
+// context and reach the cancelled state when the run unwinds.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobStatus{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	job.mu.Lock()
+	switch {
+	case job.state == JobQueued:
+		job.cancelRequested = true
+		job.transition(JobCancelled)
+		job.err = "cancelled before start"
+	case job.state == JobRunning:
+		job.cancelRequested = true
+		if job.cancel != nil {
+			job.cancel()
+		}
+	default: // terminal
+		state := job.state
+		job.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("service: job %s already %s", id, state)
+	}
+	job.mu.Unlock()
+	return job.Status(), nil
+}
+
+// Remove deletes a terminal job and its retained result from memory, so
+// a long-running daemon does not accumulate finished jobs forever.
+// Queued or running jobs must be cancelled first.
+func (m *Manager) Remove(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return fmt.Errorf("service: unknown job %q", id)
+	}
+	job.mu.Lock()
+	state := job.state
+	job.mu.Unlock()
+	if !state.Terminal() {
+		return fmt.Errorf("service: job %s is %s, cancel it before removing", id, state)
+	}
+	delete(m.jobs, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Result returns the anonymized dataset of a finished job.
+func (m *Manager) Result(id string) (*core.Dataset, error) {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("service: unknown job %q", id)
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if job.state != JobDone {
+		return nil, fmt.Errorf("service: job %s is %s, no result", id, job.state)
+	}
+	return job.result, nil
+}
+
+// executor pops jobs off the queue until the queue closes.
+func (m *Manager) executor() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.runJob(job)
+	}
+}
+
+// runJob drives one job from queued to a terminal state.
+func (m *Manager) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+
+	job.mu.Lock()
+	if job.state != JobQueued {
+		// Cancelled while waiting in the queue.
+		job.mu.Unlock()
+		return
+	}
+	if m.baseCtx.Err() != nil {
+		// Shutdown: skip the run entirely instead of starting a doomed
+		// job that would burn planShards work before noticing.
+		job.transition(JobCancelled)
+		job.err = "service shut down before the job started"
+		job.mu.Unlock()
+		return
+	}
+	job.cancel = cancel
+	job.transition(JobRunning)
+	spec := job.spec
+	job.mu.Unlock()
+
+	result, stats, anonFrac, err := m.execute(ctx, job, spec)
+
+	// The accuracy measurement walks every published sample; do it
+	// before taking job.mu so status polling never blocks behind it.
+	var accuracy *metrics.Summary
+	if err == nil {
+		if sum, serr := metrics.Measure(result).Summarize(); serr == nil {
+			accuracy = &sum
+		}
+	}
+
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	job.cancel = nil
+	// A cancel acknowledged while the run was in a non-interruptible
+	// tail (e.g. the capped analysis pass) must still win: never report
+	// "done" for a job the client was told is being cancelled.
+	if job.cancelRequested || ctx.Err() != nil {
+		job.transition(JobCancelled)
+		job.err = "cancelled"
+		return
+	}
+	if err != nil {
+		job.transition(JobFailed)
+		job.err = err.Error()
+		return
+	}
+	job.result = result
+	job.stats = stats
+	job.accuracy = accuracy
+	job.anonymousFraction = anonFrac
+	job.transition(JobDone)
+}
+
+// execute performs the sharded anonymization pipeline of one job.
+func (m *Manager) execute(ctx context.Context, job *Job, spec JobSpec) (*core.Dataset, *core.GloveStats, *float64, error) {
+	table, ok := m.reg.Table(spec.DatasetID)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("service: dataset %q disappeared", spec.DatasetID)
+	}
+	info, _ := m.reg.Get(spec.DatasetID)
+
+	shards := planShards(table, info.Users, spec.K, spec.Shards, m.opt.ShardSeed)
+	job.mu.Lock()
+	job.shardProgress = make([]float64, len(shards))
+	job.mu.Unlock()
+
+	result, stats, err := runShards(ctx, shards, spec, job.setShardProgress)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if verr := core.ValidateKAnonymity(result, spec.K); verr != nil {
+		return nil, nil, nil, fmt.Errorf("service: published dataset failed validation: %w", verr)
+	}
+
+	anonFrac := m.anonymizability(ctx, table, spec)
+	return result, stats, anonFrac, nil
+}
+
+// anonymizability runs the k-gap analysis of Sec. 5 on the job's input,
+// reporting the fraction of fingerprints that were k-anonymous before
+// GLOVE ran. The pass is quadratic, so it is skipped (nil) for inputs
+// above the configured cap or when the analysis fails.
+func (m *Manager) anonymizability(ctx context.Context, table *cdr.Table, spec JobSpec) *float64 {
+	if ctx.Err() != nil {
+		return nil
+	}
+	ds, err := table.BuildDataset()
+	if err != nil || ds.Len() < spec.K || ds.Len() > m.opt.AnalysisMaxFingerprints {
+		return nil
+	}
+	_, kgaps, err := analysis.KGapCDF(core.DefaultParams(), ds, spec.K, spec.Workers)
+	if err != nil {
+		return nil
+	}
+	frac := analysis.AnonymousFraction(kgaps)
+	return &frac
+}

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/geo"
+)
+
+// DatasetInfo is the public metadata of a registered dataset.
+type DatasetInfo struct {
+	ID        string     `json:"id"`
+	Name      string     `json:"name"`
+	Records   int        `json:"records"`
+	Users     int        `json:"users"`
+	SpanDays  int        `json:"span_days"`
+	Center    geo.LatLon `json:"center"`
+	CreatedAt time.Time  `json:"created_at"`
+}
+
+// Registry holds the datasets the service can anonymize. Ingestion is
+// streaming: records are decoded and validated one at a time off the
+// wire, so a multi-gigabyte operator feed never forces a second
+// in-memory copy of the raw body.
+type Registry struct {
+	// MaxRecords bounds a single ingestion (0 = unlimited). The bound is
+	// enforced during streaming, so an oversized upload fails early
+	// instead of exhausting memory first.
+	MaxRecords int
+
+	mu    sync.Mutex
+	seq   int
+	infos map[string]DatasetInfo
+	data  map[string]*cdr.Table
+	order []string
+}
+
+// NewRegistry returns an empty dataset registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		infos: make(map[string]DatasetInfo),
+		data:  make(map[string]*cdr.Table),
+	}
+}
+
+// Ingest streams a raw record CSV into a new registered dataset. center
+// and spanDays are the table metadata the CSV format does not carry.
+func (g *Registry) Ingest(r io.Reader, name string, center geo.LatLon, spanDays int) (DatasetInfo, error) {
+	if !center.Valid() {
+		return DatasetInfo{}, fmt.Errorf("service: invalid dataset center %v", center)
+	}
+	if spanDays <= 0 {
+		return DatasetInfo{}, fmt.Errorf("service: span_days = %d, need > 0", spanDays)
+	}
+	table := &cdr.Table{Center: center, SpanDays: spanDays}
+	users := make(map[string]struct{})
+	rr := cdr.NewRecordReader(r)
+	for {
+		rec, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return DatasetInfo{}, err
+		}
+		table.Records = append(table.Records, rec)
+		users[rec.User] = struct{}{}
+		if g.MaxRecords > 0 && len(table.Records) > g.MaxRecords {
+			return DatasetInfo{}, fmt.Errorf("service: dataset exceeds %d records", g.MaxRecords)
+		}
+	}
+	if len(table.Records) == 0 {
+		return DatasetInfo{}, fmt.Errorf("service: dataset is empty")
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.seq++
+	info := DatasetInfo{
+		ID:        fmt.Sprintf("ds-%06d", g.seq),
+		Name:      name,
+		Records:   len(table.Records),
+		Users:     len(users),
+		SpanDays:  spanDays,
+		Center:    center,
+		CreatedAt: time.Now().UTC(),
+	}
+	g.infos[info.ID] = info
+	g.data[info.ID] = table
+	g.order = append(g.order, info.ID)
+	return info, nil
+}
+
+// Get returns the metadata of a registered dataset.
+func (g *Registry) Get(id string) (DatasetInfo, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	info, ok := g.infos[id]
+	return info, ok
+}
+
+// Table returns the raw record table of a registered dataset. The table
+// is shared, not copied; callers must not mutate it (job execution only
+// reads it — sharding and subsetting clone records).
+func (g *Registry) Table(id string) (*cdr.Table, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	t, ok := g.data[id]
+	return t, ok
+}
+
+// Delete removes a dataset, releasing its record table. Jobs already
+// holding the table keep running; queued jobs referencing the ID fail
+// when they start.
+func (g *Registry) Delete(id string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.infos[id]; !ok {
+		return false
+	}
+	delete(g.infos, id)
+	delete(g.data, id)
+	for i, oid := range g.order {
+		if oid == id {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// List returns all registered datasets in ingestion order.
+func (g *Registry) List() []DatasetInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, g.infos[id])
+	}
+	return out
+}

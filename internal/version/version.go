@@ -1,0 +1,14 @@
+// Package version carries the single version string shared by every
+// binary of the reproduction (glovectl, gloved, gloveexp, d4dgen).
+package version
+
+// Version identifies the current build of the repository. Bump on
+// releases; the -version flag of every command and the gloved /healthz
+// endpoint report it.
+const Version = "0.2.0"
+
+// String formats the canonical "<tool> <version>" line printed by the
+// -version flag.
+func String(tool string) string {
+	return tool + " " + Version
+}
