@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench bench-json check
 
 all: check
 
@@ -18,5 +18,13 @@ race:
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+# bench-json runs the ablation benchmarks (nearest cache, merge stages,
+# reshape, parallel scaling, pruning, chunked, dense-vs-sparse index;
+# DESIGN.md Sec. 5) and records the machine-readable stream in
+# BENCH_glove.json so the performance trajectory is tracked across PRs.
+bench-json:
+	$(GO) test -run=^$$ -bench='BenchmarkAblation|BenchmarkFingerprintEffortKernel' \
+		-benchtime=1x -json . > BENCH_glove.json
 
 check: build vet test

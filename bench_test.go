@@ -310,6 +310,36 @@ func BenchmarkAblationChunked(b *testing.B) {
 	}
 }
 
+// Dense matrix vs sparse spatial-grid pair-selection index: the two
+// EffortIndex implementations behind core.Anonymize produce identical
+// output (asserted by the core equivalence property test); this ablation
+// tracks the time cost of trading the O(n²) matrix for O(n·m) candidate
+// lists across candidate budgets.
+func BenchmarkAblationIndex(b *testing.B) {
+	d := benchDataset(b)
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Glove(d, core.GloveOptions{K: 2, Index: core.IndexDense}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, m := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("sparse/m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, _, err := core.Glove(d, core.GloveOptions{
+					K: 2, Index: core.IndexSparse, IndexNeighbors: m,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // The hot kernel itself: Eq. 10 over one pair, the unit the paper's GPU
 // implementation parallelizes.
 func BenchmarkFingerprintEffortKernel(b *testing.B) {

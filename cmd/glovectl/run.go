@@ -31,6 +31,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		suppressMin = fs.Float64("suppress-min", 0, "suppress samples longer than this many minutes (0 = off)")
 		out         = fs.String("out", "", "output CSV path for the anonymized dataset (default stdout)")
 		workers     = fs.Int("workers", 0, "worker count (0 = all CPUs)")
+		strategy    = fs.String("strategy", "", "execution strategy: auto, single or chunked (empty = auto)")
+		chunkSize   = fs.Int("chunk-size", 0, "fingerprints per chunked block (0 = core default)")
+		index       = fs.String("index", "", "pair-selection index: auto, dense or sparse (empty = auto)")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -72,14 +75,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "glovectl: %d fingerprints, %d samples, mean length %.1f\n",
 		dataset.Len(), dataset.TotalSamples(), dataset.MeanFingerprintLen())
 
-	published, stats, err := core.GloveContext(ctx, dataset, core.GloveOptions{
-		K: *k,
-		Suppress: core.SuppressionThresholds{
-			MaxSpatialMeters:   *suppressKm * 1000,
-			MaxTemporalMinutes: *suppressMin,
+	strategyKind, err := core.ParseStrategy(*strategy)
+	if err != nil {
+		return fmt.Errorf("glovectl: -strategy: %w", err)
+	}
+	indexKind, err := core.ParseIndexKind(*index)
+	if err != nil {
+		return fmt.Errorf("glovectl: -index: %w", err)
+	}
+	aopt := core.AnonymizeOptions{
+		Glove: core.GloveOptions{
+			K: *k,
+			Suppress: core.SuppressionThresholds{
+				MaxSpatialMeters:   *suppressKm * 1000,
+				MaxTemporalMinutes: *suppressMin,
+			},
+			Workers: *workers,
+			Index:   indexKind,
 		},
-		Workers: *workers,
-	})
+		Strategy:  strategyKind,
+		ChunkSize: *chunkSize,
+	}
+	plan, err := core.PlanFor(dataset.Len(), aopt)
+	if err != nil {
+		return err
+	}
+	if plan.Strategy == core.StrategyChunked {
+		fmt.Fprintf(stderr, "glovectl: plan: strategy=%s chunk=%d index=%s\n",
+			plan.Strategy, plan.ChunkSize, plan.Index)
+	} else {
+		fmt.Fprintf(stderr, "glovectl: plan: strategy=%s index=%s\n", plan.Strategy, plan.Index)
+	}
+
+	published, stats, err := core.RunPlan(ctx, dataset, aopt, plan)
 	if err != nil {
 		if ctx.Err() != nil {
 			return fmt.Errorf("interrupted, no output written")

@@ -86,6 +86,26 @@ func TestRunWithSuppression(t *testing.T) {
 	}
 }
 
+// An explicit strategy and index run through the planner; the chosen
+// plan is reported and the output still validates.
+func TestRunExplicitStrategy(t *testing.T) {
+	in := writeTestCSV(t)
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-in", in, "-days", "3", "-k", "2",
+		"-strategy", "chunked", "-chunk-size", "10", "-index", "sparse",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "plan: strategy=chunked chunk=10 index=sparse") {
+		t.Errorf("plan line missing: %s", stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "group,count,") {
+		t.Error("stdout missing CSV")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run(context.Background(), []string{}, &stdout, &stderr); err == nil {
@@ -103,6 +123,15 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-bogus-flag"}, &stdout, &stderr); err == nil {
 		t.Error("bogus flag accepted")
+	}
+	if err := run(context.Background(), []string{"-in", in, "-strategy", "warp"}, &stdout, &stderr); err == nil {
+		t.Error("bogus -strategy accepted")
+	}
+	if err := run(context.Background(), []string{"-in", in, "-index", "quadtree"}, &stdout, &stderr); err == nil {
+		t.Error("bogus -index accepted")
+	}
+	if err := run(context.Background(), []string{"-in", in, "-k", "3", "-chunk-size", "4"}, &stdout, &stderr); err == nil {
+		t.Error("chunk size below 2k accepted")
 	}
 	// Malformed CSV content.
 	bad := filepath.Join(t.TempDir(), "bad.csv")

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/service"
 	"repro/internal/version"
 )
@@ -27,6 +28,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxRecords  = fs.Int("max-records", 0, "per-dataset record limit (0 = unlimited)")
 		maxBody     = fs.Int64("max-body-bytes", 0, "per-ingestion body byte limit (0 = unlimited)")
 		analysisCap = fs.Int("analysis-cap", 2000, "max input fingerprints for the k-gap analysis pass")
+		strategy    = fs.String("strategy", "", "default job strategy: auto, single or chunked (empty = auto)")
+		chunkSize   = fs.Int("chunk-size", 0, "default fingerprints per chunked block (0 = core default)")
+		index       = fs.String("index", "", "default pair-selection index: auto, dense or sparse (empty = auto)")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -36,6 +40,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, version.String("gloved"))
 		return nil
 	}
+	// Fail fast on bad planner defaults instead of rejecting every
+	// future job submission.
+	if _, err := core.ParseStrategy(*strategy); err != nil {
+		return fmt.Errorf("gloved: -strategy: %w", err)
+	}
+	if _, err := core.ParseIndexKind(*index); err != nil {
+		return fmt.Errorf("gloved: -index: %w", err)
+	}
+	if *chunkSize < 0 {
+		return fmt.Errorf("gloved: -chunk-size %d is negative", *chunkSize)
+	}
 
 	reg := service.NewRegistry()
 	reg.MaxRecords = *maxRecords
@@ -44,6 +59,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		QueueLimit:              *queueLimit,
 		Workers:                 *workers,
 		AnalysisMaxFingerprints: *analysisCap,
+		DefaultStrategy:         *strategy,
+		DefaultChunkSize:        *chunkSize,
+		DefaultIndex:            *index,
 	})
 	defer mgr.Close()
 

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/parallel"
 )
@@ -34,6 +36,13 @@ type ChunkedGloveOptions struct {
 // neighbours land in another block (measured in
 // BenchmarkAblationChunked).
 func GloveChunked(d *Dataset, opt ChunkedGloveOptions) (*Dataset, *GloveStats, error) {
+	return GloveChunkedContext(context.Background(), d, opt)
+}
+
+// GloveChunkedContext is GloveChunked with cooperative cancellation:
+// when ctx is done, no new blocks start, in-flight blocks stop at their
+// next merge iteration, and ctx.Err() is returned.
+func GloveChunkedContext(ctx context.Context, d *Dataset, opt ChunkedGloveOptions) (*Dataset, *GloveStats, error) {
 	gopt := opt.Glove.withDefaults()
 	if gopt.K < 2 {
 		return nil, nil, fmt.Errorf("core: chunked glove k = %d, need k >= 2", gopt.K)
@@ -48,25 +57,63 @@ func GloveChunked(d *Dataset, opt ChunkedGloveOptions) (*Dataset, *GloveStats, e
 		return nil, nil, fmt.Errorf("core: dataset hides %d users, cannot %d-anonymize", d.Users(), gopt.K)
 	}
 	if d.Len() <= opt.ChunkSize {
-		return Glove(d, gopt)
+		return GloveContext(ctx, d, gopt)
 	}
 
 	blocks := spatialBlocks(d, opt.ChunkSize)
+
+	// Blocks run concurrently and each reports progress at its own
+	// (done, total) scale, so the caller's hook cannot be handed to them
+	// directly: it would see interleaved scales and hit 100% when the
+	// first block finishes. Aggregate instead — each block's fraction is
+	// weighted by its size, the hook is serialized under a mutex, and
+	// the reported done grows monotonically to the summed total.
+	blockProgress := func(i, done, total int) {}
+	if gopt.Progress != nil {
+		weights := make([]int, len(blocks))
+		var totalUnits int
+		for i, b := range blocks {
+			weights[i] = len(b) + 1 // matches the per-run total: merges + build step
+			totalUnits += weights[i]
+		}
+		acc := make([]int, len(blocks))
+		var doneUnits int
+		var mu sync.Mutex
+		caller := gopt.Progress
+		blockProgress = func(i, done, total int) {
+			if total <= 0 {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			u := done * weights[i] / total
+			if u > acc[i] {
+				doneUnits += u - acc[i]
+				acc[i] = u
+				caller(doneUnits, totalUnits)
+			}
+		}
+	}
 
 	type blockResult struct {
 		out   *Dataset
 		stats *GloveStats
 		err   error
 	}
-	results := parallel.Map(len(blocks), gopt.Workers, func(i int) blockResult {
+	results := make([]blockResult, len(blocks))
+	ferr := parallel.ForContext(ctx, len(blocks), gopt.Workers, func(i int) {
 		sub := &Dataset{Fingerprints: blocks[i]}
 		// Per-block pair computations stay serial; parallelism comes
 		// from running blocks concurrently.
 		o := gopt
 		o.Workers = 1
-		out, st, err := Glove(sub, o)
-		return blockResult{out, st, err}
+		o.Progress = func(done, total int) { blockProgress(i, done, total) }
+		out, st, err := GloveContext(ctx, sub, o)
+		results[i] = blockResult{out, st, err}
 	})
+	if ferr != nil {
+		return nil, nil, ferr
+	}
 
 	total := &GloveStats{}
 	var fps []*Fingerprint
@@ -75,14 +122,7 @@ func GloveChunked(d *Dataset, opt ChunkedGloveOptions) (*Dataset, *GloveStats, e
 			return nil, nil, fmt.Errorf("core: block %d: %w", i, r.err)
 		}
 		fps = append(fps, r.out.Fingerprints...)
-		total.InputFingerprints += r.stats.InputFingerprints
-		total.InputUsers += r.stats.InputUsers
-		total.InputSamples += r.stats.InputSamples
-		total.Merges += r.stats.Merges
-		total.SuppressedSamples += r.stats.SuppressedSamples
-		total.SuppressedPublished += r.stats.SuppressedPublished
-		total.DiscardedFingerprints += r.stats.DiscardedFingerprints
-		total.DiscardedUsers += r.stats.DiscardedUsers
+		total.Add(r.stats)
 	}
 	out := &Dataset{Fingerprints: fps}
 	total.OutputFingerprints = out.Len()

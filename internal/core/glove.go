@@ -56,14 +56,26 @@ type GloveOptions struct {
 	// <= 0 uses all CPUs.
 	Workers int
 
+	// Index selects the pair-selection index implementation (DESIGN.md
+	// Sec. 4). The zero value (IndexAuto) uses the dense matrix below
+	// DenseIndexMaxN fingerprints and the sparse spatial-grid candidate
+	// index above. All implementations produce identical output.
+	Index IndexKind
+
+	// IndexNeighbors is the per-fingerprint candidate-list size m of the
+	// sparse index; <= 0 uses DefaultIndexNeighbors. Larger values
+	// refill candidate lists less often at the cost of O(n·m) memory.
+	IndexNeighbors int
+
 	// NaiveMinPair disables the per-row nearest-neighbour cache and
 	// rescans the full effort matrix at every iteration. It exists only
 	// for the ablation benchmark of the cache (DESIGN.md Sec. 5) and
-	// must produce identical output.
+	// must produce identical output. It implies the dense index and is
+	// rejected in combination with IndexSparse.
 	NaiveMinPair bool
 
 	// Progress, if non-nil, is called from the goroutine running GLOVE
-	// as the run advances: once after the pairwise effort matrix is
+	// as the run advances: once after the pairwise effort index is
 	// built, then after every merge, and a final time on completion.
 	// done grows monotonically to total. The callback must be fast; it
 	// is on the hot path of the merge loop.
@@ -74,6 +86,7 @@ func (o GloveOptions) withDefaults() GloveOptions {
 	if o.Params == (Params{}) {
 		o.Params = DefaultParams()
 	}
+	o.IndexNeighbors = clampIndexNeighbors(o.IndexNeighbors)
 	return o
 }
 
@@ -103,6 +116,22 @@ type GloveStats struct {
 	DiscardedUsers        int
 }
 
+// Add accumulates every counter of o into s. Aggregators that combine
+// per-partition runs (chunked blocks, service shards) sum with Add and
+// then overwrite the Output* fields from the merged dataset.
+func (s *GloveStats) Add(o *GloveStats) {
+	s.InputFingerprints += o.InputFingerprints
+	s.InputUsers += o.InputUsers
+	s.InputSamples += o.InputSamples
+	s.OutputFingerprints += o.OutputFingerprints
+	s.OutputSamples += o.OutputSamples
+	s.Merges += o.Merges
+	s.SuppressedSamples += o.SuppressedSamples
+	s.SuppressedPublished += o.SuppressedPublished
+	s.DiscardedFingerprints += o.DiscardedFingerprints
+	s.DiscardedUsers += o.DiscardedUsers
+}
+
 // Glove runs the GLOVE algorithm (Alg. 1) on the dataset and returns the
 // k-anonymized dataset together with run statistics. The input dataset is
 // not modified.
@@ -120,7 +149,7 @@ func Glove(d *Dataset, opt GloveOptions) (*Dataset, *GloveStats, error) {
 
 // GloveContext is Glove with cooperative cancellation: when ctx is done
 // the run stops — between merge iterations, or mid-way through building
-// the pairwise effort matrix — and ctx.Err() is returned. The input
+// the pairwise effort index — and ctx.Err() is returned. The input
 // dataset is never modified, so an interrupted run leaves no partial
 // state behind.
 func GloveContext(ctx context.Context, d *Dataset, opt GloveOptions) (*Dataset, *GloveStats, error) {
@@ -129,6 +158,9 @@ func GloveContext(ctx context.Context, d *Dataset, opt GloveOptions) (*Dataset, 
 		return nil, nil, fmt.Errorf("core: glove k = %d, need k >= 2", opt.K)
 	}
 	if err := opt.Params.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if _, err := opt.resolveIndex(d.Len()); err != nil {
 		return nil, nil, err
 	}
 	if err := d.Validate(); err != nil {
@@ -148,7 +180,7 @@ func GloveContext(ctx context.Context, d *Dataset, opt GloveOptions) (*Dataset, 
 	if err != nil {
 		return nil, nil, err
 	}
-	// Progress accounting: step 0 -> 1 is the matrix build, then one
+	// Progress accounting: step 0 -> 1 is the index build, then one
 	// step per merge (at most one merge per initially-active
 	// fingerprint, counting the leftover fold).
 	total := st.activeCount() + 1
@@ -162,7 +194,7 @@ func GloveContext(ctx context.Context, d *Dataset, opt GloveOptions) (*Dataset, 
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		i, j := st.minPair()
+		i, j := st.idx.MinPair()
 		st.merge(i, j)
 		stats.Merges++
 		progress(1 + stats.Merges)
@@ -192,32 +224,26 @@ func totalWeight(d *Dataset) int {
 }
 
 // gloveState is the working set of Alg. 1: the active (not yet
-// anonymized) fingerprints, the dense symmetric effort matrix S over
-// active slots, and a per-slot nearest-neighbour cache that keeps the
-// min-pair selection near O(n) per iteration.
+// anonymized) fingerprints and the pluggable pair-selection index over
+// them (dense effort matrix or sparse spatial-grid candidate lists).
 type gloveState struct {
 	opt GloveOptions
-
-	fps   []*Fingerprint // slot -> fingerprint (nil when dead)
-	alive []bool         // slot is active (fingerprint count < K)
-	n     int            // slot capacity (== initial dataset size)
-
-	matrix  []float64 // n*n efforts among active slots
-	nearest []int     // slot -> active slot at min effort (-1 if stale/none)
+	ws  *workingSet
+	idx EffortIndex
 
 	done []*Fingerprint // anonymized fingerprints (count >= K)
 }
 
 func newGloveState(ctx context.Context, d *Dataset, opt GloveOptions) (*gloveState, error) {
 	n := d.Len()
-	st := &gloveState{
-		opt:     opt,
+	ws := &workingSet{
+		params:  opt.Params,
+		workers: opt.Workers,
 		fps:     make([]*Fingerprint, n),
 		alive:   make([]bool, n),
 		n:       n,
-		matrix:  make([]float64, n*n),
-		nearest: make([]int, n),
 	}
+	st := &gloveState{opt: opt, ws: ws}
 	for i, f := range d.Fingerprints {
 		fc := f.Clone()
 		if fc.Count >= opt.K {
@@ -225,35 +251,25 @@ func newGloveState(ctx context.Context, d *Dataset, opt GloveOptions) (*gloveSta
 			st.done = append(st.done, fc)
 			continue
 		}
-		st.fps[i] = fc
-		st.alive[i] = true
+		ws.fps[i] = fc
+		ws.alive[i] = true
 	}
-	p := opt.Params
-	// The O(n^2) matrix build dominates start-up cost; run it under the
-	// context so a cancelled job does not have to wait it out.
-	err := parallel.ForPairsContext(ctx, n, opt.Workers, func(i, j int) {
-		if !st.alive[i] || !st.alive[j] {
-			return
-		}
-		e := p.FingerprintEffort(st.fps[i], st.fps[j])
-		st.matrix[i*n+j] = e
-		st.matrix[j*n+i] = e
-	})
+	kind, err := opt.resolveIndex(n)
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < n; i++ {
-		if st.alive[i] {
-			st.rescanNearest(i)
-		}
+	opt.Index = kind
+	st.idx = newEffortIndex(ws, opt)
+	if err := st.idx.Build(ctx); err != nil {
+		return nil, err
 	}
 	return st, nil
 }
 
 func (st *gloveState) activeCount() int {
 	var c int
-	for i := 0; i < st.n; i++ {
-		if st.alive[i] {
+	for i := 0; i < st.ws.n; i++ {
+		if st.ws.alive[i] {
 			c++
 		}
 	}
@@ -261,141 +277,46 @@ func (st *gloveState) activeCount() int {
 }
 
 func (st *gloveState) lastActive() (int, bool) {
-	for i := 0; i < st.n; i++ {
-		if st.alive[i] {
+	for i := 0; i < st.ws.n; i++ {
+		if st.ws.alive[i] {
 			return i, true
 		}
 	}
 	return 0, false
 }
 
-// rescanNearest recomputes the nearest active neighbour of slot i from
-// the matrix row.
-func (st *gloveState) rescanNearest(i int) {
-	best := math.Inf(1)
-	bestIdx := -1
-	row := st.matrix[i*st.n : (i+1)*st.n]
-	for j := 0; j < st.n; j++ {
-		if j == i || !st.alive[j] {
-			continue
-		}
-		if row[j] < best {
-			best = row[j]
-			bestIdx = j
-		}
-	}
-	st.nearest[i] = bestIdx
-}
-
-// minPair returns the active pair at global minimum effort using the
-// nearest caches; ties break towards the lowest slot index, keeping runs
-// deterministic.
-func (st *gloveState) minPair() (int, int) {
-	if st.opt.NaiveMinPair {
-		return st.minPairNaive()
-	}
-	best := math.Inf(1)
-	bi, bj := -1, -1
-	for i := 0; i < st.n; i++ {
-		if !st.alive[i] || st.nearest[i] < 0 {
-			continue
-		}
-		e := st.matrix[i*st.n+st.nearest[i]]
-		if e < best {
-			best = e
-			bi, bj = i, st.nearest[i]
-		}
-	}
-	if bi > bj {
-		bi, bj = bj, bi
-	}
-	return bi, bj
-}
-
-// minPairNaive is the cache-free O(n^2) scan used by the ablation
-// benchmark. Tie-breaking matches the cached path: the cache keeps the
-// lowest-index nearest neighbour per row, so both scans return the
-// first minimal pair in row-major order.
-func (st *gloveState) minPairNaive() (int, int) {
-	best := math.Inf(1)
-	bi, bj := -1, -1
-	for i := 0; i < st.n; i++ {
-		if !st.alive[i] {
-			continue
-		}
-		row := st.matrix[i*st.n : (i+1)*st.n]
-		for j := 0; j < st.n; j++ {
-			if j == i || !st.alive[j] {
-				continue
-			}
-			if row[j] < best {
-				best = row[j]
-				bi, bj = i, j
-			}
-		}
-	}
-	if bi > bj {
-		bi, bj = bj, bi
-	}
-	return bi, bj
-}
-
 // merge performs one iteration of Alg. 1 (lines 5-14): remove slots i
 // and j, merge their fingerprints, and either retire the result (count
-// >= K) or re-insert it into slot i with a freshly computed effort row.
+// >= K) or re-insert it into slot i with freshly computed efforts.
 func (st *gloveState) merge(i, j int) {
-	a, b := st.fps[i], st.fps[j]
+	ws := st.ws
+	a, b := ws.fps[i], ws.fps[j]
 	m := MergeFingerprints(st.opt.Params, a, b, st.opt.Merge)
 
-	st.alive[i] = false
-	st.alive[j] = false
-	st.fps[i] = nil
-	st.fps[j] = nil
+	ws.alive[i] = false
+	ws.alive[j] = false
+	ws.fps[i] = nil
+	ws.fps[j] = nil
+	st.idx.Remove(i)
+	st.idx.Remove(j)
 
-	reinserted := -1
 	if m.Count < st.opt.K {
-		st.fps[i] = m
-		st.alive[i] = true
-		reinserted = i
-		// Recompute row i against all active slots in parallel.
-		p := st.opt.Params
-		n := st.n
-		parallel.For(n, st.opt.Workers, func(c int) {
-			if c == i || !st.alive[c] {
-				return
-			}
-			e := p.FingerprintEffort(m, st.fps[c])
-			st.matrix[i*n+c] = e
-			st.matrix[c*n+i] = e
-		})
-		st.rescanNearest(i)
+		ws.fps[i] = m
+		ws.alive[i] = true
+		st.idx.Reinsert(i)
 	} else {
 		st.done = append(st.done, m)
-	}
-
-	// Repair nearest caches: slots that pointed at i or j must rescan;
-	// others may only improve via the reinserted slot.
-	for c := 0; c < st.n; c++ {
-		if !st.alive[c] || c == reinserted {
-			continue
-		}
-		switch {
-		case st.nearest[c] == i || st.nearest[c] == j:
-			st.rescanNearest(c)
-		case reinserted >= 0:
-			if e := st.matrix[c*st.n+reinserted]; st.nearest[c] < 0 || e < st.matrix[c*st.n+st.nearest[c]] {
-				st.nearest[c] = reinserted
-			}
-		}
 	}
 }
 
 // foldIntoDone merges the last active fingerprint into the anonymized
 // group at minimum effort, so no subscriber is discarded.
 func (st *gloveState) foldIntoDone(i int) {
-	f := st.fps[i]
-	st.alive[i] = false
-	st.fps[i] = nil
+	ws := st.ws
+	f := ws.fps[i]
+	ws.alive[i] = false
+	ws.fps[i] = nil
+	st.idx.Remove(i)
 
 	p := st.opt.Params
 	efforts := parallel.Map(len(st.done), st.opt.Workers, func(c int) float64 {

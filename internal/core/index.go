@@ -1,0 +1,64 @@
+package core
+
+import "context"
+
+// workingSet is the slot table an EffortIndex operates over: the active
+// (not yet anonymized) fingerprints of a GLOVE run, addressed by stable
+// slot numbers so index structures can reference fingerprints without
+// chasing pointers. The merge loop mutates it (kills slots, reinserts
+// merged fingerprints) and notifies the index through Remove/Reinsert.
+type workingSet struct {
+	params  Params
+	workers int
+
+	fps   []*Fingerprint // slot -> fingerprint (nil when dead)
+	alive []bool         // slot is active (fingerprint count < K)
+	n     int            // slot capacity (== initial dataset size)
+}
+
+// EffortIndex is the pluggable pair-selection structure behind the GLOVE
+// merge loop (Alg. 1 line 5: "find the pair at minimum stretch effort").
+// Implementations trade memory for generality:
+//
+//   - denseIndex stores the full n×n effort matrix — exact O(1) effort
+//     lookups, O(n²) float64 memory, the small-n default.
+//   - sparseIndex keeps a bounded candidate list per fingerprint seeded
+//     from a spatial grid — O(n·m) memory, the large-n path.
+//
+// Both are exact: MinPair returns the same pair as an exhaustive scan
+// under the canonical ordering, so every index yields byte-identical
+// anonymized output (the equivalence property test enforces this).
+//
+// Call protocol: the merge loop mutates the workingSet first (alive
+// flags, fingerprint slots) and then informs the index, so Remove and
+// Reinsert always observe the post-mutation state.
+type EffortIndex interface {
+	// Build computes the initial structures over the active slots. It
+	// honours ctx so a cancelled run does not wait out the start-up cost.
+	Build(ctx context.Context) error
+
+	// MinPair returns the active pair (i, j), i < j, minimal under the
+	// canonical ordering: lowest effort, ties broken towards the lowest
+	// i and then the lowest j. Returns (-1, -1) when fewer than two
+	// slots are active.
+	MinPair() (int, int)
+
+	// Remove tells the index slot i was deactivated (its fingerprint
+	// merged away or retired to the anonymized set).
+	Remove(i int)
+
+	// Reinsert tells the index slot i was re-activated with the merged
+	// fingerprint now held by the working set, and must recompute that
+	// slot's efforts.
+	Reinsert(i int)
+}
+
+// newEffortIndex constructs the index implementation selected by the
+// (already resolved) options. opt.Index must be IndexDense or
+// IndexSparse by the time a state is built; resolveIndex handles auto.
+func newEffortIndex(ws *workingSet, opt GloveOptions) EffortIndex {
+	if opt.Index == IndexSparse {
+		return newSparseIndex(ws, opt.IndexNeighbors)
+	}
+	return newDenseIndex(ws, opt.NaiveMinPair)
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// denseIndex is the dense EffortIndex: a full symmetric n×n effort
+// matrix over the working-set slots plus a per-slot nearest-neighbour
+// cache that keeps min-pair selection near O(n) per iteration. Exact
+// and fastest for small datasets, but its memory is quadratic (8·n²
+// bytes), which is why the planner switches to sparseIndex above
+// DenseIndexMaxN fingerprints.
+type denseIndex struct {
+	ws *workingSet
+
+	// naive disables the nearest cache and rescans the full matrix at
+	// every MinPair, for the cache ablation (DESIGN.md Sec. 5). Output
+	// must be identical.
+	naive bool
+
+	matrix  []float64 // n*n efforts among active slots
+	nearest []int     // slot -> active slot at canonical min effort (-1 if none)
+}
+
+func newDenseIndex(ws *workingSet, naive bool) *denseIndex {
+	return &denseIndex{ws: ws, naive: naive}
+}
+
+// Build computes the pairwise effort matrix. The O(n²) build dominates
+// start-up cost; it runs under ctx so a cancelled job does not have to
+// wait it out.
+func (x *denseIndex) Build(ctx context.Context) error {
+	ws := x.ws
+	n := ws.n
+	x.matrix = make([]float64, n*n)
+	x.nearest = make([]int, n)
+	p := ws.params
+	err := parallel.ForPairsContext(ctx, n, ws.workers, func(i, j int) {
+		if !ws.alive[i] || !ws.alive[j] {
+			return
+		}
+		e := p.FingerprintEffort(ws.fps[i], ws.fps[j])
+		x.matrix[i*n+j] = e
+		x.matrix[j*n+i] = e
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if ws.alive[i] {
+			x.rescanNearest(i)
+		}
+	}
+	return nil
+}
+
+// rescanNearest recomputes the nearest active neighbour of slot i from
+// the matrix row: the canonical minimum, i.e. the lowest slot index
+// among effort ties.
+func (x *denseIndex) rescanNearest(i int) {
+	ws := x.ws
+	best := math.Inf(1)
+	bestIdx := -1
+	row := x.matrix[i*ws.n : (i+1)*ws.n]
+	for j := 0; j < ws.n; j++ {
+		if j == i || !ws.alive[j] {
+			continue
+		}
+		if row[j] < best {
+			best = row[j]
+			bestIdx = j
+		}
+	}
+	x.nearest[i] = bestIdx
+}
+
+// MinPair returns the active pair at global minimum effort using the
+// nearest caches; ties break towards the lowest slot indexes, keeping
+// runs deterministic and index implementations interchangeable.
+func (x *denseIndex) MinPair() (int, int) {
+	if x.naive {
+		return x.minPairNaive()
+	}
+	ws := x.ws
+	best := math.Inf(1)
+	bi, bj := -1, -1
+	for i := 0; i < ws.n; i++ {
+		if !ws.alive[i] || x.nearest[i] < 0 {
+			continue
+		}
+		e := x.matrix[i*ws.n+x.nearest[i]]
+		if e < best {
+			best = e
+			bi, bj = i, x.nearest[i]
+		}
+	}
+	if bi > bj {
+		bi, bj = bj, bi
+	}
+	return bi, bj
+}
+
+// minPairNaive is the cache-free O(n²) scan used by the ablation
+// benchmark. Tie-breaking matches the cached path: both return the
+// first minimal pair in row-major order.
+func (x *denseIndex) minPairNaive() (int, int) {
+	ws := x.ws
+	best := math.Inf(1)
+	bi, bj := -1, -1
+	for i := 0; i < ws.n; i++ {
+		if !ws.alive[i] {
+			continue
+		}
+		row := x.matrix[i*ws.n : (i+1)*ws.n]
+		for j := 0; j < ws.n; j++ {
+			if j == i || !ws.alive[j] {
+				continue
+			}
+			if row[j] < best {
+				best = row[j]
+				bi, bj = i, j
+			}
+		}
+	}
+	if bi > bj {
+		bi, bj = bj, bi
+	}
+	return bi, bj
+}
+
+// Remove repairs the nearest caches of slots that pointed at the now
+// dead slot i.
+func (x *denseIndex) Remove(i int) {
+	ws := x.ws
+	for c := 0; c < ws.n; c++ {
+		if ws.alive[c] && x.nearest[c] == i {
+			x.rescanNearest(c)
+		}
+	}
+}
+
+// Reinsert recomputes row i against all active slots in parallel and
+// offers the new row to the other slots' caches.
+func (x *denseIndex) Reinsert(i int) {
+	ws := x.ws
+	p := ws.params
+	n := ws.n
+	m := ws.fps[i]
+	parallel.For(n, ws.workers, func(c int) {
+		if c == i || !ws.alive[c] {
+			return
+		}
+		e := p.FingerprintEffort(m, ws.fps[c])
+		x.matrix[i*n+c] = e
+		x.matrix[c*n+i] = e
+	})
+	x.rescanNearest(i)
+	// Other caches may only improve via the reinserted slot. On an exact
+	// effort tie the lower slot index wins, matching the canonical
+	// ordering of rescanNearest (ties at saturated effort 1.0 are common
+	// between far-apart fingerprints, so this matters for determinism
+	// across index implementations).
+	for c := 0; c < n; c++ {
+		if !ws.alive[c] || c == i {
+			continue
+		}
+		e := x.matrix[c*n+i]
+		cur := x.nearest[c]
+		if cur < 0 || e < x.matrix[c*n+cur] || (e == x.matrix[c*n+cur] && i < cur) {
+			x.nearest[c] = i
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// sparseIndex is the bounded-memory EffortIndex for large datasets:
+// instead of the n×n effort matrix it keeps, per active fingerprint, a
+// candidate list of the m lexicographically smallest (effort, slot)
+// neighbours plus a cutoff pair bounding everything excluded from the
+// list. Candidate discovery walks a spatial grid over fingerprint
+// centroids in expanding rings, using the bounding-volume effort lower
+// bound (EffortLowerBound) to skip exact Eq. 10 evaluations for
+// fingerprints that provably cannot enter the list — the paper's
+// locality observation (Sec. 7.3: fingerprints hide among spatial
+// neighbours) is what makes those rescans cheap in practice.
+//
+// The index is exact, not approximate: the invariant maintained for
+// every slot i is
+//
+//	entries(i) are lexicographically < cutoff(i) <= every excluded
+//	alive candidate of i,
+//
+// under the ordering (effort, slot). Pair efforts never change while
+// both endpoints are alive (fingerprints are immutable between merges),
+// so the first still-valid entry of a list is the true canonical
+// nearest neighbour; a list whose entries have all died is rebuilt by a
+// fresh grid scan. MinPair therefore returns exactly the pair the
+// dense index returns, and the published output is identical (enforced
+// by TestQuickIndexEquivalence).
+//
+// Memory: O(n·m) candidate entries plus O(n) per-slot geometry and the
+// grid — no n×n allocation anywhere on this path.
+type sparseIndex struct {
+	ws *workingSet
+	m  int     // candidate list budget per slot
+	cw float64 // grid cell width, meters
+
+	gen    []uint32            // slot generation; bumped on Remove to invalidate entries
+	bounds []FingerprintBounds // per-slot bounding volume (valid while alive)
+	cellOf [][2]int32          // per-slot grid cell of the bounding-box center
+	reach  []float64           // per-slot max axis distance from center to box edge
+	lists  [][]candidate       // per-slot sorted candidates, len <= m
+	cutE   []float64           // per-slot cutoff pair: effort ...
+	cutS   []int32             // ... and slot (math.MaxInt32 = unbounded side)
+
+	grid             map[[2]int32][]int32
+	gridMin, gridMax [2]int32 // monotone cell-coordinate envelope
+	maxReach         float64  // monotone max of reach over all inserts
+}
+
+// candidate is one entry of a per-slot list: the effort to a neighbour
+// slot, tagged with the neighbour's generation so entries referring to
+// a slot that has since been merged away (and possibly reused) are
+// recognizably stale.
+type candidate struct {
+	e    float64
+	slot int32
+	gen  uint32
+}
+
+// lexLess orders (effort, slot) pairs: lower effort first, ties towards
+// the lower slot. This is the canonical ordering shared with the dense
+// index; effort ties are common (saturated efforts of far-apart
+// fingerprints are exactly 1.0), so the slot component is load-bearing
+// for cross-index determinism.
+func lexLess(e1 float64, s1 int32, e2 float64, s2 int32) bool {
+	return e1 < e2 || (e1 == e2 && s1 < s2)
+}
+
+func newSparseIndex(ws *workingSet, neighbors int) *sparseIndex {
+	// Cell width: half the spatial saturation distance. Fingerprints
+	// whose boxes are further apart than MaxSpatial contribute a
+	// saturated spatial term, so finer cells than this buy nothing.
+	return &sparseIndex{
+		ws: ws,
+		m:  clampIndexNeighbors(neighbors),
+		cw: ws.params.MaxSpatial / 2,
+	}
+}
+
+func (x *sparseIndex) Build(ctx context.Context) error {
+	ws := x.ws
+	n := ws.n
+	x.gen = make([]uint32, n)
+	x.bounds = make([]FingerprintBounds, n)
+	x.cellOf = make([][2]int32, n)
+	x.reach = make([]float64, n)
+	x.lists = make([][]candidate, n)
+	x.cutE = make([]float64, n)
+	x.cutS = make([]int32, n)
+	x.grid = make(map[[2]int32][]int32)
+	first := true
+	for i := 0; i < n; i++ {
+		if !ws.alive[i] {
+			continue
+		}
+		x.place(i)
+		if first {
+			x.gridMin, x.gridMax = x.cellOf[i], x.cellOf[i]
+			first = false
+		} else {
+			x.expandEnvelope(x.cellOf[i])
+		}
+		x.lists[i] = make([]candidate, 0, x.m+1)
+	}
+	// Per-slot rebuilds are independent: each writes only its own list
+	// and cutoff, and reads the (frozen during Build) grid and geometry.
+	return parallel.ForContext(ctx, n, ws.workers, func(i int) {
+		if ws.alive[i] {
+			x.rebuild(i)
+		}
+	})
+}
+
+// place computes slot i's geometry and registers it in the grid. The
+// caller ensures ws.fps[i] is set.
+func (x *sparseIndex) place(i int) {
+	b := BoundsOf(x.ws.fps[i])
+	x.bounds[i] = b
+	cx, cy := (b.MinX+b.MaxX)/2, (b.MinY+b.MaxY)/2
+	cell := [2]int32{int32(math.Floor(cx / x.cw)), int32(math.Floor(cy / x.cw))}
+	x.cellOf[i] = cell
+	r := math.Max(b.MaxX-b.MinX, b.MaxY-b.MinY) / 2
+	x.reach[i] = r
+	if r > x.maxReach {
+		x.maxReach = r
+	}
+	x.grid[cell] = append(x.grid[cell], int32(i))
+}
+
+func (x *sparseIndex) expandEnvelope(cell [2]int32) {
+	for a := 0; a < 2; a++ {
+		if cell[a] < x.gridMin[a] {
+			x.gridMin[a] = cell[a]
+		}
+		if cell[a] > x.gridMax[a] {
+			x.gridMax[a] = cell[a]
+		}
+	}
+}
+
+// valid reports whether a candidate entry still refers to a live
+// fingerprint (same slot occupant, not merged away).
+func (x *sparseIndex) valid(c candidate) bool {
+	return x.ws.alive[c.slot] && x.gen[c.slot] == c.gen
+}
+
+// spatialLB converts a spatial-only separation (meters) into an effort
+// lower bound, mirroring the spatial term of EffortLowerBound.
+func (x *sparseIndex) spatialLB(d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	p := x.ws.params
+	if d > p.MaxSpatial {
+		d = p.MaxSpatial
+	}
+	return p.WSpatial * d / p.MaxSpatial
+}
+
+// rebuild recomputes slot i's candidate list and cutoff by walking grid
+// rings outward from i's cell. Exact effort evaluations are skipped —
+// lazily — for candidates whose bounding-volume lower bound already
+// exceeds the current worst list entry, and whole remaining rings are
+// skipped once even their closest conceivable fingerprint (accounting
+// for the largest bounding box seen, maxReach) cannot beat it. Skipped
+// candidates are covered by the cutoff, so the list stays exact.
+func (x *sparseIndex) rebuild(i int) {
+	ws := x.ws
+	p := ws.params
+	list := x.lists[i][:0]
+	// Cutoff accumulator: the lex-min over everything excluded.
+	cutE, cutS := math.Inf(1), int32(math.MaxInt32)
+	skipped := false // any candidate excluded without exact evaluation
+
+	c0 := x.cellOf[i]
+	// Rings beyond the grid envelope hold no fingerprints.
+	maxRing := int32(0)
+	for a := 0; a < 2; a++ {
+		if d := c0[a] - x.gridMin[a]; d > maxRing {
+			maxRing = d
+		}
+		if d := x.gridMax[a] - c0[a]; d > maxRing {
+			maxRing = d
+		}
+	}
+	for r := int32(0); r <= maxRing; r++ {
+		if len(list) == x.m && r > 1 {
+			// Cells at Chebyshev distance r are at least (r-1) cell
+			// widths from any point of i's cell; bounding boxes shrink
+			// that by at most reach[i] + maxReach.
+			d := float64(r-1)*x.cw - x.reach[i] - x.maxReach
+			if x.spatialLB(d) > list[len(list)-1].e {
+				skipped = true
+				break
+			}
+		}
+		for _, cell := range ringCells(c0, r) {
+			for _, j32 := range x.grid[cell] {
+				j := int(j32)
+				if j == i || !ws.alive[j] {
+					continue
+				}
+				lb := p.EffortLowerBound(x.bounds[i], x.bounds[j])
+				if len(list) == x.m && lb > list[len(list)-1].e {
+					// Cannot enter the list; the exact Eq. 10
+					// evaluation is skipped and the exclusion is
+					// covered by the cutoff below.
+					skipped = true
+					continue
+				}
+				e := p.FingerprintEffort(ws.fps[i], ws.fps[j])
+				list = insertCandidate(list, candidate{e: e, slot: j32, gen: x.gen[j]})
+				if len(list) > x.m {
+					drop := list[len(list)-1]
+					list = list[:len(list)-1]
+					if lexLess(drop.e, drop.slot, cutE, cutS) {
+						cutE, cutS = drop.e, drop.slot
+					}
+				}
+			}
+		}
+	}
+	if skipped && len(list) > 0 {
+		// Every skipped candidate's effort strictly exceeds the worst
+		// list entry at the moment it was skipped, and the worst entry
+		// only improves afterwards — so (worst effort, +inf slot) lower
+		// bounds all of them.
+		worst := list[len(list)-1].e
+		if lexLess(worst, math.MaxInt32, cutE, cutS) {
+			cutE, cutS = worst, math.MaxInt32
+		}
+	}
+	x.lists[i] = list
+	x.cutE[i], x.cutS[i] = cutE, cutS
+}
+
+// ringCells lists the cells at Chebyshev distance r from c0 (the cell
+// itself for r = 0).
+func ringCells(c0 [2]int32, r int32) [][2]int32 {
+	if r == 0 {
+		return [][2]int32{c0}
+	}
+	cells := make([][2]int32, 0, 8*r)
+	for dx := -r; dx <= r; dx++ {
+		cells = append(cells, [2]int32{c0[0] + dx, c0[1] - r})
+		cells = append(cells, [2]int32{c0[0] + dx, c0[1] + r})
+	}
+	for dy := -r + 1; dy <= r-1; dy++ {
+		cells = append(cells, [2]int32{c0[0] - r, c0[1] + dy})
+		cells = append(cells, [2]int32{c0[0] + r, c0[1] + dy})
+	}
+	return cells
+}
+
+// insertCandidate inserts c into the (effort, slot)-sorted list,
+// keeping the order.
+func insertCandidate(list []candidate, c candidate) []candidate {
+	pos := len(list)
+	for pos > 0 && lexLess(c.e, c.slot, list[pos-1].e, list[pos-1].slot) {
+		pos--
+	}
+	list = append(list, candidate{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = c
+	return list
+}
+
+// head returns slot i's canonical nearest alive neighbour, rebuilding
+// the candidate list if every entry has died. ok is false when i has no
+// alive neighbour at all.
+func (x *sparseIndex) head(i int) (candidate, bool) {
+	list := x.lists[i]
+	for len(list) > 0 && !x.valid(list[0]) {
+		list = list[1:]
+	}
+	x.lists[i] = list
+	if len(list) == 0 {
+		x.rebuild(i)
+		list = x.lists[i]
+		if len(list) == 0 {
+			return candidate{}, false
+		}
+	}
+	return list[0], true
+}
+
+func (x *sparseIndex) MinPair() (int, int) {
+	ws := x.ws
+	best := math.Inf(1)
+	bi, bj := -1, -1
+	for i := 0; i < ws.n; i++ {
+		if !ws.alive[i] {
+			continue
+		}
+		h, ok := x.head(i)
+		if !ok {
+			continue
+		}
+		if h.e < best {
+			best = h.e
+			bi, bj = i, int(h.slot)
+		}
+	}
+	if bi > bj {
+		bi, bj = bj, bi
+	}
+	return bi, bj
+}
+
+func (x *sparseIndex) Remove(i int) {
+	x.gen[i]++
+	// Drop i from its grid cell so future ring scans never see it;
+	// entries referring to i die lazily via the generation bump.
+	cell := x.cellOf[i]
+	slots := x.grid[cell]
+	for k, s := range slots {
+		if int(s) == i {
+			x.grid[cell] = append(slots[:k], slots[k+1:]...)
+			break
+		}
+	}
+}
+
+func (x *sparseIndex) Reinsert(i int) {
+	ws := x.ws
+	p := ws.params
+	x.place(i)
+	x.expandEnvelope(x.cellOf[i])
+	// The merged fingerprint's own list comes from a fresh (pruned)
+	// grid scan.
+	x.rebuild(i)
+
+	// Offer the new slot to every other candidate list. The exact
+	// effort is computed in parallel, and only where the bounding-volume
+	// lower bound does not already prove the offer falls at or beyond
+	// the slot's cutoff (in which case skipping it preserves the list
+	// invariant: the excluded candidate is >= the cutoff by
+	// construction).
+	i32 := int32(i)
+	row := parallel.Map(ws.n, ws.workers, func(c int) float64 {
+		if c == i || !ws.alive[c] {
+			return math.NaN()
+		}
+		lb := p.EffortLowerBound(x.bounds[i], x.bounds[c])
+		if !lexLess(lb, i32, x.cutE[c], x.cutS[c]) {
+			return math.NaN()
+		}
+		return p.FingerprintEffort(ws.fps[i], ws.fps[c])
+	})
+	for c, e := range row {
+		if math.IsNaN(e) || !lexLess(e, i32, x.cutE[c], x.cutS[c]) {
+			continue
+		}
+		// Purge stale entries first so dead candidates never crowd out
+		// the offer.
+		list := x.lists[c][:0]
+		for _, cand := range x.lists[c] {
+			if x.valid(cand) {
+				list = append(list, cand)
+			}
+		}
+		list = insertCandidate(list, candidate{e: e, slot: i32, gen: x.gen[i]})
+		if len(list) > x.m {
+			drop := list[len(list)-1]
+			list = list[:len(list)-1]
+			// The dropped entry was below the old cutoff, so it becomes
+			// the new (tighter) cutoff.
+			x.cutE[c], x.cutS[c] = drop.e, drop.slot
+		}
+		x.lists[c] = list
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+func TestParseStrategy(t *testing.T) {
+	for in, want := range map[string]Strategy{
+		"": StrategyAuto, "auto": StrategyAuto,
+		"single": StrategySingle, "chunked": StrategyChunked,
+	} {
+		got, err := ParseStrategy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParseStrategy("gpu"); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}
+
+func TestParseIndexKind(t *testing.T) {
+	for in, want := range map[string]IndexKind{
+		"": IndexAuto, "auto": IndexAuto,
+		"dense": IndexDense, "sparse": IndexSparse,
+	} {
+		got, err := ParseIndexKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseIndexKind(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParseIndexKind("matrix"); err == nil {
+		t.Error("bogus index kind accepted")
+	}
+}
+
+func TestPlanForAutoRules(t *testing.T) {
+	opt := AnonymizeOptions{Glove: GloveOptions{K: 2}}
+
+	small, err := PlanFor(100, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Strategy != StrategySingle || small.Index != IndexDense || small.ChunkSize != 0 {
+		t.Errorf("small plan = %+v, want single/dense", small)
+	}
+
+	mid, err := PlanFor(DenseIndexMaxN+1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Strategy != StrategySingle || mid.Index != IndexSparse {
+		t.Errorf("mid plan = %+v, want single/sparse", mid)
+	}
+	if mid.IndexNeighbors != DefaultIndexNeighbors {
+		t.Errorf("mid plan neighbors = %d, want default %d", mid.IndexNeighbors, DefaultIndexNeighbors)
+	}
+
+	big, err := PlanFor(SingleRunMaxN+1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Strategy != StrategyChunked || big.ChunkSize != DefaultChunkSize {
+		t.Errorf("big plan = %+v, want chunked at default chunk", big)
+	}
+	// Default chunk 4000 <= DenseIndexMaxN: blocks run dense.
+	if big.Index != IndexDense {
+		t.Errorf("big plan index = %q, want dense blocks", big.Index)
+	}
+
+	// Chunked with blocks above the dense cutover resolves sparse.
+	wide, err := PlanFor(50000, AnonymizeOptions{
+		Glove: GloveOptions{K: 2}, Strategy: StrategyChunked, ChunkSize: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Index != IndexSparse {
+		t.Errorf("wide plan index = %q, want sparse blocks", wide.Index)
+	}
+
+	// Explicit chunked on a dataset no bigger than one chunk degenerates
+	// to single, and the plan says so.
+	degen, err := PlanFor(50, AnonymizeOptions{
+		Glove: GloveOptions{K: 2}, Strategy: StrategyChunked, ChunkSize: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degen.Strategy != StrategySingle || degen.ChunkSize != 0 {
+		t.Errorf("degenerate plan = %+v, want single", degen)
+	}
+}
+
+func TestPlanForValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		opt  AnonymizeOptions
+	}{
+		{"k too small", 100, AnonymizeOptions{Glove: GloveOptions{K: 1}}},
+		{"bad strategy", 100, AnonymizeOptions{Glove: GloveOptions{K: 2}, Strategy: "warp"}},
+		{"bad index", 100, AnonymizeOptions{Glove: GloveOptions{K: 2, Index: "btree"}}},
+		{"negative chunk", 100, AnonymizeOptions{Glove: GloveOptions{K: 2}, ChunkSize: -1}},
+		{"chunk below 2k", 100, AnonymizeOptions{Glove: GloveOptions{K: 5}, ChunkSize: 9}},
+		{"chunk with single", 100, AnonymizeOptions{Glove: GloveOptions{K: 2}, Strategy: StrategySingle, ChunkSize: 50}},
+		{"naive sparse", 100, AnonymizeOptions{Glove: GloveOptions{K: 2, Index: IndexSparse, NaiveMinPair: true}}},
+	}
+	for _, c := range cases {
+		if _, err := PlanFor(c.n, c.opt); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// Anonymize executes whatever PlanFor resolved: chunked output matches
+// a direct GloveChunked call, single matches Glove, both k-anonymous.
+func TestAnonymizeMatchesPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := randDataset(rng, 60, 5)
+
+	single, _, err := Anonymize(d, AnonymizeOptions{Glove: GloveOptions{K: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := Glove(d, GloveOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEqual(t, "single-vs-glove", single, direct)
+
+	chunked, cstats, err := Anonymize(d, AnonymizeOptions{
+		Glove: GloveOptions{K: 2}, Strategy: StrategyChunked, ChunkSize: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directChunked, _, err := GloveChunked(d, ChunkedGloveOptions{
+		Glove: GloveOptions{K: 2}, ChunkSize: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEqual(t, "chunked-vs-glovechunked", chunked, directChunked)
+	if err := ValidateKAnonymity(chunked, 2); err != nil {
+		t.Fatal(err)
+	}
+	if cstats.InputUsers != 60 || chunked.Users() != 60 {
+		t.Errorf("chunked accounting: %d in, %d out", cstats.InputUsers, chunked.Users())
+	}
+}
+
+// A chunked run aggregates per-block progress into one monotone
+// (done, total) series ending at completion, instead of leaking each
+// block's own scale to the caller (which made progress hit 100% as
+// soon as the first block finished). The callback is serialized by the
+// implementation; the unguarded writes here let -race prove it.
+func TestGloveChunkedProgressAggregated(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	d := randDataset(rng, 60, 5)
+	var calls, last, lastTotal int
+	mono := true
+	_, _, err := GloveChunked(d, ChunkedGloveOptions{
+		Glove: GloveOptions{K: 2, Workers: 4, Progress: func(done, total int) {
+			calls++
+			if done < last {
+				mono = false
+			}
+			last, lastTotal = done, total
+		}},
+		ChunkSize: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("progress never reported")
+	}
+	if !mono {
+		t.Error("progress went backwards")
+	}
+	if last != lastTotal {
+		t.Errorf("final progress %d/%d, want completion", last, lastTotal)
+	}
+}
+
+// The sparse candidate budget reported by the plan matches what the
+// index actually uses: below-minimum values clamp to 2 everywhere.
+func TestPlanIndexNeighborsClamped(t *testing.T) {
+	plan, err := PlanFor(100, AnonymizeOptions{
+		Glove: GloveOptions{K: 2, Index: IndexSparse, IndexNeighbors: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.IndexNeighbors != 2 {
+		t.Errorf("plan neighbors = %d, want clamp to 2", plan.IndexNeighbors)
+	}
+	opt := GloveOptions{K: 2, Index: IndexSparse, IndexNeighbors: 1}.withDefaults()
+	if opt.IndexNeighbors != 2 {
+		t.Errorf("options neighbors = %d, want clamp to 2", opt.IndexNeighbors)
+	}
+}
+
+// Chunked execution honours cancellation through the planner.
+func TestAnonymizeContextCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	d := randDataset(rng, 40, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := AnonymizeContext(ctx, d, AnonymizeOptions{
+		Glove: GloveOptions{K: 2}, Strategy: StrategyChunked, ChunkSize: 10,
+	}); err == nil {
+		t.Fatal("cancelled chunked run returned no error")
+	}
+	if _, _, err := AnonymizeContext(ctx, d, AnonymizeOptions{Glove: GloveOptions{K: 2}}); err == nil {
+		t.Fatal("cancelled single run returned no error")
+	}
+}
+
+// GloveStats.Add sums every field.
+func TestGloveStatsAdd(t *testing.T) {
+	a := &GloveStats{
+		InputFingerprints: 1, InputUsers: 2, InputSamples: 3,
+		OutputFingerprints: 4, OutputSamples: 5, Merges: 6,
+		SuppressedSamples: 7, SuppressedPublished: 8,
+		DiscardedFingerprints: 9, DiscardedUsers: 10,
+	}
+	b := &GloveStats{
+		InputFingerprints: 10, InputUsers: 20, InputSamples: 30,
+		OutputFingerprints: 40, OutputSamples: 50, Merges: 60,
+		SuppressedSamples: 70, SuppressedPublished: 80,
+		DiscardedFingerprints: 90, DiscardedUsers: 100,
+	}
+	a.Add(b)
+	want := GloveStats{
+		InputFingerprints: 11, InputUsers: 22, InputSamples: 33,
+		OutputFingerprints: 44, OutputSamples: 55, Merges: 66,
+		SuppressedSamples: 77, SuppressedPublished: 88,
+		DiscardedFingerprints: 99, DiscardedUsers: 110,
+	}
+	if *a != want {
+		t.Errorf("Add = %+v, want %+v", *a, want)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"repro/internal/cdr"
+	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/version"
 )
@@ -223,6 +224,12 @@ type MetricsReport struct {
 	Datasets    int              `json:"datasets"`
 	Jobs        int              `json:"jobs"`
 	JobsByState map[JobState]int `json:"jobs_by_state"`
+	// JobsByStrategy / JobsByIndex count jobs by the execution plan the
+	// core planner resolved (auto rules included), so operators can see
+	// which path — single vs chunked, dense vs sparse — their traffic
+	// actually takes. Jobs that never started (no plan yet) are absent.
+	JobsByStrategy map[core.Strategy]int  `json:"jobs_by_strategy"`
+	JobsByIndex    map[core.IndexKind]int `json:"jobs_by_index"`
 	// Completed holds the per-job utility summaries (accuracy from
 	// internal/metrics, anonymizability from internal/analysis).
 	Completed []JobStatus `json:"completed"`
@@ -230,12 +237,18 @@ type MetricsReport struct {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	rep := MetricsReport{
-		Datasets:    len(s.reg.List()),
-		JobsByState: make(map[JobState]int),
+		Datasets:       len(s.reg.List()),
+		JobsByState:    make(map[JobState]int),
+		JobsByStrategy: make(map[core.Strategy]int),
+		JobsByIndex:    make(map[core.IndexKind]int),
 	}
 	for _, st := range s.mgr.List() {
 		rep.Jobs++
 		rep.JobsByState[st.State]++
+		if st.Plan != nil {
+			rep.JobsByStrategy[st.Plan.Strategy]++
+			rep.JobsByIndex[st.Plan.Index]++
+		}
 		if st.State == JobDone {
 			rep.Completed = append(rep.Completed, st)
 		}

@@ -60,6 +60,19 @@ type JobSpec struct {
 	Shards int `json:"shards,omitempty"`
 	// Workers bounds the job's CPU parallelism; <= 0 uses all CPUs.
 	Workers int `json:"workers,omitempty"`
+
+	// Strategy selects single-run vs chunked execution inside each
+	// shard: "auto" (or empty), "single" or "chunked". Auto picks by
+	// shard size (core.SingleRunMaxN).
+	Strategy string `json:"strategy,omitempty"`
+	// ChunkSize is the target fingerprints per chunked block; 0 uses
+	// core.DefaultChunkSize. Must be >= 2k when set, and requires a
+	// strategy other than "single".
+	ChunkSize int `json:"chunk_size,omitempty"`
+	// Index selects the pair-selection index: "auto" (or empty),
+	// "dense" or "sparse". Auto picks dense up to core.DenseIndexMaxN
+	// fingerprints per run and sparse (O(n·m) memory) above.
+	Index string `json:"index,omitempty"`
 }
 
 // Validate checks the statically checkable parts of the spec.
@@ -73,7 +86,43 @@ func (s JobSpec) Validate() error {
 	if s.SuppressKm < 0 || s.SuppressMin < 0 {
 		return fmt.Errorf("service: negative suppression thresholds")
 	}
+	strategy, err := core.ParseStrategy(s.Strategy)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if _, err := core.ParseIndexKind(s.Index); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	switch {
+	case s.ChunkSize < 0:
+		return fmt.Errorf("service: negative chunk_size %d", s.ChunkSize)
+	case s.ChunkSize > 0 && s.ChunkSize < 2*s.K:
+		return fmt.Errorf("service: chunk_size %d < 2k = %d", s.ChunkSize, 2*s.K)
+	case s.ChunkSize > 0 && strategy == core.StrategySingle:
+		return fmt.Errorf("service: chunk_size %d set but strategy is single", s.ChunkSize)
+	}
 	return nil
+}
+
+// anonymizeOptions translates the spec into the core planner options
+// for one shard. Validate has already vetted the enum spellings.
+func (s JobSpec) anonymizeOptions(workers int, progress func(done, total int)) core.AnonymizeOptions {
+	strategy, _ := core.ParseStrategy(s.Strategy)
+	index, _ := core.ParseIndexKind(s.Index)
+	return core.AnonymizeOptions{
+		Glove: core.GloveOptions{
+			K: s.K,
+			Suppress: core.SuppressionThresholds{
+				MaxSpatialMeters:   s.SuppressKm * 1000,
+				MaxTemporalMinutes: s.SuppressMin,
+			},
+			Workers:  workers,
+			Index:    index,
+			Progress: progress,
+		},
+		Strategy:  strategy,
+		ChunkSize: s.ChunkSize,
+	}
 }
 
 // JobStatus is a point-in-time snapshot of a job, the payload of
@@ -89,6 +138,11 @@ type JobStatus struct {
 	// until the job starts).
 	Shards int    `json:"shards"`
 	Error  string `json:"error,omitempty"`
+
+	// Plan is the execution plan the core planner resolved for the
+	// job's largest shard (strategy, chunk size, index); nil until the
+	// job starts.
+	Plan *core.Plan `json:"plan,omitempty"`
 
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
@@ -125,6 +179,8 @@ type Job struct {
 	// shardProgress has one 0..1 entry per effective shard while
 	// running.
 	shardProgress []float64
+	// plan is the resolved execution plan of the largest shard.
+	plan *core.Plan
 
 	result            *core.Dataset
 	stats             *core.GloveStats
@@ -159,6 +215,7 @@ func (j *Job) Status() JobStatus {
 		State:             j.state,
 		Shards:            len(j.shardProgress),
 		Error:             j.err,
+		Plan:              j.plan,
 		CreatedAt:         j.created,
 		Stats:             j.stats,
 		Accuracy:          j.accuracy,

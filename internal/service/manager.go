@@ -39,6 +39,14 @@ type ManagerOptions struct {
 	AnalysisMaxFingerprints int
 	// ShardSeed drives the deterministic user-to-shard assignment.
 	ShardSeed uint64
+
+	// DefaultStrategy / DefaultChunkSize / DefaultIndex fill the
+	// corresponding JobSpec fields when a submission leaves them empty,
+	// so operators can steer the planner daemon-wide (gloved -strategy,
+	// -chunk-size and -index flags). Values are validated per job.
+	DefaultStrategy  string
+	DefaultChunkSize int
+	DefaultIndex     string
 }
 
 func (o ManagerOptions) withDefaults() ManagerOptions {
@@ -124,7 +132,22 @@ func (m *Manager) Close() {
 }
 
 // Submit validates the spec, registers a new job, and enqueues it.
+// Spec fields left empty inherit the manager-wide defaults before
+// validation, so a bad daemon default surfaces as a submission error
+// rather than a failed job.
 func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
+	if spec.Strategy == "" {
+		spec.Strategy = m.opt.DefaultStrategy
+	}
+	// The chunk-size default only applies where chunking can happen, so
+	// an explicit single-strategy submission is not rejected over a
+	// daemon-wide chunk default.
+	if spec.ChunkSize == 0 && spec.Strategy != string(core.StrategySingle) {
+		spec.ChunkSize = m.opt.DefaultChunkSize
+	}
+	if spec.Index == "" {
+		spec.Index = m.opt.DefaultIndex
+	}
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
 	}
@@ -341,8 +364,22 @@ func (m *Manager) execute(ctx context.Context, job *Job, spec JobSpec) (*core.Da
 	info, _ := m.reg.Get(spec.DatasetID)
 
 	shards := planShards(table, info.Users, spec.K, spec.Shards, m.opt.ShardSeed)
+	// Resolve and publish the execution plan for the largest shard (one
+	// fingerprint per subscriber) so clients can see what the auto
+	// rules picked before the run finishes.
+	maxUsers := 0
+	for _, s := range shards {
+		if u := s.Users(); u > maxUsers {
+			maxUsers = u
+		}
+	}
+	plan, err := core.PlanFor(maxUsers, spec.anonymizeOptions(spec.Workers, nil))
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	job.mu.Lock()
 	job.shardProgress = make([]float64, len(shards))
+	job.plan = &plan
 	job.mu.Unlock()
 
 	result, stats, err := runShards(ctx, shards, spec, job.setShardProgress)

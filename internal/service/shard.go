@@ -112,21 +112,14 @@ func runShards(ctx context.Context, shards []*cdr.Table, spec JobSpec, onProgres
 }
 
 // runShard converts one shard table into a fingerprint dataset and
-// anonymizes it.
+// anonymizes it through the core planner, which resolves the spec's
+// strategy/index (or the auto rules) for this shard's size.
 func runShard(ctx context.Context, t *cdr.Table, spec JobSpec, workers int, progress func(done, total int)) shardResult {
 	ds, err := t.BuildDataset()
 	if err != nil {
 		return shardResult{err: err}
 	}
-	out, stats, err := core.GloveContext(ctx, ds, core.GloveOptions{
-		K: spec.K,
-		Suppress: core.SuppressionThresholds{
-			MaxSpatialMeters:   spec.SuppressKm * 1000,
-			MaxTemporalMinutes: spec.SuppressMin,
-		},
-		Workers:  workers,
-		Progress: progress,
-	})
+	out, stats, err := core.AnonymizeContext(ctx, ds, spec.anonymizeOptions(workers, progress))
 	if err != nil {
 		return shardResult{err: err}
 	}
@@ -146,14 +139,7 @@ func mergeShardResults(results []shardResult, prefix bool) (*core.Dataset, *core
 			}
 			fps = append(fps, f)
 		}
-		total.InputFingerprints += r.stats.InputFingerprints
-		total.InputUsers += r.stats.InputUsers
-		total.InputSamples += r.stats.InputSamples
-		total.Merges += r.stats.Merges
-		total.SuppressedSamples += r.stats.SuppressedSamples
-		total.SuppressedPublished += r.stats.SuppressedPublished
-		total.DiscardedFingerprints += r.stats.DiscardedFingerprints
-		total.DiscardedUsers += r.stats.DiscardedUsers
+		total.Add(r.stats)
 	}
 	out := &core.Dataset{Fingerprints: fps}
 	total.OutputFingerprints = out.Len()
