@@ -5,8 +5,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"path/filepath"
+	"strings"
+	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/cdr"
 	"repro/internal/core"
 	"repro/internal/geo"
@@ -34,6 +39,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		strategy    = fs.String("strategy", "", "execution strategy: auto, single or chunked (empty = auto)")
 		chunkSize   = fs.Int("chunk-size", 0, "fingerprints per chunked block (0 = core default)")
 		index       = fs.String("index", "", "pair-selection index: auto, dense or sparse (empty = auto)")
+		window      = fs.Float64("window", 0, "continuous release: anonymize per time window of this many hours (0 = one batch release; requires -out)")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -46,6 +52,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *in == "" {
 		fs.Usage()
 		return fmt.Errorf("glovectl: -in is required")
+	}
+	if *window < 0 {
+		return fmt.Errorf("glovectl: -window %g is negative", *window)
+	}
+	if *window > 0 && *out == "" {
+		return fmt.Errorf("glovectl: -window needs -out (one CSV per window release)")
 	}
 
 	f, err := os.Open(*in)
@@ -68,13 +80,6 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	dataset, err := table.BuildDataset()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(stderr, "glovectl: %d fingerprints, %d samples, mean length %.1f\n",
-		dataset.Len(), dataset.TotalSamples(), dataset.MeanFingerprintLen())
-
 	strategyKind, err := core.ParseStrategy(*strategy)
 	if err != nil {
 		return fmt.Errorf("glovectl: -strategy: %w", err)
@@ -96,6 +101,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Strategy:  strategyKind,
 		ChunkSize: *chunkSize,
 	}
+
+	if *window > 0 {
+		return runWindowed(ctx, table, aopt, *window, *out, stderr)
+	}
+
+	dataset, err := table.BuildDataset()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "glovectl: %d fingerprints, %d samples, mean length %.1f\n",
+		dataset.Len(), dataset.TotalSamples(), dataset.MeanFingerprintLen())
+
 	plan, err := core.PlanFor(dataset.Len(), aopt)
 	if err != nil {
 		return err
@@ -140,6 +157,80 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return cdr.WriteAnonymizedCSV(stdout, published)
 	}
 	return writeFileAtomic(*out, published)
+}
+
+// runWindowed is the continuous-release mode: the input is partitioned
+// into time windows of `hours`, each window is anonymized independently
+// (every release is k-anonymous on its own), one CSV is written per
+// window, and the residual cross-window linkage is reported.
+func runWindowed(ctx context.Context, table *cdr.Table, aopt core.AnonymizeOptions, hours float64, out string, stderr io.Writer) error {
+	wins, err := table.SplitByWindow(time.Duration(hours * float64(time.Hour)))
+	if err != nil {
+		return err
+	}
+	originals := make([]*core.Dataset, len(wins))
+	for i, w := range wins {
+		if originals[i], err = w.Table.BuildDataset(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "glovectl: %d windows of %g h over %d records\n",
+		len(wins), hours, len(table.Records))
+
+	releases, err := core.AnonymizeWindowsContext(ctx, originals, aopt, nil)
+	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("interrupted, no output written")
+		}
+		return err
+	}
+	k := aopt.Glove.K
+	paths := make([]string, len(releases))
+	for i, rel := range releases {
+		if err := core.ValidateKAnonymity(rel.Output, k); err != nil {
+			return fmt.Errorf("glovectl: window %d validation failed: %w", wins[i].Index, err)
+		}
+		// Same truthfulness gate as the batch path: a subscriber may only
+		// go missing from a release when accounted as suppression-discarded.
+		rep := core.CheckTruthfulness(originals[i], rel.Output)
+		if rep.MissingFP != rel.Stats.DiscardedUsers {
+			return fmt.Errorf("glovectl: window %d: %d subscribers missing but %d accounted as discarded",
+				wins[i].Index, rep.MissingFP, rel.Stats.DiscardedUsers)
+		}
+		paths[i] = windowOutPath(out, wins[i].Index)
+		fmt.Fprintf(stderr,
+			"glovectl: window %d [%.0f, %.0f) min: %d users -> %d groups (%d merges) -> %s\n",
+			wins[i].Index, wins[i].StartMinute, wins[i].EndMinute,
+			originals[i].Len(), rel.Output.Len(), rel.Stats.Merges, paths[i])
+	}
+	// Releases are written only after every window validated, so an
+	// interrupted run leaves no partial release sequence behind.
+	published := make([]*core.Dataset, len(releases))
+	for i, rel := range releases {
+		published[i] = rel.Output
+		if err := writeFileAtomic(paths[i], rel.Output); err != nil {
+			return err
+		}
+	}
+	if len(releases) >= 2 {
+		link, err := analysis.CrossWindowLinkage(originals, published, 4, 200,
+			rand.New(rand.NewSource(1)), aopt.Glove.Workers)
+		if err != nil {
+			return err
+		}
+		for i := range link.Pairs {
+			link.Pairs[i].Window = wins[i].Index
+		}
+		fmt.Fprintf(stderr, "glovectl: cross-window linkage: %s\n", link)
+	}
+	return nil
+}
+
+// windowOutPath derives the per-window output path: "anon.csv" with
+// window 3 becomes "anon.w3.csv".
+func windowOutPath(out string, index int) string {
+	ext := filepath.Ext(out)
+	return fmt.Sprintf("%s.w%d%s", strings.TrimSuffix(out, ext), index, ext)
 }
 
 // writeFileAtomic writes the anonymized dataset to path via a temporary

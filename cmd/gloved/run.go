@@ -31,6 +31,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		strategy    = fs.String("strategy", "", "default job strategy: auto, single or chunked (empty = auto)")
 		chunkSize   = fs.Int("chunk-size", 0, "default fingerprints per chunked block (0 = core default)")
 		index       = fs.String("index", "", "default pair-selection index: auto, dense or sparse (empty = auto)")
+		windowHours = fs.Float64("window-hours", 0, "default job release window in hours (0 = batch jobs)")
+		retainJobs  = fs.Int("retain-jobs", 64, "finished jobs retained in memory, oldest evicted first (0 = unlimited)")
+		retainAge   = fs.Duration("retain-age", 0, "evict finished jobs older than this (0 = no age bound)")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -51,6 +54,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *chunkSize < 0 {
 		return fmt.Errorf("gloved: -chunk-size %d is negative", *chunkSize)
 	}
+	if *windowHours < 0 {
+		return fmt.Errorf("gloved: -window-hours %g is negative", *windowHours)
+	}
+	if *retainAge < 0 {
+		return fmt.Errorf("gloved: -retain-age %v is negative", *retainAge)
+	}
+	// In ManagerOptions, 0 finished jobs means "use the default"; the
+	// operator-facing spelling for unlimited is 0 (or below).
+	maxFinished := *retainJobs
+	if maxFinished <= 0 {
+		maxFinished = -1
+	}
 
 	reg := service.NewRegistry()
 	reg.MaxRecords = *maxRecords
@@ -59,9 +74,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		QueueLimit:              *queueLimit,
 		Workers:                 *workers,
 		AnalysisMaxFingerprints: *analysisCap,
+		MaxFinishedJobs:         maxFinished,
+		MaxFinishedAge:          *retainAge,
 		DefaultStrategy:         *strategy,
 		DefaultChunkSize:        *chunkSize,
 		DefaultIndex:            *index,
+		DefaultWindowHours:      *windowHours,
 	})
 	defer mgr.Close()
 

@@ -39,6 +39,12 @@ func TestRunBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-chunk-size", "-3"}, &stdout, &stderr); err == nil {
 		t.Error("negative -chunk-size default accepted")
 	}
+	if err := run(context.Background(), []string{"-window-hours", "-2"}, &stdout, &stderr); err == nil {
+		t.Error("negative -window-hours default accepted")
+	}
+	if err := run(context.Background(), []string{"-retain-age", "-1s"}, &stdout, &stderr); err == nil {
+		t.Error("negative -retain-age accepted")
+	}
 }
 
 // TestRunServeAndShutdown boots the daemon on an ephemeral port, checks

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// linkFP builds a single-subscriber fingerprint with `n` distinct point
+// samples offset by `base`, so different subscribers never overlap.
+func linkFP(id string, base float64, n int) *core.Fingerprint {
+	samples := make([]core.Sample, n)
+	for i := range samples {
+		samples[i] = core.Sample{
+			X: base + float64(i)*1000, DX: 100,
+			Y: base, DY: 100,
+			T: float64(i) * 10, DT: 1,
+			Weight: 1,
+		}
+	}
+	return core.NewFingerprint(id, samples)
+}
+
+// groupOf merges member fingerprints into one published group carrying
+// the union of their samples (every member's sample is covered).
+func groupOf(id string, members ...*core.Fingerprint) *core.Fingerprint {
+	var samples []core.Sample
+	var ids []string
+	for _, m := range members {
+		samples = append(samples, m.Samples...)
+		ids = append(ids, m.Members...)
+	}
+	g := core.NewFingerprint(id, samples)
+	g.Count = len(members)
+	g.Members = ids
+	return g
+}
+
+func TestCrossWindowLinkage(t *testing.T) {
+	u1a, u2a, u3a := linkFP("u1", 0, 4), linkFP("u2", 1e5, 4), linkFP("u3", 2e5, 4)
+	u1b, u2b, u4b := linkFP("u1", 3e5, 4), linkFP("u2", 4e5, 4), linkFP("u4", 5e5, 4)
+	origA := core.NewDataset([]*core.Fingerprint{u1a, u2a, u3a})
+	origB := core.NewDataset([]*core.Fingerprint{u1b, u2b, u4b})
+
+	// Publishing the raw windows re-links every shared subscriber: each
+	// probe pins a unique count-1 record in both windows.
+	res, err := CrossWindowLinkage(
+		[]*core.Dataset{origA, origB},
+		[]*core.Dataset{origA, origB},
+		2, 10, rand.New(rand.NewSource(1)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 1 || res.Pairs[0].Shared != 2 {
+		t.Fatalf("pairs = %+v, want one pair sharing u1 and u2", res.Pairs)
+	}
+	if res.Probed != 2 || res.LinkedFraction != 1 {
+		t.Errorf("raw windows: linked %d/%d (%.2f), want 2/2",
+			res.Linked, res.Probed, res.LinkedFraction)
+	}
+
+	// Anonymized windows hide every subscriber in a crowd of 3: no probe
+	// pins a unique group, so nothing is re-linked.
+	relA := core.NewDataset([]*core.Fingerprint{groupOf("gA", u1a, u2a, u3a)})
+	relB := core.NewDataset([]*core.Fingerprint{groupOf("gB", u1b, u2b, u4b)})
+	res, err = CrossWindowLinkage(
+		[]*core.Dataset{origA, origB},
+		[]*core.Dataset{relA, relB},
+		2, 10, rand.New(rand.NewSource(1)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linked != 0 || res.LinkedFraction != 0 {
+		t.Errorf("anonymized windows: linked %d/%d, want 0", res.Linked, res.Probed)
+	}
+
+	// Mixed case: u1 is published alone (count 1) in both windows while
+	// u2 hides in a crowd — exactly half the probes re-link.
+	relA = core.NewDataset([]*core.Fingerprint{u1a, groupOf("gA", u2a, u3a)})
+	relB = core.NewDataset([]*core.Fingerprint{u1b, groupOf("gB", u2b, u4b)})
+	res, err = CrossWindowLinkage(
+		[]*core.Dataset{origA, origB},
+		[]*core.Dataset{relA, relB},
+		2, 10, rand.New(rand.NewSource(1)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Linked != 1 || res.LinkedFraction != 0.5 {
+		t.Errorf("mixed windows: linked %d/%d (%.2f), want 1/2",
+			res.Linked, res.Probed, res.LinkedFraction)
+	}
+}
+
+func TestCrossWindowLinkageNoSharedSubscribers(t *testing.T) {
+	origA := core.NewDataset([]*core.Fingerprint{linkFP("u1", 0, 3)})
+	origB := core.NewDataset([]*core.Fingerprint{linkFP("u2", 1e5, 3)})
+	res, err := CrossWindowLinkage(
+		[]*core.Dataset{origA, origB},
+		[]*core.Dataset{origA, origB},
+		2, 5, rand.New(rand.NewSource(2)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probed != 0 || res.LinkedFraction != 0 {
+		t.Errorf("disjoint windows probed %d, linked fraction %g", res.Probed, res.LinkedFraction)
+	}
+}
+
+func TestCrossWindowLinkageArgs(t *testing.T) {
+	d := core.NewDataset([]*core.Fingerprint{linkFP("u1", 0, 3)})
+	one := []*core.Dataset{d}
+	two := []*core.Dataset{d, d}
+	rng := rand.New(rand.NewSource(3))
+	if _, err := CrossWindowLinkage(one, two, 2, 5, rng, 0); err == nil {
+		t.Error("mismatched window counts accepted")
+	}
+	if _, err := CrossWindowLinkage(one, one, 2, 5, rng, 0); err == nil {
+		t.Error("single release accepted")
+	}
+	if _, err := CrossWindowLinkage(two, two, 0, 5, rng, 0); err == nil {
+		t.Error("known = 0 accepted")
+	}
+	if _, err := CrossWindowLinkage(two, two, 2, 0, rng, 0); err == nil {
+		t.Error("probes = 0 accepted")
+	}
+}

@@ -57,16 +57,7 @@ func PartialKnowledgeUniqueness(original, published *core.Dataset, known, probes
 	ps := make([]probe, probes)
 	for i := range ps {
 		f := original.Fingerprints[rng.Intn(original.Len())]
-		h := known
-		if h > f.Len() {
-			h = f.Len()
-		}
-		idx := rng.Perm(f.Len())[:h]
-		samples := make([]core.Sample, h)
-		for j, s := range idx {
-			samples[j] = f.Samples[s]
-		}
-		ps[i].samples = samples
+		ps[i].samples = drawSamples(f, known, rng)
 	}
 
 	crowds := parallel.Map(probes, workers, func(i int) int {

@@ -73,7 +73,17 @@ func GloveChunkedContext(ctx context.Context, d *Dataset, opt ChunkedGloveOption
 		weights := make([]int, len(blocks))
 		var totalUnits int
 		for i, b := range blocks {
-			weights[i] = len(b) + 1 // matches the per-run total: merges + build step
+			// Match the per-run total of GloveContext (merges + build
+			// step): fingerprints that arrive pre-anonymized (Count >= K)
+			// never enter the working set, so they contribute no merge
+			// steps and must not inflate the block's weight.
+			active := 0
+			for _, f := range b {
+				if f.Count < gopt.K {
+					active++
+				}
+			}
+			weights[i] = active + 1
 			totalUnits += weights[i]
 		}
 		acc := make([]int, len(blocks))

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// Continuous publication anonymizes a record feed as a sequence of
+// time-windowed releases instead of one static snapshot. Each window is
+// a complete GLOVE run — every release is independently k-anonymous —
+// and the windows run through the same planner (PlanFor/RunPlan) as a
+// batch job, so a dataset whose span fits a single window produces a
+// byte-identical release to a single-shot Anonymize call.
+
+// WindowRelease is the published outcome of one window of a windowed
+// run.
+type WindowRelease struct {
+	// Index is the caller's window position (the cdr.Window index for
+	// time-partitioned feeds).
+	Index int
+	// Plan is the execution plan the auto rules resolved for this
+	// window's size.
+	Plan Plan
+	// Output is the k-anonymized dataset of the window.
+	Output *Dataset
+	// Stats accounts for this window's run.
+	Stats *GloveStats
+}
+
+// WindowProgress reports windowed-run progress: window w (0-based
+// position in the slice, not the caller's index) has completed done of
+// total units. It is invoked from the goroutine running the window.
+type WindowProgress func(w, done, total int)
+
+// AnonymizeWindows runs the planned anonymization pipeline independently
+// over each window and returns one release per window, in order.
+func AnonymizeWindows(windows []*Dataset, opt AnonymizeOptions) ([]WindowRelease, error) {
+	return AnonymizeWindowsContext(context.Background(), windows, opt, nil)
+}
+
+// AnonymizeWindowsContext is AnonymizeWindows with cooperative
+// cancellation and an optional per-window progress hook. Windows run
+// sequentially (each window parallelizes internally through its plan);
+// when ctx is cancelled, the in-flight window stops and no release is
+// returned for it or any later window, so an interrupted run never
+// yields a partial release. A window that cannot k-anonymize on its own
+// (fewer than opt.Glove.K subscribers) fails the whole run: shipping a
+// subset of the promised releases would silently drop a time slice of
+// the feed.
+func AnonymizeWindowsContext(ctx context.Context, windows []*Dataset, opt AnonymizeOptions, progress WindowProgress) ([]WindowRelease, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("core: windowed run without windows")
+	}
+	releases := make([]WindowRelease, 0, len(windows))
+	for w, d := range windows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if d.Users() < opt.Glove.K {
+			return nil, fmt.Errorf("core: window %d hides %d users, cannot %d-anonymize",
+				w, d.Users(), opt.Glove.K)
+		}
+		plan, err := PlanFor(d.Len(), opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: window %d: %w", w, err)
+		}
+		wopt := opt
+		if progress != nil {
+			wi := w
+			wopt.Glove.Progress = func(done, total int) { progress(wi, done, total) }
+		}
+		out, stats, err := RunPlan(ctx, d, wopt, plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: window %d: %w", w, err)
+		}
+		releases = append(releases, WindowRelease{Index: w, Plan: plan, Output: out, Stats: stats})
+	}
+	return releases, nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// A single-window run must be indistinguishable from a single-shot
+// Anonymize over the same dataset: same groups, same samples, same
+// stats — the invariant that lets an operator switch a batch pipeline
+// to the windowed driver without changing any published byte.
+func TestAnonymizeWindowsSingleWindowIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := randDataset(rng, 40, 6)
+	opt := AnonymizeOptions{Glove: GloveOptions{K: 2}}
+
+	plain, plainStats, err := Anonymize(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	releases, err := AnonymizeWindows([]*Dataset{d}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(releases) != 1 {
+		t.Fatalf("got %d releases, want 1", len(releases))
+	}
+	if !reflect.DeepEqual(releases[0].Output.Fingerprints, plain.Fingerprints) {
+		t.Error("single-window release differs from single-shot run")
+	}
+	if !reflect.DeepEqual(releases[0].Stats, plainStats) {
+		t.Errorf("single-window stats differ: %+v vs %+v", releases[0].Stats, plainStats)
+	}
+}
+
+func TestAnonymizeWindowsEachReleaseAnonymous(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	windows := []*Dataset{
+		randDataset(rng, 30, 5),
+		randDataset(rng, 20, 4),
+		randDataset(rng, 25, 6),
+	}
+	const k = 3
+	var calls []int
+	releases, err := AnonymizeWindowsContext(context.Background(), windows,
+		AnonymizeOptions{Glove: GloveOptions{K: k}},
+		func(w, done, total int) { calls = append(calls, w) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(releases) != 3 {
+		t.Fatalf("got %d releases, want 3", len(releases))
+	}
+	for i, rel := range releases {
+		if rel.Index != i {
+			t.Errorf("release %d has index %d", i, rel.Index)
+		}
+		if err := ValidateKAnonymity(rel.Output, k); err != nil {
+			t.Errorf("release %d: %v", i, err)
+		}
+		if rel.Output.Users() != windows[i].Users() {
+			t.Errorf("release %d hides %d users, want %d",
+				i, rel.Output.Users(), windows[i].Users())
+		}
+		if rel.Plan.Strategy == StrategyAuto {
+			t.Errorf("release %d plan not resolved", i)
+		}
+	}
+	// Every window reported progress, in window order.
+	seen := map[int]bool{}
+	last := -1
+	for _, w := range calls {
+		if w < last {
+			t.Fatalf("progress for window %d after window %d", w, last)
+		}
+		last = w
+		seen[w] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("progress covered %d windows, want 3", len(seen))
+	}
+}
+
+func TestAnonymizeWindowsUndersizedWindowFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	windows := []*Dataset{randDataset(rng, 20, 4), randDataset(rng, 2, 3)}
+	_, err := AnonymizeWindows(windows, AnonymizeOptions{Glove: GloveOptions{K: 3}})
+	if err == nil {
+		t.Fatal("undersized window accepted")
+	}
+}
+
+func TestAnonymizeWindowsCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	windows := []*Dataset{randDataset(rng, 30, 5), randDataset(rng, 30, 5)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	releases, err := AnonymizeWindowsContext(ctx, windows,
+		AnonymizeOptions{Glove: GloveOptions{K: 2}}, nil)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if releases != nil {
+		t.Fatal("cancelled run returned releases")
+	}
+}
+
+// Pin the chunked progress weighting against pre-anonymized inputs: a
+// block containing fingerprints that arrive with Count >= K contributes
+// only its active fingerprints (plus the build step) to the total, so
+// the aggregated fraction ends at exactly 1 and never overshoots.
+func TestGloveChunkedProgressWithPreAnonymizedInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	const n, chunk, k = 30, 10, 2
+	var fps []*Fingerprint
+	active := 0
+	for i := 0; i < n; i++ {
+		f := randFingerprint(rng, fmt.Sprintf("f%02d", i), 4)
+		if i%3 == 0 {
+			// Pre-merged group: already anonymized on input.
+			f.Count = k
+			f.Members = []string{f.ID + "-a", f.ID + "-b"}
+		} else {
+			active++
+		}
+		fps = append(fps, f)
+	}
+	d := NewDataset(fps)
+	wantTotal := active + len(spatialBlocks(d, chunk))
+
+	var mu sync.Mutex
+	var lastDone, total int
+	_, _, err := GloveChunked(d, ChunkedGloveOptions{
+		Glove: GloveOptions{
+			K: k,
+			Progress: func(done, tot int) {
+				mu.Lock()
+				defer mu.Unlock()
+				if done < lastDone {
+					t.Errorf("progress went backwards: %d after %d", done, lastDone)
+				}
+				if done > tot {
+					t.Errorf("progress overshoots: %d/%d", done, tot)
+				}
+				lastDone, total = done, tot
+			},
+		},
+		ChunkSize: chunk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != wantTotal {
+		t.Errorf("reported total %d, want %d (active %d + %d blocks)",
+			total, wantTotal, active, wantTotal-active)
+	}
+	if lastDone != total {
+		t.Errorf("final progress %d/%d, want completion", lastDone, total)
+	}
+}

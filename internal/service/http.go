@@ -16,16 +16,18 @@ import (
 // Server is the HTTP front of the service: a thin JSON/CSV layer over
 // the Registry and Manager.
 //
-//	POST   /v1/datasets           ingest a raw record CSV (streaming body)
-//	GET    /v1/datasets           list datasets
-//	GET    /v1/datasets/{id}      dataset metadata
-//	POST   /v1/jobs               submit an anonymization job (JSON JobSpec)
-//	GET    /v1/jobs               list jobs
-//	GET    /v1/jobs/{id}          job status with live progress
-//	DELETE /v1/jobs/{id}          cancel a queued or running job
-//	GET    /v1/jobs/{id}/result   download the anonymized CSV
-//	GET    /v1/metrics            accuracy / anonymizability summary
-//	GET    /healthz               liveness + version
+//	POST   /v1/datasets                    ingest a raw record CSV (streaming body)
+//	GET    /v1/datasets                    list datasets
+//	GET    /v1/datasets/{id}               dataset metadata
+//	POST   /v1/datasets/{id}/records       append records to the feed (bumps version)
+//	POST   /v1/jobs                        submit an anonymization job (JSON JobSpec)
+//	GET    /v1/jobs                        list jobs
+//	GET    /v1/jobs/{id}                   job status with live progress
+//	DELETE /v1/jobs/{id}                   cancel a queued or running job
+//	GET    /v1/jobs/{id}/result            download the anonymized CSV
+//	GET    /v1/jobs/{id}/windows/{w}/result  download one window's release
+//	GET    /v1/metrics                     accuracy / anonymizability / linkage summary
+//	GET    /healthz                        liveness + version
 type Server struct {
 	// MaxIngestBytes bounds the request body of a single ingestion
 	// (0 = unlimited). Unlike Registry.MaxRecords it caps raw bytes, so
@@ -44,12 +46,14 @@ func NewServer(reg *Registry, mgr *Manager) *Server {
 	s.mux.HandleFunc("POST /v1/datasets", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleGetDataset)
+	s.mux.HandleFunc("POST /v1/datasets/{id}/records", s.handleAppendRecords)
 	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDeleteDataset)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/windows/{w}/result", s.handleWindowResult)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -112,6 +116,33 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleAppendRecords streams additional records onto a registered
+// dataset — the continuous-feed path. The response carries the updated
+// metadata including the bumped monotone version; jobs snapshot a
+// version when they start and never observe later appends.
+func (s *Server) handleAppendRecords(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.reg.Get(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", id))
+		return
+	}
+	body := r.Body
+	if s.MaxIngestBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.MaxIngestBytes)
+	}
+	info, err := s.reg.Append(id, body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, tooBig)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
@@ -219,6 +250,35 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleWindowResult serves one window's release of a windowed job.
+// Completed windows download while the job is still running later ones
+// — the continuous-release property.
+func (s *Server) handleWindowResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	win, err := strconv.Atoi(r.PathValue("w"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad window index %q", r.PathValue("w")))
+		return
+	}
+	ds, err := s.mgr.WindowResult(id, win)
+	if err != nil {
+		if _, ok := s.mgr.Get(id); !ok || errors.Is(err, ErrNoSuchWindow) {
+			// Unknown job or a window index the job will never have: a
+			// permanent 404, not a retryable conflict.
+			writeError(w, http.StatusNotFound, err)
+		} else {
+			writeError(w, http.StatusConflict, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("%s-w%d.csv", id, win)))
+	if err := cdr.WriteAnonymizedCSV(w, ds); err != nil {
+		return
+	}
+}
+
 // MetricsReport aggregates what the service has published so far.
 type MetricsReport struct {
 	Datasets    int              `json:"datasets"`
@@ -230,8 +290,19 @@ type MetricsReport struct {
 	// actually takes. Jobs that never started (no plan yet) are absent.
 	JobsByStrategy map[core.Strategy]int  `json:"jobs_by_strategy"`
 	JobsByIndex    map[core.IndexKind]int `json:"jobs_by_index"`
+	// WindowedJobs counts jobs submitted with window_hours > 0;
+	// WindowReleases counts the committed per-window releases across
+	// them (completed windows of running or cancelled jobs included).
+	WindowedJobs   int `json:"windowed_jobs"`
+	WindowReleases int `json:"window_releases"`
+	// MeanCrossWindowLinkage averages the linked fraction of the
+	// cross-window linkage analysis over finished windowed jobs that
+	// reported one — the service-wide residual re-identification risk of
+	// continuous publication. Nil when no job measured it.
+	MeanCrossWindowLinkage *float64 `json:"mean_cross_window_linkage,omitempty"`
 	// Completed holds the per-job utility summaries (accuracy from
-	// internal/metrics, anonymizability from internal/analysis).
+	// internal/metrics, anonymizability and cross-window linkage from
+	// internal/analysis).
 	Completed []JobStatus `json:"completed"`
 }
 
@@ -242,6 +313,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		JobsByStrategy: make(map[core.Strategy]int),
 		JobsByIndex:    make(map[core.IndexKind]int),
 	}
+	var linkageSum float64
+	var linkageJobs int
 	for _, st := range s.mgr.List() {
 		rep.Jobs++
 		rep.JobsByState[st.State]++
@@ -249,9 +322,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			rep.JobsByStrategy[st.Plan.Strategy]++
 			rep.JobsByIndex[st.Plan.Index]++
 		}
+		if st.Spec.WindowHours > 0 {
+			rep.WindowedJobs++
+			for _, ws := range st.Windows {
+				if ws.State == WindowDone {
+					rep.WindowReleases++
+				}
+			}
+		}
 		if st.State == JobDone {
 			rep.Completed = append(rep.Completed, st)
+			if st.Linkage != nil {
+				linkageSum += st.Linkage.LinkedFraction
+				linkageJobs++
+			}
 		}
+	}
+	if linkageJobs > 0 {
+		mean := linkageSum / float64(linkageJobs)
+		rep.MeanCrossWindowLinkage = &mean
 	}
 	writeJSON(w, http.StatusOK, rep)
 }

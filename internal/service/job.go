@@ -6,6 +6,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
+	"repro/internal/cdr"
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
@@ -73,6 +75,16 @@ type JobSpec struct {
 	// "dense" or "sparse". Auto picks dense up to core.DenseIndexMaxN
 	// fingerprints per run and sparse (O(n·m) memory) above.
 	Index string `json:"index,omitempty"`
+
+	// WindowHours, when > 0, turns the job into a continuous-release
+	// run: the dataset snapshot is partitioned into time windows of this
+	// many hours (aligned at multiples from the dataset epoch) and each
+	// window is anonymized independently into its own release, published
+	// as it completes. 0 anonymizes the whole snapshot in one release
+	// (or inherits the daemon-wide default); a negative value submitted
+	// to the manager explicitly forces a batch run even when the daemon
+	// defaults to windowed.
+	WindowHours float64 `json:"window_hours,omitempty"`
 }
 
 // Validate checks the statically checkable parts of the spec.
@@ -101,7 +113,15 @@ func (s JobSpec) Validate() error {
 	case s.ChunkSize > 0 && strategy == core.StrategySingle:
 		return fmt.Errorf("service: chunk_size %d set but strategy is single", s.ChunkSize)
 	}
+	if s.WindowHours < 0 {
+		return fmt.Errorf("service: negative window_hours %g", s.WindowHours)
+	}
 	return nil
+}
+
+// windowDuration converts the spec's window length for the partitioner.
+func (s JobSpec) windowDuration() time.Duration {
+	return time.Duration(s.WindowHours * float64(time.Hour))
 }
 
 // anonymizeOptions translates the spec into the core planner options
@@ -125,6 +145,43 @@ func (s JobSpec) anonymizeOptions(workers int, progress func(done, total int)) c
 	}
 }
 
+// WindowState is the lifecycle of one window of a windowed job. A
+// window becomes downloadable the moment it is done — releases stream
+// out while later windows are still running.
+type WindowState string
+
+const (
+	WindowPending WindowState = "pending"
+	WindowRunning WindowState = "running"
+	WindowDone    WindowState = "done"
+	// WindowAborted marks windows that never completed because the job
+	// failed or was cancelled; they published nothing.
+	WindowAborted WindowState = "aborted"
+)
+
+// WindowStatus is the per-window progress and accounting of a windowed
+// job, one entry per non-empty time window of the snapshot.
+type WindowStatus struct {
+	// Index is the window's position on the absolute time axis (window i
+	// covers minutes [i*w, (i+1)*w) of the dataset epoch).
+	Index int `json:"index"`
+	// StartMinute / EndMinute delimit the half-open window interval.
+	StartMinute float64 `json:"start_minute"`
+	EndMinute   float64 `json:"end_minute"`
+	// Records and Users describe the window's slice of the snapshot.
+	Records int `json:"records"`
+	Users   int `json:"users"`
+
+	State WindowState `json:"state"`
+	// Progress advances from 0 to 1 over the window's anonymization.
+	Progress float64 `json:"progress"`
+	// Groups and Stats are populated once the window is done; the
+	// window's release is then downloadable at
+	// /v1/jobs/{id}/windows/{index}/result.
+	Groups int              `json:"groups,omitempty"`
+	Stats  *core.GloveStats `json:"stats,omitempty"`
+}
+
 // JobStatus is a point-in-time snapshot of a job, the payload of
 // GET /v1/jobs/{id}.
 type JobStatus struct {
@@ -143,6 +200,18 @@ type JobStatus struct {
 	// job's largest shard (strategy, chunk size, index); nil until the
 	// job starts.
 	Plan *core.Plan `json:"plan,omitempty"`
+
+	// DatasetVersion is the registry version of the dataset snapshot the
+	// job anonymizes; 0 until the run snapshots its input. Appends
+	// racing the job bump the dataset's version but never this one.
+	DatasetVersion int `json:"dataset_version,omitempty"`
+	// Windows holds the per-window progress of a windowed job
+	// (window_hours > 0), in time order; empty for batch jobs.
+	Windows []WindowStatus `json:"windows,omitempty"`
+	// Linkage is the cross-window linkage measurement over consecutive
+	// releases of a finished windowed job (nil for batch jobs,
+	// single-window runs, or when the analysis was skipped).
+	Linkage *analysis.LinkageResult `json:"linkage,omitempty"`
 
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
@@ -182,10 +251,95 @@ type Job struct {
 	// plan is the resolved execution plan of the largest shard.
 	plan *core.Plan
 
+	// datasetVersion is the registry version of the snapshot being
+	// anonymized (set when the run takes its snapshot).
+	datasetVersion int
+	// windows is the per-window state of a windowed job, in time order.
+	windows []*jobWindow
+
 	result            *core.Dataset
 	stats             *core.GloveStats
 	accuracy          *metrics.Summary
 	anonymousFraction *float64
+	linkage           *analysis.LinkageResult
+}
+
+// jobWindow tracks one window of a windowed job.
+type jobWindow struct {
+	index                  int
+	startMinute, endMinute float64
+	records, users         int
+
+	state         WindowState
+	shardProgress []float64
+	groups        int
+	stats         *core.GloveStats
+	// result is the window's published release, committed atomically
+	// when the window completes; a cancelled or failed window never
+	// stores a partial release.
+	result *core.Dataset
+}
+
+// initWindows records the windowed job's layout; called once when the
+// run has split its snapshot.
+func (j *Job) initWindows(wins []cdr.Window) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.windows = make([]*jobWindow, len(wins))
+	for i, w := range wins {
+		j.windows[i] = &jobWindow{
+			index:       w.Index,
+			startMinute: w.StartMinute,
+			endMinute:   w.EndMinute,
+			records:     len(w.Table.Records),
+			users:       w.Table.Users(),
+			state:       WindowPending,
+		}
+	}
+}
+
+// startWindow marks a window running with the given shard count.
+func (j *Job) startWindow(w, shards int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.windows[w].state = WindowRunning
+	j.windows[w].shardProgress = make([]float64, shards)
+}
+
+// setWindowShardProgress records one shard's completion fraction inside
+// a window.
+func (j *Job) setWindowShardProgress(w, shard int, frac float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	jw := j.windows[w]
+	if shard >= 0 && shard < len(jw.shardProgress) && frac > jw.shardProgress[shard] {
+		jw.shardProgress[shard] = frac
+	}
+}
+
+// abortOpenWindowsLocked marks every not-yet-done window aborted when
+// the job lands in a non-done terminal state, so no window appears
+// in-flight forever. Caller holds j.mu.
+func (j *Job) abortOpenWindowsLocked() {
+	for _, w := range j.windows {
+		if w.state != WindowDone {
+			w.state = WindowAborted
+		}
+	}
+}
+
+// commitWindow publishes a completed window's release.
+func (j *Job) commitWindow(w int, out *core.Dataset, stats *core.GloveStats) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	jw := j.windows[w]
+	jw.state = WindowDone
+	jw.result = out
+	jw.groups = out.Len()
+	jw.stats = stats
+	for i := range jw.shardProgress {
+		jw.shardProgress[i] = 1
+	}
 }
 
 // transition moves the job to the target state, enforcing the state
@@ -216,10 +370,26 @@ func (j *Job) Status() JobStatus {
 		Shards:            len(j.shardProgress),
 		Error:             j.err,
 		Plan:              j.plan,
+		DatasetVersion:    j.datasetVersion,
 		CreatedAt:         j.created,
 		Stats:             j.stats,
 		Accuracy:          j.accuracy,
 		AnonymousFraction: j.anonymousFraction,
+		Linkage:           j.linkage,
+	}
+	for _, w := range j.windows {
+		ws := WindowStatus{
+			Index:       w.index,
+			StartMinute: w.startMinute,
+			EndMinute:   w.endMinute,
+			Records:     w.records,
+			Users:       w.users,
+			State:       w.state,
+			Progress:    w.progressLocked(),
+			Groups:      w.groups,
+			Stats:       w.stats,
+		}
+		st.Windows = append(st.Windows, ws)
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -235,15 +405,45 @@ func (j *Job) Status() JobStatus {
 	case JobRunning, JobFailed, JobCancelled:
 		// Failed/cancelled jobs keep the last observed fraction rather
 		// than snapping back to zero.
-		var sum float64
-		for _, p := range j.shardProgress {
-			sum += p
-		}
-		if n := len(j.shardProgress); n > 0 {
-			st.Progress = sum / float64(n)
+		switch {
+		case len(j.windows) > 0:
+			// Windowed job: weight each window by its subscriber count
+			// (the dominant cost driver) so a big window does not look
+			// done because three small ones finished.
+			var sum, total float64
+			for _, w := range j.windows {
+				weight := float64(w.users)
+				sum += weight * w.progressLocked()
+				total += weight
+			}
+			if total > 0 {
+				st.Progress = sum / total
+			}
+		case len(j.shardProgress) > 0:
+			var sum float64
+			for _, p := range j.shardProgress {
+				sum += p
+			}
+			st.Progress = sum / float64(len(j.shardProgress))
 		}
 	}
 	return st
+}
+
+// progressLocked is the window's mean shard fraction; the caller holds
+// the owning job's mutex.
+func (w *jobWindow) progressLocked() float64 {
+	if w.state == WindowDone {
+		return 1
+	}
+	if len(w.shardProgress) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range w.shardProgress {
+		sum += p
+	}
+	return sum / float64(len(w.shardProgress))
 }
 
 // setShardProgress records the completion fraction of one shard.

@@ -9,6 +9,8 @@ package service
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -21,6 +23,11 @@ import (
 // ErrQueueFull is returned by Submit when the job queue is at capacity;
 // the condition is transient and the submission can be retried.
 var ErrQueueFull = fmt.Errorf("service: job queue is full")
+
+// ErrNoSuchWindow is returned by WindowResult for a window index the
+// job does not have — a permanent condition (404), unlike a window
+// that exists but has not finished yet (409, retryable).
+var ErrNoSuchWindow = fmt.Errorf("service: no such window")
 
 // ManagerOptions tunes the job manager.
 type ManagerOptions struct {
@@ -40,6 +47,17 @@ type ManagerOptions struct {
 	// ShardSeed drives the deterministic user-to-shard assignment.
 	ShardSeed uint64
 
+	// MaxFinishedJobs bounds how many terminal (done/failed/cancelled)
+	// jobs the manager retains in memory, evicting the oldest-finished
+	// first — a resident daemon must not grow without bound as results
+	// accumulate. 0 means the default of 64; negative disables the
+	// bound. Evicted jobs disappear from the API exactly as an explicit
+	// DELETE ?purge=1 would.
+	MaxFinishedJobs int
+	// MaxFinishedAge additionally evicts terminal jobs older than this
+	// (measured from their finish time); 0 disables age-based eviction.
+	MaxFinishedAge time.Duration
+
 	// DefaultStrategy / DefaultChunkSize / DefaultIndex fill the
 	// corresponding JobSpec fields when a submission leaves them empty,
 	// so operators can steer the planner daemon-wide (gloved -strategy,
@@ -47,6 +65,10 @@ type ManagerOptions struct {
 	DefaultStrategy  string
 	DefaultChunkSize int
 	DefaultIndex     string
+	// DefaultWindowHours fills JobSpec.WindowHours when a submission
+	// leaves it 0 (gloved -window-hours flag), turning every job into a
+	// windowed continuous release by default.
+	DefaultWindowHours float64
 }
 
 func (o ManagerOptions) withDefaults() ManagerOptions {
@@ -58,6 +80,9 @@ func (o ManagerOptions) withDefaults() ManagerOptions {
 	}
 	if o.AnalysisMaxFingerprints <= 0 {
 		o.AnalysisMaxFingerprints = 2000
+	}
+	if o.MaxFinishedJobs == 0 {
+		o.MaxFinishedJobs = 64
 	}
 	return o
 }
@@ -148,6 +173,15 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	if spec.Index == "" {
 		spec.Index = m.opt.DefaultIndex
 	}
+	if spec.WindowHours == 0 {
+		spec.WindowHours = m.opt.DefaultWindowHours
+	}
+	// A negative window_hours is the explicit "batch" spelling: 0 is
+	// indistinguishable from unset, so without it no submission could
+	// override a daemon-wide -window-hours default back to batch.
+	if spec.WindowHours < 0 {
+		spec.WindowHours = 0
+	}
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
 	}
@@ -201,9 +235,12 @@ func (m *Manager) Get(id string) (JobStatus, bool) {
 	return job.Status(), true
 }
 
-// List returns the status of every job in submission order.
+// List returns the status of every job in submission order. Age-based
+// retention is enforced lazily here as well, so an idle daemon still
+// sheds expired jobs when observed.
 func (m *Manager) List() []JobStatus {
 	m.mu.Lock()
+	m.evictFinishedLocked()
 	ids := append([]string(nil), m.order...)
 	jobs := make([]*Job, 0, len(ids))
 	for _, id := range ids {
@@ -233,6 +270,12 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 		job.cancelRequested = true
 		job.transition(JobCancelled)
 		job.err = "cancelled before start"
+		// Now terminal: subject to retention like any finished job.
+		defer func() {
+			m.mu.Lock()
+			m.evictFinishedLocked()
+			m.mu.Unlock()
+		}()
 	case job.state == JobRunning:
 		job.cancelRequested = true
 		if job.cancel != nil {
@@ -273,7 +316,10 @@ func (m *Manager) Remove(id string) error {
 	return nil
 }
 
-// Result returns the anonymized dataset of a finished job.
+// Result returns the anonymized dataset of a finished job. For a
+// windowed job it is only served when the run produced exactly one
+// release (then it is byte-identical to the batch result); multi-window
+// jobs publish per-window releases via WindowResult instead.
 func (m *Manager) Result(id string) (*core.Dataset, error) {
 	m.mu.Lock()
 	job, ok := m.jobs[id]
@@ -286,7 +332,42 @@ func (m *Manager) Result(id string) (*core.Dataset, error) {
 	if job.state != JobDone {
 		return nil, fmt.Errorf("service: job %s is %s, no result", id, job.state)
 	}
+	if job.result == nil && len(job.windows) > 1 {
+		return nil, fmt.Errorf("service: job %s produced %d windowed releases, download them per window",
+			id, len(job.windows))
+	}
 	return job.result, nil
+}
+
+// WindowResult returns the release of one window of a windowed job.
+// Completed windows are downloadable as soon as they finish — while the
+// job is still running later windows, and even when the job was
+// cancelled afterwards (a committed window is a complete, validated
+// release; cancellation only prevents windows that never finished).
+func (m *Manager) WindowResult(id string, w int) (*core.Dataset, error) {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("service: unknown job %q", id)
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if len(job.windows) == 0 {
+		return nil, fmt.Errorf("service: job %s is not windowed", id)
+	}
+	// w is the absolute window index reported in WindowStatus.Index
+	// (indices may jump over empty windows).
+	for _, jw := range job.windows {
+		if jw.index != w {
+			continue
+		}
+		if jw.state != WindowDone {
+			return nil, fmt.Errorf("service: job %s window %d is %s, no release", id, w, jw.state)
+		}
+		return jw.result, nil
+	}
+	return nil, fmt.Errorf("%w: job %s has no window %d", ErrNoSuchWindow, id, w)
 }
 
 // executor pops jobs off the queue until the queue closes.
@@ -321,61 +402,140 @@ func (m *Manager) runJob(job *Job) {
 	spec := job.spec
 	job.mu.Unlock()
 
-	result, stats, anonFrac, err := m.execute(ctx, job, spec)
+	outcome, err := m.execute(ctx, job, spec)
 
 	// The accuracy measurement walks every published sample; do it
 	// before taking job.mu so status polling never blocks behind it.
 	var accuracy *metrics.Summary
-	if err == nil {
-		if sum, serr := metrics.Measure(result).Summarize(); serr == nil {
+	if err == nil && outcome.measured != nil {
+		if sum, serr := metrics.Measure(outcome.measured).Summarize(); serr == nil {
 			accuracy = &sum
 		}
 	}
 
 	job.mu.Lock()
-	defer job.mu.Unlock()
 	job.cancel = nil
 	// A cancel acknowledged while the run was in a non-interruptible
 	// tail (e.g. the capped analysis pass) must still win: never report
 	// "done" for a job the client was told is being cancelled.
-	if job.cancelRequested || ctx.Err() != nil {
+	switch {
+	case job.cancelRequested || ctx.Err() != nil:
 		job.transition(JobCancelled)
 		job.err = "cancelled"
-		return
-	}
-	if err != nil {
+		job.abortOpenWindowsLocked()
+	case err != nil:
 		job.transition(JobFailed)
 		job.err = err.Error()
-		return
+		job.abortOpenWindowsLocked()
+	default:
+		job.result = outcome.result
+		job.stats = outcome.stats
+		job.accuracy = accuracy
+		job.anonymousFraction = outcome.anonFrac
+		job.linkage = outcome.linkage
+		job.transition(JobDone)
 	}
-	job.result = result
-	job.stats = stats
-	job.accuracy = accuracy
-	job.anonymousFraction = anonFrac
-	job.transition(JobDone)
+	job.mu.Unlock()
+
+	// The job just turned terminal: apply the retention policy so a
+	// resident daemon sheds the oldest finished jobs and their results.
+	m.mu.Lock()
+	m.evictFinishedLocked()
+	m.mu.Unlock()
 }
 
-// execute performs the sharded anonymization pipeline of one job.
-func (m *Manager) execute(ctx context.Context, job *Job, spec JobSpec) (*core.Dataset, *core.GloveStats, *float64, error) {
-	table, ok := m.reg.Table(spec.DatasetID)
-	if !ok {
-		return nil, nil, nil, fmt.Errorf("service: dataset %q disappeared", spec.DatasetID)
+// evictFinishedLocked enforces the terminal-job retention policy,
+// removing the oldest-finished jobs beyond MaxFinishedJobs and any
+// terminal job older than MaxFinishedAge. Caller holds m.mu.
+func (m *Manager) evictFinishedLocked() {
+	type finished struct {
+		id string
+		at time.Time
 	}
-	info, _ := m.reg.Get(spec.DatasetID)
+	var term []finished
+	for _, id := range m.order {
+		job := m.jobs[id]
+		job.mu.Lock()
+		if job.state.Terminal() {
+			term = append(term, finished{id, job.finished})
+		}
+		job.mu.Unlock()
+	}
+	sort.Slice(term, func(i, j int) bool { return term[i].at.Before(term[j].at) })
+
+	evict := make(map[string]bool)
+	if m.opt.MaxFinishedAge > 0 {
+		cutoff := time.Now().UTC().Add(-m.opt.MaxFinishedAge)
+		for _, f := range term {
+			if f.at.Before(cutoff) {
+				evict[f.id] = true
+			}
+		}
+	}
+	if max := m.opt.MaxFinishedJobs; max >= 0 {
+		excess := len(term) - len(evict) - max
+		for _, f := range term {
+			if excess <= 0 {
+				break
+			}
+			if !evict[f.id] {
+				evict[f.id] = true
+				excess--
+			}
+		}
+	}
+	if len(evict) == 0 {
+		return
+	}
+	for id := range evict {
+		delete(m.jobs, id)
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		if !evict[id] {
+			kept = append(kept, id)
+		}
+	}
+	m.order = kept
+}
+
+// runOutcome carries everything a finished run hands back to runJob.
+type runOutcome struct {
+	// result is the dataset served by /v1/jobs/{id}/result: the merged
+	// batch output, or the single release of a one-window windowed run;
+	// nil for multi-window runs (served per window instead).
+	result *core.Dataset
+	// measured is the dataset the accuracy summary walks — the batch
+	// result, or the concatenation of all windowed releases.
+	measured *core.Dataset
+	stats    *core.GloveStats
+	anonFrac *float64
+	linkage  *analysis.LinkageResult
+}
+
+// execute performs the anonymization pipeline of one job against a
+// frozen snapshot of the dataset: appends racing the run bump the
+// registry version but never change what this job anonymizes.
+func (m *Manager) execute(ctx context.Context, job *Job, spec JobSpec) (runOutcome, error) {
+	table, info, ok := m.reg.Snapshot(spec.DatasetID)
+	if !ok {
+		return runOutcome{}, fmt.Errorf("service: dataset %q disappeared", spec.DatasetID)
+	}
+	job.mu.Lock()
+	job.datasetVersion = info.Version
+	job.mu.Unlock()
+
+	if spec.WindowHours > 0 {
+		return m.executeWindowed(ctx, job, spec, table, info)
+	}
 
 	shards := planShards(table, info.Users, spec.K, spec.Shards, m.opt.ShardSeed)
 	// Resolve and publish the execution plan for the largest shard (one
 	// fingerprint per subscriber) so clients can see what the auto
 	// rules picked before the run finishes.
-	maxUsers := 0
-	for _, s := range shards {
-		if u := s.Users(); u > maxUsers {
-			maxUsers = u
-		}
-	}
-	plan, err := core.PlanFor(maxUsers, spec.anonymizeOptions(spec.Workers, nil))
+	plan, err := core.PlanFor(maxShardUsers(shards), spec.anonymizeOptions(spec.Workers, nil))
 	if err != nil {
-		return nil, nil, nil, err
+		return runOutcome{}, err
 	}
 	job.mu.Lock()
 	job.shardProgress = make([]float64, len(shards))
@@ -384,14 +544,155 @@ func (m *Manager) execute(ctx context.Context, job *Job, spec JobSpec) (*core.Da
 
 	result, stats, err := runShards(ctx, shards, spec, job.setShardProgress)
 	if err != nil {
-		return nil, nil, nil, err
+		return runOutcome{}, err
 	}
 	if verr := core.ValidateKAnonymity(result, spec.K); verr != nil {
-		return nil, nil, nil, fmt.Errorf("service: published dataset failed validation: %w", verr)
+		return runOutcome{}, fmt.Errorf("service: published dataset failed validation: %w", verr)
 	}
 
 	anonFrac := m.anonymizability(ctx, table, spec)
-	return result, stats, anonFrac, nil
+	return runOutcome{result: result, measured: result, stats: stats, anonFrac: anonFrac}, nil
+}
+
+// executeWindowed drives the continuous-release pipeline: the snapshot
+// is partitioned into time windows, each window runs the same sharded
+// pipeline a batch job uses (so a one-window job is byte-identical to
+// the batch run), and every completed window is committed — and
+// downloadable — before the next one starts. A failure or cancellation
+// mid-window never publishes that window.
+func (m *Manager) executeWindowed(ctx context.Context, job *Job, spec JobSpec, table *cdr.Table, info DatasetInfo) (runOutcome, error) {
+	wins, err := table.SplitByWindow(spec.windowDuration())
+	if err != nil {
+		return runOutcome{}, err
+	}
+	job.initWindows(wins)
+
+	// Dry-plan every window up front: publishes the plan of the largest
+	// run before work starts and rejects a window too sparse to
+	// k-anonymize before burning any quadratic time. The shard tables
+	// (full record clones) are not retained — each window re-plans
+	// lazily when its turn comes, so the job never holds more than one
+	// window's shards beyond the snapshot itself. planShards is
+	// deterministic, so the dry run and the real run agree.
+	userCounts := make([]int, len(wins))
+	maxUsers := 0
+	for wi, win := range wins {
+		users := win.Table.Users()
+		if users < spec.K {
+			return runOutcome{}, fmt.Errorf(
+				"service: window %d (minutes [%g, %g)) hides %d users, cannot %d-anonymize; use a longer window",
+				win.Index, win.StartMinute, win.EndMinute, users, spec.K)
+		}
+		userCounts[wi] = users
+		shards := planShards(win.Table, users, spec.K, spec.Shards, m.opt.ShardSeed)
+		if u := maxShardUsers(shards); u > maxUsers {
+			maxUsers = u
+		}
+	}
+	plan, err := core.PlanFor(maxUsers, spec.anonymizeOptions(spec.Workers, nil))
+	if err != nil {
+		return runOutcome{}, err
+	}
+	job.mu.Lock()
+	job.plan = &plan
+	job.mu.Unlock()
+
+	total := &core.GloveStats{}
+	releases := make([]*core.Dataset, 0, len(wins))
+	for wi, win := range wins {
+		if err := ctx.Err(); err != nil {
+			return runOutcome{}, err
+		}
+		shards := planShards(win.Table, userCounts[wi], spec.K, spec.Shards, m.opt.ShardSeed)
+		job.startWindow(wi, len(shards))
+		out, stats, err := runShards(ctx, shards, spec, func(shard int, frac float64) {
+			job.setWindowShardProgress(wi, shard, frac)
+		})
+		if err != nil {
+			return runOutcome{}, fmt.Errorf("service: window %d: %w", wins[wi].Index, err)
+		}
+		if verr := core.ValidateKAnonymity(out, spec.K); verr != nil {
+			return runOutcome{}, fmt.Errorf("service: window %d failed validation: %w", wins[wi].Index, verr)
+		}
+		job.commitWindow(wi, out, stats)
+		total.Add(stats)
+		releases = append(releases, out)
+	}
+
+	var fps []*core.Fingerprint
+	for _, rel := range releases {
+		fps = append(fps, rel.Fingerprints...)
+	}
+	measured := &core.Dataset{Fingerprints: fps}
+	total.OutputFingerprints = measured.Len()
+	total.OutputSamples = measured.TotalSamples()
+
+	outcome := runOutcome{
+		measured: measured,
+		stats:    total,
+		anonFrac: m.anonymizability(ctx, table, spec),
+		linkage:  m.crossWindowLinkage(ctx, wins, releases, spec),
+	}
+	if len(releases) == 1 {
+		outcome.result = releases[0]
+	}
+	return outcome, nil
+}
+
+// maxShardUsers returns the subscriber count of the largest shard.
+func maxShardUsers(shards []*cdr.Table) int {
+	max := 0
+	for _, s := range shards {
+		if u := s.Users(); u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// Cross-window linkage probe budget: h samples of adversary knowledge
+// per window, and how many shared subscribers are attacked per
+// consecutive release pair.
+const (
+	linkageKnownSamples = 4
+	linkageProbes       = 200
+)
+
+// crossWindowLinkage measures residual cross-release linkability of a
+// finished windowed run (nil for single-window runs, on cancellation,
+// or for inputs above the analysis cap).
+func (m *Manager) crossWindowLinkage(ctx context.Context, wins []cdr.Window, releases []*core.Dataset, spec JobSpec) *analysis.LinkageResult {
+	if len(releases) < 2 || ctx.Err() != nil {
+		return nil
+	}
+	originals := make([]*core.Dataset, len(wins))
+	totalUsers := 0
+	for i, win := range wins {
+		ds, err := win.Table.BuildDataset()
+		if err != nil {
+			return nil
+		}
+		originals[i] = ds
+		totalUsers += ds.Len()
+	}
+	if totalUsers > m.opt.AnalysisMaxFingerprints {
+		return nil
+	}
+	// Seeded deterministically so repeated identical jobs report the
+	// same measurement.
+	rng := rand.New(rand.NewSource(int64(m.opt.ShardSeed) + 1))
+	res, err := analysis.CrossWindowLinkage(originals, releases, linkageKnownSamples, linkageProbes, rng, spec.Workers)
+	if err != nil {
+		return nil
+	}
+	// Relabel pairs with the absolute window indices the rest of the
+	// API uses (WindowStatus.Index, /windows/{w}/result); consecutive
+	// releases may span a gap of empty windows, which the relabeled
+	// indices make visible.
+	for i := range res.Pairs {
+		res.Pairs[i].Window = wins[i].Index
+	}
+	return &res
 }
 
 // anonymizability runs the k-gap analysis of Sec. 5 on the job's input,

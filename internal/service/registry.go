@@ -12,29 +12,40 @@ import (
 
 // DatasetInfo is the public metadata of a registered dataset.
 type DatasetInfo struct {
-	ID        string     `json:"id"`
-	Name      string     `json:"name"`
-	Records   int        `json:"records"`
-	Users     int        `json:"users"`
-	SpanDays  int        `json:"span_days"`
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Records  int    `json:"records"`
+	Users    int    `json:"users"`
+	SpanDays int    `json:"span_days"`
+	// Version is a monotone counter starting at 1, incremented by every
+	// record append. Jobs snapshot the dataset at submission of the run,
+	// so a job's reported dataset_version names exactly the feed state it
+	// anonymized.
+	Version   int        `json:"version"`
 	Center    geo.LatLon `json:"center"`
 	CreatedAt time.Time  `json:"created_at"`
+	UpdatedAt time.Time  `json:"updated_at"`
 }
 
 // Registry holds the datasets the service can anonymize. Ingestion is
 // streaming: records are decoded and validated one at a time off the
 // wire, so a multi-gigabyte operator feed never forces a second
-// in-memory copy of the raw body.
+// in-memory copy of the raw body. Datasets are append-only after
+// creation (POST /v1/datasets/{id}/records), modeling a continuous
+// operator feed; running jobs read copy-on-write snapshots and are
+// never affected by appends.
 type Registry struct {
-	// MaxRecords bounds a single ingestion (0 = unlimited). The bound is
-	// enforced during streaming, so an oversized upload fails early
-	// instead of exhausting memory first.
+	// MaxRecords bounds a dataset's total record count (0 = unlimited).
+	// The bound is enforced during streaming and before any record is
+	// committed, so an oversized upload fails early and never buffers
+	// past the cap.
 	MaxRecords int
 
 	mu    sync.Mutex
 	seq   int
 	infos map[string]DatasetInfo
 	data  map[string]*cdr.Table
+	users map[string]map[string]struct{}
 	order []string
 }
 
@@ -43,6 +54,30 @@ func NewRegistry() *Registry {
 	return &Registry{
 		infos: make(map[string]DatasetInfo),
 		data:  make(map[string]*cdr.Table),
+		users: make(map[string]map[string]struct{}),
+	}
+}
+
+// readRecords streams a record CSV, enforcing the record cap before
+// each append: the reader errors out as soon as the stream would exceed
+// `room` records, without buffering the offending record.
+func (g *Registry) readRecords(r io.Reader, room int) ([]cdr.Record, map[string]struct{}, error) {
+	var recs []cdr.Record
+	users := make(map[string]struct{})
+	rr := cdr.NewRecordReader(r)
+	for {
+		rec, err := rr.Next()
+		if err == io.EOF {
+			return recs, users, nil
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if g.MaxRecords > 0 && len(recs) >= room {
+			return nil, nil, fmt.Errorf("service: dataset exceeds %d records", g.MaxRecords)
+		}
+		recs = append(recs, rec)
+		users[rec.User] = struct{}{}
 	}
 }
 
@@ -55,42 +90,98 @@ func (g *Registry) Ingest(r io.Reader, name string, center geo.LatLon, spanDays 
 	if spanDays <= 0 {
 		return DatasetInfo{}, fmt.Errorf("service: span_days = %d, need > 0", spanDays)
 	}
-	table := &cdr.Table{Center: center, SpanDays: spanDays}
-	users := make(map[string]struct{})
-	rr := cdr.NewRecordReader(r)
-	for {
-		rec, err := rr.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return DatasetInfo{}, err
-		}
-		table.Records = append(table.Records, rec)
-		users[rec.User] = struct{}{}
-		if g.MaxRecords > 0 && len(table.Records) > g.MaxRecords {
-			return DatasetInfo{}, fmt.Errorf("service: dataset exceeds %d records", g.MaxRecords)
-		}
+	recs, users, err := g.readRecords(r, g.MaxRecords)
+	if err != nil {
+		return DatasetInfo{}, err
 	}
-	if len(table.Records) == 0 {
+	if len(recs) == 0 {
 		return DatasetInfo{}, fmt.Errorf("service: dataset is empty")
 	}
+	table := &cdr.Table{Records: recs, Center: center, SpanDays: spanDays}
 
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.seq++
+	now := time.Now().UTC()
 	info := DatasetInfo{
 		ID:        fmt.Sprintf("ds-%06d", g.seq),
 		Name:      name,
 		Records:   len(table.Records),
 		Users:     len(users),
 		SpanDays:  spanDays,
+		Version:   1,
 		Center:    center,
-		CreatedAt: time.Now().UTC(),
+		CreatedAt: now,
+		UpdatedAt: now,
 	}
 	g.infos[info.ID] = info
 	g.data[info.ID] = table
+	g.users[info.ID] = users
 	g.order = append(g.order, info.ID)
+	return info, nil
+}
+
+// Append streams additional records onto a registered dataset and bumps
+// its version. The append is atomic: a decode error or a record-cap
+// violation leaves the dataset untouched. Snapshots taken by running
+// jobs never observe the new records.
+func (g *Registry) Append(id string, r io.Reader) (DatasetInfo, error) {
+	// Pre-check outside the lock with whatever room the cap allows at
+	// most, so a grossly oversized body fails while streaming; the exact
+	// bound against the current size is re-checked under the lock.
+	g.mu.Lock()
+	info, ok := g.infos[id]
+	g.mu.Unlock()
+	if !ok {
+		return DatasetInfo{}, fmt.Errorf("service: unknown dataset %q", id)
+	}
+	room := g.MaxRecords - info.Records
+	if room < 0 {
+		room = 0
+	}
+	recs, newUsers, err := g.readRecords(r, room)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	if len(recs) == 0 {
+		return DatasetInfo{}, fmt.Errorf("service: append without records")
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	info, ok = g.infos[id]
+	if !ok {
+		return DatasetInfo{}, fmt.Errorf("service: unknown dataset %q", id)
+	}
+	table := g.data[id]
+	if g.MaxRecords > 0 && len(table.Records)+len(recs) > g.MaxRecords {
+		return DatasetInfo{}, fmt.Errorf("service: dataset exceeds %d records", g.MaxRecords)
+	}
+	// Direct append, not cdr.Table.Append: the streaming reader already
+	// validated every record, and an O(n) re-validation would stall all
+	// registry operations (including job Snapshots) behind g.mu.
+	table.Records = append(table.Records, recs...)
+	users := g.users[id]
+	for u := range newUsers {
+		users[u] = struct{}{}
+	}
+	// Records may extend the recording period; keep the nominal span
+	// covering the feed (it feeds rate-based screening downstream).
+	maxMinute := 0.0
+	for _, r := range recs {
+		if r.Minute > maxMinute {
+			maxMinute = r.Minute
+		}
+	}
+	if days := int(maxMinute/cdr.MinutesPerDay) + 1; days > info.SpanDays {
+		info.SpanDays = days
+		table.SpanDays = days
+	}
+	info.Records = len(table.Records)
+	info.Users = len(users)
+	info.Version++
+	info.UpdatedAt = time.Now().UTC()
+	g.infos[id] = info
 	return info, nil
 }
 
@@ -102,18 +193,22 @@ func (g *Registry) Get(id string) (DatasetInfo, bool) {
 	return info, ok
 }
 
-// Table returns the raw record table of a registered dataset. The table
-// is shared, not copied; callers must not mutate it (job execution only
-// reads it — sharding and subsetting clone records).
-func (g *Registry) Table(id string) (*cdr.Table, bool) {
+// Snapshot returns a frozen copy-on-write view of the dataset's record
+// table together with the metadata of that version. Later appends never
+// mutate records the snapshot can see, so jobs anonymize exactly the
+// version they started from.
+func (g *Registry) Snapshot(id string) (*cdr.Table, DatasetInfo, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	t, ok := g.data[id]
-	return t, ok
+	if !ok {
+		return nil, DatasetInfo{}, false
+	}
+	return t.Snapshot(), g.infos[id], true
 }
 
 // Delete removes a dataset, releasing its record table. Jobs already
-// holding the table keep running; queued jobs referencing the ID fail
+// holding a snapshot keep running; queued jobs referencing the ID fail
 // when they start.
 func (g *Registry) Delete(id string) bool {
 	g.mu.Lock()
@@ -123,6 +218,7 @@ func (g *Registry) Delete(id string) bool {
 	}
 	delete(g.infos, id)
 	delete(g.data, id)
+	delete(g.users, id)
 	for i, oid := range g.order {
 		if oid == id {
 			g.order = append(g.order[:i], g.order[i+1:]...)
