@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json check
+.PHONY: all build vet test race bench bench-json profile check
 
 all: check
 
@@ -20,11 +20,19 @@ bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 # bench-json runs the ablation benchmarks (nearest cache, merge stages,
-# reshape, parallel scaling, pruning, chunked, dense-vs-sparse index;
-# DESIGN.md Sec. 5) and records the machine-readable stream in
-# BENCH_glove.json so the performance trajectory is tracked across PRs.
+# reshape, parallel scaling, pruning, chunked, dense-vs-sparse index,
+# pruned-vs-naive effort kernel; DESIGN.md Sec. 5) and records the
+# machine-readable stream in BENCH_glove.json so the performance
+# trajectory is tracked across PRs.
 bench-json:
-	$(GO) test -run=^$$ -bench='BenchmarkAblation|BenchmarkFingerprintEffortKernel' \
-		-benchtime=1x -json . > BENCH_glove.json
+	$(GO) test -run=^$$ -bench='BenchmarkAblation|BenchmarkFingerprintEffortKernel|BenchmarkEffortKernel' \
+		-benchtime=1x -json . ./internal/core > BENCH_glove.json
+
+# profile writes a CPU pprof of the k=2 civ GLOVE run (the
+# BenchmarkAblationNearestCache/cached workload, which is dominated by
+# the effort kernel) to cpu.pprof; inspect with `go tool pprof cpu.pprof`.
+profile:
+	$(GO) test -run=^$$ -bench='BenchmarkAblationNearestCache/cached' \
+		-benchtime=3x -cpuprofile=cpu.pprof -o bench.test .
 
 check: build vet test

@@ -340,6 +340,12 @@ func BenchmarkAblationIndex(b *testing.B) {
 	}
 }
 
+// The pruned-vs-naive effort kernel comparison lives next to the
+// kernel as core.BenchmarkEffortKernelViews (clustered vs uniform, one
+// op = one thresholded row scan over cached SoA views — the production
+// shape); `make bench-json` includes it via the ./internal/core
+// package.
+
 // The hot kernel itself: Eq. 10 over one pair, the unit the paper's GPU
 // implementation parallelizes.
 func BenchmarkFingerprintEffortKernel(b *testing.B) {

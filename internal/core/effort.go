@@ -86,7 +86,32 @@ func TemporalStretch(a, b Sample, na, nb int) float64 {
 // two samples into one. The result is in [0, 1] when the weights sum to
 // one.
 func (p Params) SampleEffort(a, b Sample, na, nb int) float64 {
-	return p.WSpatial*p.spatialLoss(a, b, na, nb) + p.WTemporal*p.temporalLoss(a, b, na, nb)
+	wa := float64(na) / float64(na+nb)
+	wb := float64(nb) / float64(na+nb)
+	return p.sampleEffortWeighted(a, b, wa, wb)
+}
+
+// sampleEffortWeighted is SampleEffort with the count weights already
+// resolved, so callers scanning many candidates at fixed subscriber
+// counts (the merge matching stage, via NearestSampleIndex) do not
+// recompute the two divisions per candidate. Same arithmetic, in the
+// same order, as the SpatialStretch/TemporalStretch path.
+func (p Params) sampleEffortWeighted(a, b Sample, wa, wb float64) float64 {
+	sa := stretch1D(a.X, a.DX, b.X, b.DX) + stretch1D(a.Y, a.DY, b.Y, b.DY)
+	sb := stretch1D(b.X, b.DX, a.X, a.DX) + stretch1D(b.Y, b.DY, a.Y, a.DY)
+	spatial := sa*wa + sb*wb
+	lossS := 1.0
+	if spatial < p.MaxSpatial {
+		lossS = spatial / p.MaxSpatial
+	}
+	ta := stretch1D(a.T, a.DT, b.T, b.DT)
+	tb := stretch1D(b.T, b.DT, a.T, a.DT)
+	temporal := ta*wa + tb*wb
+	lossT := 1.0
+	if temporal < p.MaxTemporal {
+		lossT = temporal / p.MaxTemporal
+	}
+	return p.WSpatial*lossS + p.WTemporal*lossT
 }
 
 // SampleEffortParts returns the spatial and temporal contributions
@@ -215,12 +240,17 @@ func (p Params) minEffortTo(s Sample, ns int, short []Sample, nShort int) float6
 
 // NearestSampleIndex returns the index j of the sample in candidates at
 // minimum stretch effort from s (ties broken by lowest index), used by
-// the GLOVE merge matching stage.
+// the GLOVE merge matching stage. The count weights depend only on the
+// two fingerprints, not on the candidate, so they are resolved once
+// outside the scan — the merge matching stage calls this once per
+// long-side sample.
 func (p Params) NearestSampleIndex(s Sample, ns int, candidates []Sample, nc int) int {
+	wa := float64(ns) / float64(ns+nc)
+	wb := float64(nc) / float64(ns+nc)
 	best := math.Inf(1)
 	bestIdx := 0
 	for j := range candidates {
-		d := p.SampleEffort(s, candidates[j], ns, nc)
+		d := p.sampleEffortWeighted(s, candidates[j], wa, wb)
 		if d < best {
 			best = d
 			bestIdx = j

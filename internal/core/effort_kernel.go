@@ -1,0 +1,280 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// This file is the exact pruned evaluation kernel for the fingerprint
+// stretch effort Δ_ab (Eq. 10) — the hot loop of the whole system. The
+// naive kernel (Params.FingerprintEffort in effort.go) evaluates all
+// mₐ·m_b sample pairs; every pair-selection path (dense matrix build and
+// reinsertion, sparse candidate refills, the leftover fold, the k-gap
+// analysis) only ever asks "is Δ_ab below my current best/cutoff?", so
+// this kernel prunes with two true lower bounds and stays bit-exact with
+// the naive path wherever it reports an effort (DESIGN.md Sec. 8):
+//
+//  1. Running-sum abort. Eq. 10 averages per-sample minima over the
+//     longer fingerprint. Each minimum is >= the bounding-volume effort
+//     lower bound of the pair (EffortLowerBound, bounds.go), so as soon
+//     as the partial sum plus the bound for the unprocessed remainder
+//     guarantees Δ_ab > threshold, the scan aborts: the caller only
+//     needed to know the pair loses.
+//
+//  2. Temporal-gap outward scan. Fingerprint.Samples are time-sorted;
+//     for one long-side sample the scan starts at the short side's
+//     binary-searched time position and walks outward. The temporal gap
+//     between disjoint intervals lower-bounds the temporal stretch on
+//     BOTH sides of Eq. 7 (each side must at least bridge the gap), and
+//     the count weights sum to one, so w_τ·min(gap, φmax_τ)/φmax_τ is a
+//     valid per-candidate lower bound on δ — once it reaches the current
+//     per-sample best, the whole remaining direction is skipped. The
+//     minimum over the candidates actually evaluated equals the full
+//     minimum, so the per-sample result is exactly the naive one.
+//
+// The kernel runs over fpView, a structure-of-arrays snapshot of a
+// fingerprint (flat x/xHi/y/yHi/t/tHi slices plus precomputed bounds and
+// a prefix max of interval ends), cached per working-set slot and
+// invalidated on merge/reinsert, so the inner loop recomputes no
+// s.X+s.DX and allocates nothing.
+
+// fpView is the structure-of-arrays snapshot of one fingerprint the
+// pruned kernel operates on. The arrays mirror Fingerprint.Samples in
+// order: x/y/t are the interval starts, xHi/yHi/tHi the interval ends
+// (start + extent, precomputed once so the value is identical to the
+// naive kernel's s.X+s.DX). tHiMax[k] is max(tHi[0..k]) — interval
+// starts are sorted but ends are not, and the leftward scan needs a
+// monotone envelope of "latest end so far" to stop early soundly.
+type fpView struct {
+	x, xHi, y, yHi, t, tHi []float64
+	tHiMax                 []float64
+	bounds                 FingerprintBounds
+	count                  int // n_a, the subscriber count behind the fingerprint
+}
+
+// newFPView flattens a fingerprint into its SoA kernel view. One backing
+// allocation serves all seven arrays.
+func newFPView(f *Fingerprint) *fpView {
+	m := len(f.Samples)
+	backing := make([]float64, 7*m)
+	v := &fpView{
+		x:      backing[0*m : 1*m],
+		xHi:    backing[1*m : 2*m],
+		y:      backing[2*m : 3*m],
+		yHi:    backing[3*m : 4*m],
+		t:      backing[4*m : 5*m],
+		tHi:    backing[5*m : 6*m],
+		tHiMax: backing[6*m : 7*m],
+		bounds: BoundsOf(f),
+		count:  f.Count,
+	}
+	hiMax := math.Inf(-1)
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		v.x[i] = s.X
+		v.xHi[i] = s.X + s.DX
+		v.y[i] = s.Y
+		v.yHi[i] = s.Y + s.DY
+		v.t[i] = s.T
+		v.tHi[i] = s.T + s.DT
+		if v.tHi[i] > hiMax {
+			hiMax = v.tHi[i]
+		}
+		v.tHiMax[i] = hiMax
+	}
+	return v
+}
+
+// kernelCounters tracks pruned-kernel work. The kernel runs under the
+// parallel helpers, so the counters are atomic; they feed the
+// GloveStats.EffortKernel* accounting and the pruning-effectiveness
+// tests.
+type kernelCounters struct {
+	calls  atomic.Int64 // kernel invocations (pair evaluations requested)
+	pruned atomic.Int64 // invocations that early-exited via the threshold
+}
+
+// FingerprintEffortBelow is the threshold-aware form of
+// FingerprintEffort: it reports whether Δ_ab <= threshold, computing the
+// exact effort only as far as needed.
+//
+// Contract: when below is true, effort is exactly FingerprintEffort(a, b)
+// (bit-identical to the naive kernel) and effort <= threshold. When
+// below is false, the true effort is strictly greater than threshold and
+// effort is a lower bound on it (possibly the exact value). Callers that
+// keep a current best/cutoff and skip pairs proven worse therefore make
+// exactly the decisions the naive kernel would.
+//
+// This convenience form builds the SoA views per call; the hot paths go
+// through the per-slot cached views of the working set instead.
+func (p Params) FingerprintEffortBelow(a, b *Fingerprint, threshold float64) (effort float64, below bool) {
+	return p.effortBelowViews(newFPView(a), newFPView(b), threshold)
+}
+
+// effortBelowViews is FingerprintEffortBelow over prebuilt views. It
+// mirrors FingerprintEffort's direction choice exactly: the longer
+// fingerprint is averaged, equal lengths average both directions.
+func (p Params) effortBelowViews(a, b *fpView, threshold float64) (float64, bool) {
+	la, lb := len(a.t), len(b.t)
+	if la == 0 || lb == 0 {
+		return 0, threshold >= 0
+	}
+	if la == lb {
+		// e = (d1 + d2)/2 with both directions exact; each direction gets
+		// the slack the other's partial result leaves (d2 >= 0, so d1 >
+		// 2·threshold already proves e > threshold).
+		d1, exact := p.directedEffortBelow(a, b, 2*threshold)
+		if !exact {
+			return d1 / 2, false
+		}
+		d2, exact := p.directedEffortBelow(b, a, 2*threshold-d1)
+		e := (d1 + d2) / 2
+		if !exact {
+			return e, false
+		}
+		return e, e <= threshold
+	}
+	long, short := a, b
+	if la < lb {
+		long, short = b, a
+	}
+	d, exact := p.directedEffortBelow(long, short, threshold)
+	return d, exact && d <= threshold
+}
+
+// directedEffortBelow evaluates Eq. 10 with `long` as the averaged side.
+// When exact is true the result is bit-identical to directedEffort;
+// otherwise the scan aborted with the returned value a lower bound and
+// the true directed effort strictly above threshold.
+func (p Params) directedEffortBelow(long, short *fpView, threshold float64) (float64, bool) {
+	m := len(long.t)
+	wa := float64(long.count) / float64(long.count+short.count)
+	wb := float64(short.count) / float64(long.count+short.count)
+	// Every per-sample minimum is at least the pair's bounding-volume
+	// effort lower bound; it prices the unprocessed remainder in the
+	// abort test below.
+	perLB := p.EffortLowerBound(long.bounds, short.bounds)
+	var sum float64
+	last := m - 1
+	for i := 0; i < m; i++ {
+		sum += p.minEffortToView(long.x[i], long.xHi[i], long.y[i], long.yHi[i],
+			long.t[i], long.tHi[i], wa, wb, short)
+		if i == last {
+			break
+		}
+		// Abort only mid-scan: once the last sample is in, the exact
+		// average is one division away, and deciding ties on the exact
+		// value (in the caller) avoids any multiply-vs-divide rounding
+		// disagreement with the naive kernel at thresholds that equal
+		// the true effort — which is common, since thresholds are other
+		// pairs' computed efforts.
+		if lb := (sum + float64(last-i)*perLB) / float64(m); lb > threshold {
+			return lb, false
+		}
+	}
+	return sum / float64(m), true
+}
+
+// temporalGapLB converts a temporal-only separation (minutes) into an
+// effort lower bound: both sides of Eq. 7 must stretch at least across
+// the gap and the count weights sum to one, so φ*_τ >= gap; the spatial
+// term only adds. Mirrors the temporal half of EffortLowerBound.
+func (p Params) temporalGapLB(gap float64) float64 {
+	if gap >= p.MaxTemporal {
+		gap = p.MaxTemporal
+	}
+	return p.WTemporal * gap / p.MaxTemporal
+}
+
+// minEffortToView returns min_j δ(s, short[j]) for the long-side sample
+// (sx..stHi), scanning outward from the binary-searched time position
+// and stopping each direction once the temporal-gap lower bound reaches
+// the current best. Identical in value to minEffortTo (effort.go): only
+// candidates provably unable to improve the minimum are skipped.
+func (p Params) minEffortToView(sx, sxHi, sy, syHi, st, stHi, wa, wb float64, short *fpView) float64 {
+	ts := short.t
+	m := len(ts)
+	pivot := sort.SearchFloat64s(ts, st)
+	best := math.Inf(1)
+	// Rightward: candidate starts are sorted, so once a candidate starts
+	// far enough after s ends, every later one does too.
+	for k := pivot; k < m; k++ {
+		if g := ts[k] - stHi; g > 0 && p.temporalGapLB(g) >= best {
+			break
+		}
+		if d := p.viewSampleEffort(sx, sxHi, sy, syHi, st, stHi, wa, wb, short, k); d < best {
+			best = d
+		}
+	}
+	// Leftward: ends are not sorted, so the stop test uses the prefix
+	// max of ends — when even the latest end among the remaining
+	// candidates leaves a big enough gap before s starts, stop.
+	for k := pivot - 1; k >= 0; k-- {
+		if g := st - short.tHiMax[k]; g > 0 && p.temporalGapLB(g) >= best {
+			break
+		}
+		if d := p.viewSampleEffort(sx, sxHi, sy, syHi, st, stHi, wa, wb, short, k); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// viewSampleEffort is δ(s, short[k]) over the SoA view — the same
+// arithmetic, in the same order, as the naive kernel's inlined loop body
+// (minEffortTo), so results are bit-identical.
+func (p Params) viewSampleEffort(sx, sxHi, sy, syHi, st, stHi, wa, wb float64, short *fpView, k int) float64 {
+	ox, oxHi := short.x[k], short.xHi[k]
+	oy, oyHi := short.y[k], short.yHi[k]
+	var sa, sb float64
+	if ox < sx {
+		sa += sx - ox
+	}
+	if oxHi > sxHi {
+		sa += oxHi - sxHi
+	}
+	if oy < sy {
+		sa += sy - oy
+	}
+	if oyHi > syHi {
+		sa += oyHi - syHi
+	}
+	if sx < ox {
+		sb += ox - sx
+	}
+	if sxHi > oxHi {
+		sb += sxHi - oxHi
+	}
+	if sy < oy {
+		sb += oy - sy
+	}
+	if syHi > oyHi {
+		sb += syHi - oyHi
+	}
+	spatial := sa*wa + sb*wb
+	if spatial >= p.MaxSpatial {
+		spatial = p.MaxSpatial
+	}
+
+	ot, otHi := short.t[k], short.tHi[k]
+	var ta, tb float64
+	if ot < st {
+		ta += st - ot
+	}
+	if otHi > stHi {
+		ta += otHi - stHi
+	}
+	if st < ot {
+		tb += ot - st
+	}
+	if stHi > otHi {
+		tb += stHi - otHi
+	}
+	temporal := ta*wa + tb*wb
+	if temporal >= p.MaxTemporal {
+		temporal = p.MaxTemporal
+	}
+
+	return p.WSpatial*spatial/p.MaxSpatial + p.WTemporal*temporal/p.MaxTemporal
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/parallel"
 )
@@ -114,6 +115,14 @@ type GloveStats struct {
 	// these are zero unless suppression is extremely aggressive.
 	DiscardedFingerprints int
 	DiscardedUsers        int
+
+	// EffortKernelCalls counts pruned effort-kernel invocations (pair
+	// evaluations requested by the run's pair-selection paths), and
+	// EffortKernelPruned how many of them early-exited via their
+	// caller's threshold instead of computing the exact Eq. 10 value
+	// (DESIGN.md Sec. 8). Pruning never changes output — only cost.
+	EffortKernelCalls  int
+	EffortKernelPruned int
 }
 
 // Add accumulates every counter of o into s. Aggregators that combine
@@ -130,6 +139,8 @@ func (s *GloveStats) Add(o *GloveStats) {
 	s.SuppressedPublished += o.SuppressedPublished
 	s.DiscardedFingerprints += o.DiscardedFingerprints
 	s.DiscardedUsers += o.DiscardedUsers
+	s.EffortKernelCalls += o.EffortKernelCalls
+	s.EffortKernelPruned += o.EffortKernelPruned
 }
 
 // Glove runs the GLOVE algorithm (Alg. 1) on the dataset and returns the
@@ -205,6 +216,8 @@ func GloveContext(ctx context.Context, d *Dataset, opt GloveOptions) (*Dataset, 
 		st.foldIntoDone(leftover)
 		stats.Merges++
 	}
+	stats.EffortKernelCalls = int(st.ws.kc.calls.Load())
+	stats.EffortKernelPruned = int(st.ws.kc.pruned.Load())
 
 	out := &Dataset{Fingerprints: st.done}
 	applySuppression(out, opt.Suppress, stats)
@@ -231,6 +244,15 @@ type gloveState struct {
 	ws  *workingSet
 	idx EffortIndex
 
+	// active is the live slot count, maintained by merge/foldIntoDone so
+	// the merge loop's termination test is O(1) instead of rescanning
+	// the alive slice every iteration. cursor is the lowest possibly-
+	// alive slot: merging only ever reuses a slot that was alive moments
+	// before, so the minimum alive index never decreases and lastActive
+	// can resume from where it last stopped.
+	active int
+	cursor int
+
 	done []*Fingerprint // anonymized fingerprints (count >= K)
 }
 
@@ -241,6 +263,7 @@ func newGloveState(ctx context.Context, d *Dataset, opt GloveOptions) (*gloveSta
 		workers: opt.Workers,
 		fps:     make([]*Fingerprint, n),
 		alive:   make([]bool, n),
+		views:   make([]*fpView, n),
 		n:       n,
 	}
 	st := &gloveState{opt: opt, ws: ws}
@@ -253,7 +276,16 @@ func newGloveState(ctx context.Context, d *Dataset, opt GloveOptions) (*gloveSta
 		}
 		ws.fps[i] = fc
 		ws.alive[i] = true
+		st.active++
 	}
+	// SoA kernel views for the initially active slots; each is immutable
+	// until its slot is merged away, so the indexes built next can share
+	// them freely across goroutines.
+	parallel.For(n, opt.Workers, func(i int) {
+		if ws.alive[i] {
+			ws.views[i] = newFPView(ws.fps[i])
+		}
+	})
 	kind, err := opt.resolveIndex(n)
 	if err != nil {
 		return nil, err
@@ -266,20 +298,12 @@ func newGloveState(ctx context.Context, d *Dataset, opt GloveOptions) (*gloveSta
 	return st, nil
 }
 
-func (st *gloveState) activeCount() int {
-	var c int
-	for i := 0; i < st.ws.n; i++ {
-		if st.ws.alive[i] {
-			c++
-		}
-	}
-	return c
-}
+func (st *gloveState) activeCount() int { return st.active }
 
 func (st *gloveState) lastActive() (int, bool) {
-	for i := 0; i < st.ws.n; i++ {
-		if st.ws.alive[i] {
-			return i, true
+	for ; st.cursor < st.ws.n; st.cursor++ {
+		if st.ws.alive[st.cursor] {
+			return st.cursor, true
 		}
 	}
 	return 0, false
@@ -293,16 +317,15 @@ func (st *gloveState) merge(i, j int) {
 	a, b := ws.fps[i], ws.fps[j]
 	m := MergeFingerprints(st.opt.Params, a, b, st.opt.Merge)
 
-	ws.alive[i] = false
-	ws.alive[j] = false
-	ws.fps[i] = nil
-	ws.fps[j] = nil
+	ws.kill(i)
+	ws.kill(j)
+	st.active -= 2
 	st.idx.Remove(i)
 	st.idx.Remove(j)
 
 	if m.Count < st.opt.K {
-		ws.fps[i] = m
-		ws.alive[i] = true
+		ws.put(i, m)
+		st.active++
 		st.idx.Reinsert(i)
 	} else {
 		st.done = append(st.done, m)
@@ -310,23 +333,49 @@ func (st *gloveState) merge(i, j int) {
 }
 
 // foldIntoDone merges the last active fingerprint into the anonymized
-// group at minimum effort, so no subscriber is discarded.
+// group at minimum effort, so no subscriber is discarded. Groups are
+// evaluated in parallel against a shared running best that feeds the
+// kernel threshold: a stale read only weakens the threshold (the best
+// never increases), and a pruned group's true effort strictly exceeds
+// the best at its evaluation time, so it can never be — or tie — the
+// minimum. The selected group is therefore exactly the sequential
+// exhaustive scan's first minimum.
 func (st *gloveState) foldIntoDone(i int) {
 	ws := st.ws
 	f := ws.fps[i]
-	ws.alive[i] = false
-	ws.fps[i] = nil
+	fv := ws.views[i]
+	ws.kill(i)
+	st.active--
 	st.idx.Remove(i)
 
 	p := st.opt.Params
-	efforts := parallel.Map(len(st.done), st.opt.Workers, func(c int) float64 {
-		return p.FingerprintEffort(f, st.done[c])
+	var bestBits atomic.Uint64
+	bestBits.Store(math.Float64bits(math.Inf(1)))
+	type cand struct {
+		e  float64
+		ok bool
+	}
+	res := parallel.Map(len(st.done), st.opt.Workers, func(c int) cand {
+		thr := math.Float64frombits(bestBits.Load())
+		e, below := p.effortBelowViews(fv, newFPView(st.done[c]), thr)
+		ws.kc.calls.Add(1)
+		if !below {
+			ws.kc.pruned.Add(1)
+			return cand{}
+		}
+		for {
+			cur := bestBits.Load()
+			if math.Float64frombits(cur) <= e || bestBits.CompareAndSwap(cur, math.Float64bits(e)) {
+				break
+			}
+		}
+		return cand{e: e, ok: true}
 	})
 	best := math.Inf(1)
 	bestIdx := 0
-	for c, e := range efforts {
-		if e < best {
-			best = e
+	for c, r := range res {
+		if r.ok && r.e < best {
+			best = r.e
 			bestIdx = c
 		}
 	}

@@ -1,19 +1,64 @@
 package core
 
-import "context"
+import (
+	"context"
+	"math"
+)
 
 // workingSet is the slot table an EffortIndex operates over: the active
 // (not yet anonymized) fingerprints of a GLOVE run, addressed by stable
 // slot numbers so index structures can reference fingerprints without
 // chasing pointers. The merge loop mutates it (kills slots, reinserts
 // merged fingerprints) and notifies the index through Remove/Reinsert.
+//
+// Alongside each fingerprint the set caches its SoA kernel view
+// (fpView), so every pair-effort evaluation an index requests runs the
+// pruned allocation-free kernel; views are dropped on kill and rebuilt
+// on put, never mutated in place.
 type workingSet struct {
 	params  Params
 	workers int
 
 	fps   []*Fingerprint // slot -> fingerprint (nil when dead)
 	alive []bool         // slot is active (fingerprint count < K)
+	views []*fpView      // slot -> cached kernel view (nil when dead)
 	n     int            // slot capacity (== initial dataset size)
+
+	kc kernelCounters // pruned-kernel accounting for GloveStats
+}
+
+// put (re)activates slot i with fingerprint f, rebuilding its kernel
+// view. The view is immutable from here on: merging removes both inputs
+// and puts a fresh fingerprint, it never edits one in place.
+func (ws *workingSet) put(i int, f *Fingerprint) {
+	ws.fps[i] = f
+	ws.alive[i] = true
+	ws.views[i] = newFPView(f)
+}
+
+// kill deactivates slot i and drops its fingerprint and view.
+func (ws *workingSet) kill(i int) {
+	ws.alive[i] = false
+	ws.fps[i] = nil
+	ws.views[i] = nil
+}
+
+// effortBelow runs the pruned kernel over the cached views of two live
+// slots (see FingerprintEffortBelow for the contract).
+func (ws *workingSet) effortBelow(i, j int, threshold float64) (float64, bool) {
+	e, below := ws.params.effortBelowViews(ws.views[i], ws.views[j], threshold)
+	ws.kc.calls.Add(1)
+	if !below {
+		ws.kc.pruned.Add(1)
+	}
+	return e, below
+}
+
+// effort is the exact pair effort over cached views, bit-identical to
+// Params.FingerprintEffort.
+func (ws *workingSet) effort(i, j int) float64 {
+	e, _ := ws.effortBelow(i, j, math.Inf(1))
+	return e
 }
 
 // EffortIndex is the pluggable pair-selection structure behind the GLOVE

@@ -117,9 +117,9 @@ func (x *sparseIndex) Build(ctx context.Context) error {
 }
 
 // place computes slot i's geometry and registers it in the grid. The
-// caller ensures ws.fps[i] is set.
+// caller ensures ws.fps[i] (and so its cached kernel view) is set.
 func (x *sparseIndex) place(i int) {
-	b := BoundsOf(x.ws.fps[i])
+	b := x.ws.views[i].bounds
 	x.bounds[i] = b
 	cx, cy := (b.MinX+b.MaxX)/2, (b.MinY+b.MaxY)/2
 	cell := [2]int32{int32(math.Floor(cx / x.cw)), int32(math.Floor(cy / x.cw))}
@@ -213,7 +213,20 @@ func (x *sparseIndex) rebuild(i int) {
 					skipped = true
 					continue
 				}
-				e := p.FingerprintEffort(ws.fps[i], ws.fps[j])
+				// Pruned kernel, thresholded at the worst list entry: a
+				// full list only admits strictly better efforts, so a
+				// not-below result is excluded exactly like the
+				// bounding-volume skip above (its true effort strictly
+				// exceeds the worst entry).
+				thr := math.Inf(1)
+				if len(list) == x.m {
+					thr = list[len(list)-1].e
+				}
+				e, below := ws.effortBelow(i, j, thr)
+				if !below {
+					skipped = true
+					continue
+				}
 				list = insertCandidate(list, candidate{e: e, slot: j32, gen: x.gen[j]})
 				if len(list) > x.m {
 					drop := list[len(list)-1]
@@ -350,7 +363,14 @@ func (x *sparseIndex) Reinsert(i int) {
 		if !lexLess(lb, i32, x.cutE[c], x.cutS[c]) {
 			return math.NaN()
 		}
-		return p.FingerprintEffort(ws.fps[i], ws.fps[c])
+		// Pruned kernel, thresholded at the slot's cutoff effort: a
+		// not-below result proves the offer lies strictly beyond the
+		// cutoff, so skipping it preserves the list invariant.
+		e, below := ws.effortBelow(i, c, x.cutE[c])
+		if !below {
+			return math.NaN()
+		}
+		return e
 	})
 	for c, e := range row {
 		if math.IsNaN(e) || !lexLess(e, i32, x.cutE[c], x.cutS[c]) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/parallel"
@@ -45,24 +46,29 @@ func kGapAll(p Params, d *Dataset, k, workers int, prune bool) ([]KGapResult, er
 		return nil, err
 	}
 
-	var bounds []FingerprintBounds
+	// The pruned path shares the SoA kernel views across all n scans
+	// (O(total samples) memory); their cached bounds double as the pair
+	// lower bounds.
+	var views []*fpView
 	if prune {
-		bounds = parallel.Map(n, workers, func(i int) FingerprintBounds {
-			return BoundsOf(d.Fingerprints[i])
+		views = parallel.Map(n, workers, func(i int) *fpView {
+			return newFPView(d.Fingerprints[i])
 		})
 	}
 	results := parallel.Map(n, workers, func(i int) KGapResult {
-		return kGapOne(p, d, i, k, bounds)
+		return kGapOne(p, d, i, k, views)
 	})
 	return results, nil
 }
 
 // kGapOne computes Δ^k_a for fingerprint i by scanning all other
-// fingerprints and keeping the k-1 lowest efforts. If bounds is non-nil,
-// pairs whose effort lower bound already exceeds the current k-1-th best
-// are skipped; the result is unchanged because only provably worse pairs
-// are pruned.
-func kGapOne(p Params, d *Dataset, i, k int, bounds []FingerprintBounds) KGapResult {
+// fingerprints and keeping the k-1 lowest efforts. If views is non-nil,
+// pairs whose bounding-volume effort lower bound already exceeds the
+// current k-1-th best are skipped outright, and the remaining pairs run
+// the pruned kernel thresholded at that best, early-exiting provably
+// worse pairs mid-evaluation; the result is unchanged because only
+// pairs that cannot enter the top k-1 are pruned.
+func kGapOne(p Params, d *Dataset, i, k int, views []*fpView) KGapResult {
 	a := d.Fingerprints[i]
 	type pair struct {
 		idx    int
@@ -80,10 +86,29 @@ func kGapOne(p Params, d *Dataset, i, k int, bounds []FingerprintBounds) KGapRes
 			continue
 		}
 		w := worst()
-		if bounds != nil && len(best) == k-1 && p.EffortLowerBound(bounds[i], bounds[j]) >= w {
-			continue
+		var e float64
+		if views != nil {
+			thr := math.Inf(1)
+			if len(best) == k-1 {
+				if p.EffortLowerBound(views[i].bounds, views[j].bounds) >= w {
+					continue
+				}
+				// Only a full list bounds the kernel: while it is still
+				// filling, every effort must be admitted exactly (the
+				// w = 2 sentinel is no true bound for non-normalized
+				// weights, where efforts may exceed it).
+				thr = w
+			}
+			var below bool
+			e, below = p.effortBelowViews(views[i], views[j], thr)
+			if !below {
+				// True effort strictly above the k-1-th best: it cannot
+				// enter the list.
+				continue
+			}
+		} else {
+			e = p.FingerprintEffort(a, b)
 		}
-		e := p.FingerprintEffort(a, b)
 		if e >= w && len(best) == k-1 {
 			continue
 		}

@@ -142,6 +142,48 @@ func TestKGapPruningExact(t *testing.T) {
 	}
 }
 
+// Non-normalized weights push efforts above the "accept anything"
+// sentinel of the top-(k-1) scan; the pruned kernel must not treat the
+// sentinel as a bound while the list is still filling (regression: a
+// threshold of 2 would abort saturated pairs whose effort is w_σ + w_τ
+// > 2 and drop them from a list that must admit everything).
+func TestKGapPruningEquivalenceNonNormalizedWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	fps := make([]*Fingerprint, 0, 12)
+	for i := 0; i < 12; i++ {
+		f := randFingerprint(rng, fmt.Sprintf("u%d", i), 1+rng.Intn(6))
+		for j := range f.Samples {
+			f.Samples[j].X += float64(i) * 1e5 // far-apart: efforts saturate at w_σ + w_τ
+		}
+		fps = append(fps, f)
+	}
+	d := NewDataset(fps)
+	p := Params{MaxSpatial: 20000, MaxTemporal: 480, WSpatial: 3, WTemporal: 1}
+	pruned, err := KGapAll(p, d, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := KGapAllNoPruning(p, d, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pruned {
+		if pruned[i].KGap != plain[i].KGap {
+			t.Fatalf("fingerprint %d: pruned kgap %g != plain %g", i, pruned[i].KGap, plain[i].KGap)
+		}
+		if len(pruned[i].Nearest) != len(plain[i].Nearest) {
+			t.Fatalf("fingerprint %d: pruned kept %d nearest, plain %d",
+				i, len(pruned[i].Nearest), len(plain[i].Nearest))
+		}
+		for m := range pruned[i].Nearest {
+			if pruned[i].Nearest[m] != plain[i].Nearest[m] || pruned[i].Efforts[m] != plain[i].Efforts[m] {
+				t.Fatalf("fingerprint %d entry %d: pruned (%d, %g) != plain (%d, %g)", i, m,
+					pruned[i].Nearest[m], pruned[i].Efforts[m], plain[i].Nearest[m], plain[i].Efforts[m])
+			}
+		}
+	}
+}
+
 func TestKGapsExtract(t *testing.T) {
 	rs := []KGapResult{{KGap: 0.1}, {KGap: 0.3}}
 	got := KGaps(rs)

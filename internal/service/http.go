@@ -300,6 +300,12 @@ type MetricsReport struct {
 	// reported one — the service-wide residual re-identification risk of
 	// continuous publication. Nil when no job measured it.
 	MeanCrossWindowLinkage *float64 `json:"mean_cross_window_linkage,omitempty"`
+	// EffortKernelCalls / EffortKernelPruned aggregate the pruned
+	// effort-kernel accounting (DESIGN.md Sec. 8) over retained finished
+	// jobs, so operators can watch how much Eq. 10 work the threshold
+	// pruning is eliding on their real traffic.
+	EffortKernelCalls  int `json:"effort_kernel_calls"`
+	EffortKernelPruned int `json:"effort_kernel_pruned"`
 	// Completed holds the per-job utility summaries (accuracy from
 	// internal/metrics, anonymizability and cross-window linkage from
 	// internal/analysis).
@@ -335,6 +341,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			if st.Linkage != nil {
 				linkageSum += st.Linkage.LinkedFraction
 				linkageJobs++
+			}
+			if st.Stats != nil {
+				rep.EffortKernelCalls += st.Stats.EffortKernelCalls
+				rep.EffortKernelPruned += st.Stats.EffortKernelPruned
 			}
 		}
 	}
