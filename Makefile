@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json profile check
+.PHONY: all build vet fmt depcheck test race bench bench-json profile check
 
 all: check
 
@@ -10,11 +10,22 @@ build:
 vet:
 	$(GO) vet ./...
 
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# The client SDK must stay on the wire contract (internal/api) and
+# never grow a dependency on the server internals — otherwise "shared
+# DTOs" silently becomes "client reaches into the service".
+depcheck:
+	@if $(GO) list -deps ./pkg/client | grep -qx 'repro/internal/service'; then \
+		echo "pkg/client must not depend on internal/service"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/service/ ./internal/parallel/ ./internal/core/
+	$(GO) test -race ./internal/service/ ./internal/parallel/ ./internal/core/ ./pkg/client/
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
@@ -35,4 +46,4 @@ profile:
 	$(GO) test -run=^$$ -bench='BenchmarkAblationNearestCache/cached' \
 		-benchtime=3x -cpuprofile=cpu.pprof -o bench.test .
 
-check: build vet test
+check: build vet fmt depcheck test

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/pkg/client"
+)
+
+// remoteJob carries the parsed flags of a remote-mode invocation.
+type remoteJob struct {
+	in          string
+	lat, lon    float64
+	days        int
+	k           int
+	suppressKm  float64
+	suppressMin float64
+	workers     int
+	strategy    string
+	chunkSize   int
+	index       string
+	window      float64
+	out         string
+}
+
+// runRemote drives a resident gloved through the pkg/client SDK: it
+// ingests the input CSV as a fresh dataset, submits the job, follows
+// the Server-Sent-Events stream for progress, downloads the batch
+// release (or one CSV per window), validates every release locally
+// exactly as local mode does, and cleans up after itself. The job is
+// submitted with one shard and the explicit batch spelling
+// (window_hours = -1) when -window is unset, so the downloaded bytes
+// are identical to what local mode writes for the same input.
+func runRemote(ctx context.Context, server string, job remoteJob, stdout, stderr io.Writer) error {
+	c, err := client.New(server)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Open(job.in)
+	if err != nil {
+		return err
+	}
+	ds, err := c.CreateDataset(ctx, f, client.IngestOptions{
+		Name: filepath.Base(job.in), Lat: job.lat, Lon: job.lon, Days: job.days,
+	})
+	// The HTTP transport closes request bodies that implement io.Closer;
+	// this close is only the fallback for paths that never built a
+	// request, so its error is meaningless.
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("glovectl: ingesting into %s: %w", server, err)
+	}
+	// One-shot CLI runs should not accumulate state on the daemon:
+	// delete the dataset on every exit path. Cleanup gets its own
+	// context so it still runs after a SIGINT cancelled ctx.
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		c.DeleteDataset(cctx, ds.ID)
+	}()
+	fmt.Fprintf(stderr, "glovectl: ingested %s as %s (%d records, %d users)\n",
+		job.in, ds.ID, ds.Records, ds.Users)
+
+	spec := client.JobSpec{
+		DatasetID:   ds.ID,
+		K:           job.k,
+		SuppressKm:  job.suppressKm,
+		SuppressMin: job.suppressMin,
+		// One shard: sharding trades accuracy for throughput and would
+		// diverge from the local single-table run; remote mode promises
+		// byte-identical releases instead.
+		Shards:    1,
+		Workers:   job.workers,
+		Strategy:  job.strategy,
+		ChunkSize: job.chunkSize,
+		Index:     job.index,
+		// -1 is the wire contract's explicit batch spelling, overriding
+		// any daemon-wide -window-hours default.
+		WindowHours: -1,
+	}
+	if job.window > 0 {
+		spec.WindowHours = job.window
+	}
+	st, err := c.SubmitJob(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("glovectl: submit: %w", err)
+	}
+	fmt.Fprintf(stderr, "glovectl: submitted %s (dataset %s v%d)\n", st.ID, ds.ID, ds.Version)
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		// A still-active job (interrupted run) is only cancelled by the
+		// purge request, so wait for it to reach a terminal state and
+		// purge again — otherwise the daemon would retain the job until
+		// its retention policy fires.
+		c.CancelJob(cctx, st.ID) // no-op once terminal
+		for c.PurgeJob(cctx, st.ID) == client.ErrNotPurged {
+			if _, werr := c.WaitJob(cctx, st.ID); werr != nil {
+				return
+			}
+		}
+	}()
+
+	// Follow the event stream; progress is printed in coarse steps so a
+	// long run stays observable without drowning the terminal.
+	lastPct := -10
+	final, err := c.WatchJob(ctx, st.ID, func(e client.JobEvent) {
+		switch e.Type {
+		case api.EventState:
+			fmt.Fprintf(stderr, "glovectl: job %s\n", e.State)
+		case api.EventProgress:
+			if pct := int(e.Progress * 100); pct >= lastPct+10 {
+				lastPct = pct
+				fmt.Fprintf(stderr, "glovectl: progress %d%%\n", pct)
+			}
+		case api.EventWindow:
+			switch e.Window.State {
+			case api.WindowDone:
+				fmt.Fprintf(stderr, "glovectl: window %d done (%d groups)\n", e.Window.Index, e.Window.Groups)
+			case api.WindowRunning:
+				fmt.Fprintf(stderr, "glovectl: window %d running\n", e.Window.Index)
+			}
+		}
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("interrupted, no output written")
+		}
+		return err
+	}
+	if final.State != api.JobDone {
+		return fmt.Errorf("glovectl: job finished %s: %s", final.State, final.Error)
+	}
+
+	if job.window > 0 {
+		return downloadWindows(ctx, c, final, job, stderr)
+	}
+	return downloadBatch(ctx, c, final, job, stdout, stderr)
+}
+
+// downloadBatch fetches and validates the single release of a batch
+// run, writing it to -out (atomically) or stdout — the same contract
+// as local mode.
+func downloadBatch(ctx context.Context, c *client.Client, final client.JobStatus, job remoteJob, stdout, stderr io.Writer) error {
+	raw, err := fetchCSV(func() (io.ReadCloser, error) { return c.JobResult(ctx, final.ID) })
+	if err != nil {
+		return err
+	}
+	published, err := cdr.ReadAnonymizedCSV(bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("glovectl: downloaded release unparseable: %w", err)
+	}
+	if err := validateRelease(published, final.Stats, job.k, -1); err != nil {
+		return err
+	}
+	printRemoteSummary(stderr, final, job.k)
+	if job.out == "" {
+		_, err := stdout.Write(raw)
+		return err
+	}
+	return writeBytesAtomic(job.out, raw)
+}
+
+// downloadWindows fetches every window release the moment the job is
+// done, validating each independently and writing the same
+// "out.wN.csv" series local mode produces.
+func downloadWindows(ctx context.Context, c *client.Client, final client.JobStatus, job remoteJob, stderr io.Writer) error {
+	type release struct {
+		path string
+		raw  []byte
+	}
+	releases := make([]release, 0, len(final.Windows))
+	for _, w := range final.Windows {
+		raw, err := fetchCSV(func() (io.ReadCloser, error) { return c.WindowResult(ctx, final.ID, w.Index) })
+		if err != nil {
+			return fmt.Errorf("glovectl: window %d: %w", w.Index, err)
+		}
+		rel, err := cdr.ReadAnonymizedCSV(bytes.NewReader(raw))
+		if err != nil {
+			return fmt.Errorf("glovectl: window %d release unparseable: %w", w.Index, err)
+		}
+		if err := validateRelease(rel, w.Stats, job.k, w.Index); err != nil {
+			return err
+		}
+		path := windowOutPath(job.out, w.Index)
+		fmt.Fprintf(stderr, "glovectl: window %d [%.0f, %.0f) min: %d users -> %d groups -> %s\n",
+			w.Index, w.StartMinute, w.EndMinute, w.Users, rel.Len(), path)
+		releases = append(releases, release{path, raw})
+	}
+	// Like local mode, nothing is written until every release
+	// validated, so a failed run leaves no partial series behind.
+	for _, r := range releases {
+		if err := writeBytesAtomic(r.path, r.raw); err != nil {
+			return err
+		}
+	}
+	printRemoteSummary(stderr, final, job.k)
+	if final.Linkage != nil {
+		fmt.Fprintf(stderr, "glovectl: cross-window linkage: %s\n", final.Linkage)
+	}
+	return nil
+}
+
+// fetchCSV drains one download into memory (releases are small relative
+// to the raw feed; buffering enables validate-before-write).
+// Cancellation flows through the context captured by open.
+func fetchCSV(open func() (io.ReadCloser, error)) ([]byte, error) {
+	body, err := open()
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	return io.ReadAll(body)
+}
+
+// validateRelease applies the local-mode gates to a downloaded release:
+// k-anonymity, and the truthfulness accounting that every missing
+// subscriber is explained by suppression discards.
+func validateRelease(ds *core.Dataset, stats *core.GloveStats, k, window int) error {
+	where := "release"
+	if window >= 0 {
+		where = fmt.Sprintf("window %d", window)
+	}
+	if err := core.ValidateKAnonymity(ds, k); err != nil {
+		return fmt.Errorf("glovectl: %s validation failed: %w", where, err)
+	}
+	if stats != nil {
+		missing := stats.InputUsers - ds.Users()
+		if missing != stats.DiscardedUsers {
+			return fmt.Errorf("glovectl: %s: %d subscribers missing but %d accounted as discarded",
+				where, missing, stats.DiscardedUsers)
+		}
+	}
+	return nil
+}
+
+// printRemoteSummary mirrors the local-mode diagnostics from the
+// server-computed statistics.
+func printRemoteSummary(stderr io.Writer, final client.JobStatus, k int) {
+	if s := final.Stats; s != nil {
+		fmt.Fprintf(stderr,
+			"glovectl: %d-anonymized into %d groups (%d merges); suppressed %d samples (%d users discarded)\n",
+			k, s.OutputFingerprints, s.Merges, s.SuppressedSamples, s.DiscardedUsers)
+	}
+	if a := final.Accuracy; a != nil {
+		fmt.Fprintf(stderr,
+			"glovectl: accuracy: position mean %.0f m / median %.0f m; time mean %.0f min / median %.0f min\n",
+			a.MeanPositionM, a.MedianPositionM, a.MeanTimeMin, a.MedianTimeMin)
+	}
+}

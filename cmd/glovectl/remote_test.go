@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// startDaemon hosts the real service surface for remote-mode tests.
+func startDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := service.NewRegistry()
+	mgr := service.NewManager(reg, service.ManagerOptions{MaxConcurrentJobs: 2})
+	t.Cleanup(mgr.Close)
+	srv := httptest.NewServer(service.NewServer(reg, mgr))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRemoteBatchByteIdentical is the acceptance pin of remote mode:
+// the same input driven through -server against a live gloved yields a
+// release byte-identical to the local run — and the daemon is left
+// clean (no datasets, no jobs) afterwards.
+func TestRemoteBatchByteIdentical(t *testing.T) {
+	srv := startDaemon(t)
+	in := writeTestCSV(t)
+	dir := t.TempDir()
+	localOut := filepath.Join(dir, "local.csv")
+	remoteOut := filepath.Join(dir, "remote.csv")
+
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(),
+		[]string{"-in", in, "-days", "3", "-k", "2", "-out", localOut},
+		&stdout, &stderr); err != nil {
+		t.Fatalf("local run: %v\n%s", err, stderr.String())
+	}
+	stderr.Reset()
+	if err := run(context.Background(),
+		[]string{"-in", in, "-days", "3", "-k", "2", "-server", srv.URL, "-out", remoteOut},
+		&stdout, &stderr); err != nil {
+		t.Fatalf("remote run: %v\n%s", err, stderr.String())
+	}
+
+	local, err := os.ReadFile(localOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := os.ReadFile(remoteOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local, remote) {
+		t.Fatalf("remote release differs from local (%d vs %d bytes)", len(remote), len(local))
+	}
+	if !strings.Contains(stderr.String(), "job done") {
+		t.Errorf("remote run did not report the streamed terminal event:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "2-anonymized") {
+		t.Errorf("remote run missing the summary line:\n%s", stderr.String())
+	}
+
+	// The one-shot run cleaned up after itself.
+	resp, err := srv.Client().Get(srv.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), `"datasets": []`) {
+		t.Errorf("daemon still holds datasets after the run: %s", buf.String())
+	}
+}
+
+// TestRemoteWindowedByteIdentical pins the continuous-release path:
+// remote -window runs produce the same per-window release series, byte
+// for byte, as local -window runs.
+func TestRemoteWindowedByteIdentical(t *testing.T) {
+	srv := startDaemon(t)
+	in := writeTestCSV(t)
+	dir := t.TempDir()
+	localOut := filepath.Join(dir, "local.csv")
+	remoteOut := filepath.Join(dir, "remote.csv")
+
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(),
+		[]string{"-in", in, "-days", "3", "-k", "2", "-window", "24", "-out", localOut},
+		&stdout, &stderr); err != nil {
+		t.Fatalf("local windowed run: %v\n%s", err, stderr.String())
+	}
+	stderr.Reset()
+	if err := run(context.Background(),
+		[]string{"-in", in, "-days", "3", "-k", "2", "-window", "24", "-server", srv.URL, "-out", remoteOut},
+		&stdout, &stderr); err != nil {
+		t.Fatalf("remote windowed run: %v\n%s", err, stderr.String())
+	}
+
+	localFiles, err := filepath.Glob(filepath.Join(dir, "local.w*.csv"))
+	if err != nil || len(localFiles) == 0 {
+		t.Fatalf("no local window releases (%v)", err)
+	}
+	for _, lf := range localFiles {
+		rf := strings.Replace(lf, "local.", "remote.", 1)
+		local, err := os.ReadFile(lf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := os.ReadFile(rf)
+		if err != nil {
+			t.Fatalf("remote missing release %s: %v", filepath.Base(rf), err)
+		}
+		if !bytes.Equal(local, remote) {
+			t.Errorf("%s differs between local and remote", filepath.Base(lf))
+		}
+	}
+	remoteFiles, _ := filepath.Glob(filepath.Join(dir, "remote.w*.csv"))
+	if len(remoteFiles) != len(localFiles) {
+		t.Errorf("remote wrote %d releases, local %d", len(remoteFiles), len(localFiles))
+	}
+	if !strings.Contains(stderr.String(), "window") {
+		t.Errorf("remote windowed run reported no window events:\n%s", stderr.String())
+	}
+}
+
+// TestRemoteErrors covers remote-mode failure modes: unreachable
+// server, bad URL, and a job the dataset cannot satisfy.
+func TestRemoteErrors(t *testing.T) {
+	in := writeTestCSV(t)
+	var stdout, stderr bytes.Buffer
+
+	if err := run(context.Background(),
+		[]string{"-in", in, "-server", "ftp://nope"}, &stdout, &stderr); err == nil {
+		t.Error("bad server scheme accepted")
+	}
+	if err := run(context.Background(),
+		[]string{"-in", in, "-server", "http://127.0.0.1:1"}, &stdout, &stderr); err == nil {
+		t.Error("unreachable server accepted")
+	}
+
+	// k larger than the subscriber count is rejected at submission and
+	// surfaced as the remote error; the ingested dataset is cleaned up.
+	srv := startDaemon(t)
+	err := run(context.Background(),
+		[]string{"-in", in, "-days", "3", "-k", "1000", "-server", srv.URL}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "invalid_spec") {
+		t.Errorf("oversized k: err = %v", err)
+	}
+}

@@ -40,6 +40,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		chunkSize   = fs.Int("chunk-size", 0, "fingerprints per chunked block (0 = core default)")
 		index       = fs.String("index", "", "pair-selection index: auto, dense or sparse (empty = auto)")
 		window      = fs.Float64("window", 0, "continuous release: anonymize per time window of this many hours (0 = one batch release; requires -out)")
+		server      = fs.String("server", "", "remote mode: drive a resident gloved at this base URL (e.g. http://localhost:8080) instead of anonymizing in-process")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -58,6 +59,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *window > 0 && *out == "" {
 		return fmt.Errorf("glovectl: -window needs -out (one CSV per window release)")
+	}
+
+	if *server != "" {
+		return runRemote(ctx, *server, remoteJob{
+			in: *in, lat: *lat, lon: *lon, days: *days,
+			k: *k, suppressKm: *suppressKm, suppressMin: *suppressMin,
+			workers: *workers, strategy: *strategy, chunkSize: *chunkSize, index: *index,
+			window: *window, out: *out,
+		}, stdout, stderr)
 	}
 
 	f, err := os.Open(*in)
@@ -237,12 +247,30 @@ func windowOutPath(out string, index int) string {
 // sibling file and a rename, so an interrupted or failed run never
 // leaves a truncated output behind.
 func writeFileAtomic(path string, d *core.Dataset) error {
+	return writeAtomic(path, func(w io.Writer) error {
+		return cdr.WriteAnonymizedCSV(w, d)
+	})
+}
+
+// writeBytesAtomic is the raw-bytes flavor used by remote mode, where
+// the release arrives pre-rendered off the wire.
+func writeBytesAtomic(path string, raw []byte) error {
+	return writeAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(raw)
+		return err
+	})
+}
+
+// writeAtomic runs the produce function against a temporary sibling
+// file and renames it into place only on success, so no failure mode
+// leaves a truncated output behind.
+func writeAtomic(path string, produce func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	of, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := cdr.WriteAnonymizedCSV(of, d); err != nil {
+	if err := produce(of); err != nil {
 		of.Close()
 		os.Remove(tmp)
 		return err
@@ -251,5 +279,9 @@ func writeFileAtomic(path string, d *core.Dataset) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }

@@ -34,6 +34,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		windowHours = fs.Float64("window-hours", 0, "default job release window in hours (0 = batch jobs)")
 		retainJobs  = fs.Int("retain-jobs", 64, "finished jobs retained in memory, oldest evicted first (0 = unlimited)")
 		retainAge   = fs.Duration("retain-age", 0, "evict finished jobs older than this (0 = no age bound)")
+		accessLog   = fs.Bool("access-log", true, "log one line per request to stderr")
+		routeTO     = fs.Duration("route-timeout", service.DefaultRouteTimeout, "processing budget of the quick JSON routes (0 = unlimited; streaming routes are never bounded)")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -59,6 +61,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *retainAge < 0 {
 		return fmt.Errorf("gloved: -retain-age %v is negative", *retainAge)
+	}
+	if *routeTO < 0 {
+		return fmt.Errorf("gloved: -route-timeout %v is negative", *routeTO)
 	}
 	// In ManagerOptions, 0 finished jobs means "use the default"; the
 	// operator-facing spelling for unlimited is 0 (or below).
@@ -89,6 +94,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	handler := service.NewServer(reg, mgr)
 	handler.MaxIngestBytes = *maxBody
+	if *accessLog {
+		handler.AccessLog = stderr
+	}
+	// The operator-facing spelling for "no budget" is 0; the Server's
+	// is negative (its 0 means the default).
+	handler.RouteTimeout = *routeTO
+	if *routeTO == 0 {
+		handler.RouteTimeout = -1
+	}
 	srv := &http.Server{Handler: handler}
 	fmt.Fprintf(stderr, "gloved: %s listening on %s\n", version.Version, ln.Addr())
 

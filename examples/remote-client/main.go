@@ -1,0 +1,153 @@
+// Remote-client: the pkg/client quickstart — everything a service
+// consumer does against a resident gloved, in one program, without
+// touching internal/service directly:
+//
+//  1. spin up a gloved (in-process here; point -server anywhere);
+//  2. stream a synthetic CDR feed in as a dataset;
+//  3. append a second day to the feed (the version bumps);
+//  4. submit a windowed k=2 job;
+//  5. follow the Server-Sent-Events stream instead of polling;
+//  6. download every window release as soon as the job is done;
+//  7. read the typed error codes the wire contract guarantees.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"repro/internal/cdr"
+	"repro/internal/service"
+	"repro/internal/synth"
+	"repro/pkg/client"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("remote-client: ")
+	server := flag.String("server", "", "existing gloved base URL (empty = start one in-process)")
+	flag.Parse()
+	ctx := context.Background()
+
+	// 1. A server to talk to. A real deployment runs `gloved -addr` and
+	// passes -server http://host:8080; the example self-hosts so it
+	// works standalone.
+	base := *server
+	if base == "" {
+		reg := service.NewRegistry()
+		mgr := service.NewManager(reg, service.ManagerOptions{})
+		defer mgr.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go http.Serve(ln, service.NewServer(reg, mgr))
+		base = "http://" + ln.Addr().String()
+	}
+	c, err := client.New(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	health, err := c.Health(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server          %s (%s)\n", base, health.Version)
+
+	// 2. Ingest: the reader streams straight onto the wire.
+	cfg := synth.CIV(80)
+	cfg.Days = 2
+	feed, _, _, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := cdr.WriteCSV(&csv, feed); err != nil {
+		log.Fatal(err)
+	}
+	ds, err := c.CreateDataset(ctx, &csv, client.IngestOptions{
+		Name: "quickstart", Lat: feed.Center.Lat, Lon: feed.Center.Lon, Days: cfg.Days,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset         %s v%d: %d records, %d subscribers\n",
+		ds.ID, ds.Version, ds.Records, ds.Users)
+
+	// 3. Append a third day; running jobs would never see it (they
+	// snapshot their version at start).
+	day3 := synth.CIV(80)
+	day3.Days = 3
+	grown, _, _, err := synth.Generate(day3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var day3Records []cdr.Record
+	for _, r := range grown.Records {
+		if r.Minute >= 2*24*60 {
+			day3Records = append(day3Records, r)
+		}
+	}
+	var extra bytes.Buffer
+	if err := cdr.WriteCSV(&extra, &cdr.Table{
+		Records: day3Records, Center: grown.Center, SpanDays: 3,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if ds, err = c.AppendRecords(ctx, ds.ID, &extra); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("append          -> v%d, %d records\n", ds.Version, ds.Records)
+
+	// 4 + 5. Submit a windowed job and watch its event stream: state
+	// transitions, coalesced progress, and a commit event per window.
+	job, err := c.SubmitJob(ctx, client.JobSpec{
+		DatasetID: ds.ID, K: 2, WindowHours: 24,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	final, err := c.WatchJob(ctx, job.ID, func(e client.JobEvent) {
+		switch e.Type {
+		case "state":
+			fmt.Printf("event %3d       state -> %s\n", e.Seq, e.State)
+		case "window":
+			fmt.Printf("event %3d       window %d -> %s\n", e.Seq, e.Window.Index, e.Window.State)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Every committed window is an independently k-anonymous release.
+	for _, w := range final.Windows {
+		body, err := c.WindowResult(ctx, job.ID, w.Index)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel, err := cdr.ReadAnonymizedCSV(body)
+		body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("release w%d      minutes [%.0f, %.0f): %d users -> %d groups\n",
+			w.Index, w.StartMinute, w.EndMinute, w.Users, rel.Len())
+	}
+
+	// 7. Typed errors: branch on the machine-readable code, not text.
+	_, err = c.GetDataset(ctx, "ds-does-not-exist")
+	fmt.Printf("typed error     code=%s (http %d)\n",
+		client.ErrorCode(err), err.(*client.APIError).StatusCode)
+
+	if err := c.PurgeJob(ctx, job.ID); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.DeleteDataset(ctx, ds.ID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cleaned up      dataset and job purged")
+}

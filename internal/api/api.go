@@ -1,0 +1,158 @@
+// Package api is the versioned wire contract of the gloved service:
+// every request/response DTO, the structured error envelope, the job
+// event stream payloads, and the cursor page-token format live here and
+// nowhere else. The HTTP server (internal/service) and the Go client
+// SDK (pkg/client) both build on this package verbatim, so the two
+// sides of the wire can never drift.
+//
+// Contract invariants (DESIGN.md Sec. 9):
+//
+//   - Error codes are append-only: a code, once shipped, never changes
+//     meaning and is never removed.
+//   - DTOs are defined only in this package; internal/service aliases
+//     them and pkg/client re-exposes them.
+//   - Every non-2xx response body is the Error envelope.
+package api
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Code is a stable, machine-readable error code carried by the error
+// envelope. Codes are part of the wire contract: clients branch on
+// them, so the set is append-only and a code's meaning never changes.
+type Code string
+
+const (
+	// CodeInvalidArgument rejects a malformed query parameter, path
+	// element, or request body outside the job-spec path.
+	CodeInvalidArgument Code = "invalid_argument"
+	// CodeInvalidSpec rejects a job spec that fails validation.
+	CodeInvalidSpec Code = "invalid_spec"
+	// CodeInvalidPageToken rejects a page_token that is malformed, was
+	// issued for a different collection, or names an item that no
+	// longer exists (stale cursor).
+	CodeInvalidPageToken Code = "invalid_page_token"
+	// CodeDatasetNotFound / CodeJobNotFound / CodeWindowNotFound name a
+	// resource the service does not have.
+	CodeDatasetNotFound Code = "dataset_not_found"
+	CodeJobNotFound     Code = "job_not_found"
+	CodeWindowNotFound  Code = "window_not_found"
+	// CodeNotFound is the route-level fallthrough for paths outside the
+	// API surface.
+	CodeNotFound Code = "not_found"
+	// CodeMethodNotAllowed rejects a known path with an unsupported
+	// method; the response carries an Allow header.
+	CodeMethodNotAllowed Code = "method_not_allowed"
+	// CodeBodyTooLarge rejects an ingestion body over the daemon's
+	// byte cap.
+	CodeBodyTooLarge Code = "body_too_large"
+	// CodeQueueFull rejects a submission while the job queue is at
+	// capacity — transient; retry after the Retry-After delay.
+	CodeQueueFull Code = "queue_full"
+	// CodeShuttingDown rejects requests while the daemon drains.
+	CodeShuttingDown Code = "shutting_down"
+	// CodeJobNotTerminal rejects purging a job that is still queued or
+	// running (cancel it first).
+	CodeJobNotTerminal Code = "job_not_terminal"
+	// CodeJobTerminal rejects cancelling a job that already finished.
+	CodeJobTerminal Code = "job_terminal"
+	// CodeResultNotReady means the job exists but has not produced its
+	// result yet (or failed / was cancelled) — retry when done.
+	CodeResultNotReady Code = "result_not_ready"
+	// CodeResultWindowed means the job published multiple per-window
+	// releases; download them via /windows/{w}/result.
+	CodeResultWindowed Code = "result_windowed"
+	// CodeWindowNotReady means the window exists but has not committed
+	// its release yet — retry when that window is done.
+	CodeWindowNotReady Code = "window_not_ready"
+	// CodeTimeout means the route's processing budget elapsed.
+	CodeTimeout Code = "timeout"
+	// CodeInternal is the recovery middleware's catch-all.
+	CodeInternal Code = "internal"
+)
+
+// HTTPStatus maps a code to its canonical HTTP status. Unknown codes
+// (from a newer server) map to 500 so clients still surface them.
+func (c Code) HTTPStatus() int {
+	switch c {
+	case CodeInvalidArgument, CodeInvalidSpec, CodeInvalidPageToken:
+		return http.StatusBadRequest
+	case CodeDatasetNotFound, CodeJobNotFound, CodeWindowNotFound, CodeNotFound:
+		return http.StatusNotFound
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeBodyTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeQueueFull, CodeShuttingDown:
+		return http.StatusServiceUnavailable
+	case CodeJobNotTerminal, CodeJobTerminal, CodeResultNotReady,
+		CodeResultWindowed, CodeWindowNotReady:
+		return http.StatusConflict
+	case CodeTimeout:
+		return http.StatusGatewayTimeout
+	case CodeInternal:
+		return http.StatusInternalServerError
+	}
+	return http.StatusInternalServerError
+}
+
+// Retryable reports whether the condition the code names is transient,
+// so a client may retry the identical request and expect it to succeed
+// eventually.
+func (c Code) Retryable() bool {
+	switch c {
+	case CodeQueueFull, CodeShuttingDown, CodeTimeout:
+		return true
+	}
+	return false
+}
+
+// Codes lists every registered code; tests pin that servers never emit
+// an unregistered one.
+func Codes() []Code {
+	return []Code{
+		CodeInvalidArgument, CodeInvalidSpec, CodeInvalidPageToken,
+		CodeDatasetNotFound, CodeJobNotFound, CodeWindowNotFound,
+		CodeNotFound, CodeMethodNotAllowed, CodeBodyTooLarge,
+		CodeQueueFull, CodeShuttingDown, CodeJobNotTerminal,
+		CodeJobTerminal, CodeResultNotReady, CodeResultWindowed,
+		CodeWindowNotReady, CodeTimeout, CodeInternal,
+	}
+}
+
+// Error is the structured error envelope: the JSON body of every
+// non-2xx response. It implements the error interface so the server
+// can return it through ordinary error paths and the client can
+// surface it via errors.As.
+type Error struct {
+	// Code is the stable machine-readable condition.
+	Code Code `json:"code"`
+	// Message is a human-readable description; clients must branch on
+	// Code, never on Message.
+	Message string `json:"message"`
+	// Details carries optional structured context (e.g. the offending
+	// dataset id, the request id, a retry hint).
+	Details map[string]any `json:"details,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// Errorf builds an envelope with a formatted message.
+func Errorf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// With returns e with one detail added (initializing Details as
+// needed). It mutates and returns the receiver for chaining.
+func (e *Error) With(key string, value any) *Error {
+	if e.Details == nil {
+		e.Details = make(map[string]any)
+	}
+	e.Details[key] = value
+	return e
+}

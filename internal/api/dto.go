@@ -1,0 +1,262 @@
+package api
+
+import (
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/metrics"
+)
+
+// DatasetInfo is the public metadata of a registered dataset.
+type DatasetInfo struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Records  int    `json:"records"`
+	Users    int    `json:"users"`
+	SpanDays int    `json:"span_days"`
+	// Version is a monotone counter starting at 1, incremented by every
+	// record append. Jobs snapshot the dataset at submission of the run,
+	// so a job's reported dataset_version names exactly the feed state it
+	// anonymized.
+	Version   int        `json:"version"`
+	Center    geo.LatLon `json:"center"`
+	CreatedAt time.Time  `json:"created_at"`
+	UpdatedAt time.Time  `json:"updated_at"`
+}
+
+// DatasetPage is one page of GET /v1/datasets.
+type DatasetPage struct {
+	Datasets []DatasetInfo `json:"datasets"`
+	// NextPageToken resumes the listing after the last dataset of this
+	// page; empty when the listing is exhausted.
+	NextPageToken string `json:"next_page_token,omitempty"`
+}
+
+// JobPage is one page of GET /v1/jobs.
+type JobPage struct {
+	Jobs          []JobStatus `json:"jobs"`
+	NextPageToken string      `json:"next_page_token,omitempty"`
+}
+
+// Health is the payload of GET /healthz.
+type Health struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
+}
+
+// JobState is the lifecycle state of an anonymization job.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	switch s {
+	case JobDone, JobFailed, JobCancelled:
+		return true
+	}
+	return false
+}
+
+// JobSpec is the client-supplied description of an anonymization job.
+type JobSpec struct {
+	// DatasetID names a dataset previously registered via ingestion.
+	DatasetID string `json:"dataset_id"`
+	// K is the anonymity level (>= 2).
+	K int `json:"k"`
+	// SuppressKm / SuppressMin optionally discard over-generalized
+	// samples (Sec. 7.1); 0 disables that dimension.
+	SuppressKm  float64 `json:"suppress_km,omitempty"`
+	SuppressMin float64 `json:"suppress_min,omitempty"`
+	// Shards is the requested number of dataset shards anonymized
+	// independently; <= 0 lets the scheduler pick one per worker. The
+	// effective count is clamped so every shard can k-anonymize on its
+	// own.
+	Shards int `json:"shards,omitempty"`
+	// Workers bounds the job's CPU parallelism; <= 0 uses all CPUs.
+	Workers int `json:"workers,omitempty"`
+
+	// Strategy selects single-run vs chunked execution inside each
+	// shard: "auto" (or empty), "single" or "chunked". Auto picks by
+	// shard size (core.SingleRunMaxN).
+	Strategy string `json:"strategy,omitempty"`
+	// ChunkSize is the target fingerprints per chunked block; 0 uses
+	// core.DefaultChunkSize. Must be >= 2k when set, and requires a
+	// strategy other than "single".
+	ChunkSize int `json:"chunk_size,omitempty"`
+	// Index selects the pair-selection index: "auto" (or empty),
+	// "dense" or "sparse". Auto picks dense up to core.DenseIndexMaxN
+	// fingerprints per run and sparse (O(n·m) memory) above.
+	Index string `json:"index,omitempty"`
+
+	// WindowHours, when > 0, turns the job into a continuous-release
+	// run: the dataset snapshot is partitioned into time windows of this
+	// many hours (aligned at multiples from the dataset epoch) and each
+	// window is anonymized independently into its own release, published
+	// as it completes. 0 anonymizes the whole snapshot in one release
+	// (or inherits the daemon-wide default); a negative value submitted
+	// to the manager explicitly forces a batch run even when the daemon
+	// defaults to windowed.
+	WindowHours float64 `json:"window_hours,omitempty"`
+}
+
+// Validate checks the statically checkable parts of the spec. A
+// violation is reported as an *Error with CodeInvalidSpec.
+func (s JobSpec) Validate() error {
+	if s.DatasetID == "" {
+		return Errorf(CodeInvalidSpec, "job without dataset_id")
+	}
+	if s.K < 2 {
+		return Errorf(CodeInvalidSpec, "job k = %d, need k >= 2", s.K)
+	}
+	if s.SuppressKm < 0 || s.SuppressMin < 0 {
+		return Errorf(CodeInvalidSpec, "negative suppression thresholds")
+	}
+	strategy, err := core.ParseStrategy(s.Strategy)
+	if err != nil {
+		return Errorf(CodeInvalidSpec, "%v", err)
+	}
+	if _, err := core.ParseIndexKind(s.Index); err != nil {
+		return Errorf(CodeInvalidSpec, "%v", err)
+	}
+	switch {
+	case s.ChunkSize < 0:
+		return Errorf(CodeInvalidSpec, "negative chunk_size %d", s.ChunkSize)
+	case s.ChunkSize > 0 && s.ChunkSize < 2*s.K:
+		return Errorf(CodeInvalidSpec, "chunk_size %d < 2k = %d", s.ChunkSize, 2*s.K)
+	case s.ChunkSize > 0 && strategy == core.StrategySingle:
+		return Errorf(CodeInvalidSpec, "chunk_size %d set but strategy is single", s.ChunkSize)
+	}
+	if s.WindowHours < 0 {
+		return Errorf(CodeInvalidSpec, "negative window_hours %g", s.WindowHours)
+	}
+	return nil
+}
+
+// WindowDuration converts the spec's window length for the partitioner.
+func (s JobSpec) WindowDuration() time.Duration {
+	return time.Duration(s.WindowHours * float64(time.Hour))
+}
+
+// WindowState is the lifecycle of one window of a windowed job. A
+// window becomes downloadable the moment it is done — releases stream
+// out while later windows are still running.
+type WindowState string
+
+const (
+	WindowPending WindowState = "pending"
+	WindowRunning WindowState = "running"
+	WindowDone    WindowState = "done"
+	// WindowAborted marks windows that never completed because the job
+	// failed or was cancelled; they published nothing.
+	WindowAborted WindowState = "aborted"
+)
+
+// WindowStatus is the per-window progress and accounting of a windowed
+// job, one entry per non-empty time window of the snapshot.
+type WindowStatus struct {
+	// Index is the window's position on the absolute time axis (window i
+	// covers minutes [i*w, (i+1)*w) of the dataset epoch).
+	Index int `json:"index"`
+	// StartMinute / EndMinute delimit the half-open window interval.
+	StartMinute float64 `json:"start_minute"`
+	EndMinute   float64 `json:"end_minute"`
+	// Records and Users describe the window's slice of the snapshot.
+	Records int `json:"records"`
+	Users   int `json:"users"`
+
+	State WindowState `json:"state"`
+	// Progress advances from 0 to 1 over the window's anonymization.
+	Progress float64 `json:"progress"`
+	// Groups and Stats are populated once the window is done; the
+	// window's release is then downloadable at
+	// /v1/jobs/{id}/windows/{index}/result.
+	Groups int              `json:"groups,omitempty"`
+	Stats  *core.GloveStats `json:"stats,omitempty"`
+}
+
+// JobStatus is a point-in-time snapshot of a job, the payload of
+// GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	Spec  JobSpec  `json:"spec"`
+	State JobState `json:"state"`
+	// Progress advances from 0 to 1 over the job's lifetime; while
+	// running it is the mean completion fraction across shards.
+	Progress float64 `json:"progress"`
+	// Shards is the effective shard count chosen by the scheduler (0
+	// until the job starts).
+	Shards int    `json:"shards"`
+	Error  string `json:"error,omitempty"`
+
+	// Plan is the execution plan the core planner resolved for the
+	// job's largest shard (strategy, chunk size, index); nil until the
+	// job starts.
+	Plan *core.Plan `json:"plan,omitempty"`
+
+	// DatasetVersion is the registry version of the dataset snapshot the
+	// job anonymizes; 0 until the run snapshots its input. Appends
+	// racing the job bump the dataset's version but never this one.
+	DatasetVersion int `json:"dataset_version,omitempty"`
+	// Windows holds the per-window progress of a windowed job
+	// (window_hours > 0), in time order; empty for batch jobs.
+	Windows []WindowStatus `json:"windows,omitempty"`
+	// Linkage is the cross-window linkage measurement over consecutive
+	// releases of a finished windowed job (nil for batch jobs,
+	// single-window runs, or when the analysis was skipped).
+	Linkage *analysis.LinkageResult `json:"linkage,omitempty"`
+
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+
+	// Stats and Accuracy are populated once the job is done.
+	Stats    *core.GloveStats `json:"stats,omitempty"`
+	Accuracy *metrics.Summary `json:"accuracy,omitempty"`
+	// AnonymousFraction is the fraction of input fingerprints that were
+	// already k-anonymous (Sec. 5 k-gap analysis); nil when the input
+	// was too large for the quadratic analysis pass.
+	AnonymousFraction *float64 `json:"anonymous_fraction,omitempty"`
+}
+
+// MetricsReport aggregates what the service has published so far, the
+// payload of GET /v1/metrics.
+type MetricsReport struct {
+	Datasets    int              `json:"datasets"`
+	Jobs        int              `json:"jobs"`
+	JobsByState map[JobState]int `json:"jobs_by_state"`
+	// JobsByStrategy / JobsByIndex count jobs by the execution plan the
+	// core planner resolved (auto rules included), so operators can see
+	// which path — single vs chunked, dense vs sparse — their traffic
+	// actually takes. Jobs that never started (no plan yet) are absent.
+	JobsByStrategy map[core.Strategy]int  `json:"jobs_by_strategy"`
+	JobsByIndex    map[core.IndexKind]int `json:"jobs_by_index"`
+	// WindowedJobs counts jobs submitted with window_hours > 0;
+	// WindowReleases counts the committed per-window releases across
+	// them (completed windows of running or cancelled jobs included).
+	WindowedJobs   int `json:"windowed_jobs"`
+	WindowReleases int `json:"window_releases"`
+	// MeanCrossWindowLinkage averages the linked fraction of the
+	// cross-window linkage analysis over finished windowed jobs that
+	// reported one — the service-wide residual re-identification risk of
+	// continuous publication. Nil when no job measured it.
+	MeanCrossWindowLinkage *float64 `json:"mean_cross_window_linkage,omitempty"`
+	// EffortKernelCalls / EffortKernelPruned aggregate the pruned
+	// effort-kernel accounting (DESIGN.md Sec. 8) over retained finished
+	// jobs, so operators can watch how much Eq. 10 work the threshold
+	// pruning is eliding on their real traffic.
+	EffortKernelCalls  int `json:"effort_kernel_calls"`
+	EffortKernelPruned int `json:"effort_kernel_pruned"`
+	// Completed holds the per-job utility summaries (accuracy from
+	// internal/metrics, anonymizability and cross-window linkage from
+	// internal/analysis).
+	Completed []JobStatus `json:"completed"`
+}

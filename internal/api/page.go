@@ -1,0 +1,106 @@
+package api
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strings"
+)
+
+// Cursor pagination: list endpoints accept limit and page_token query
+// parameters and return next_page_token while more items remain. The
+// token is an opaque cursor naming the last item of the previous page;
+// the next page starts strictly after it. Tokens are collection-scoped
+// (a dataset token is rejected by the jobs listing) and become invalid
+// when the item they name disappears — clients restart from the first
+// page on CodeInvalidPageToken.
+
+// DefaultPageLimit applies when a listing omits limit; MaxPageLimit
+// clamps explicit limits.
+const (
+	DefaultPageLimit = 100
+	MaxPageLimit     = 1000
+)
+
+const pageTokenVersion = "v1"
+
+// EncodePageToken builds the opaque cursor for a collection ("datasets"
+// or "jobs") positioned after the item with the given id.
+func EncodePageToken(collection, id string) string {
+	raw := fmt.Sprintf("%s:%s:%s", pageTokenVersion, collection, id)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+// DecodePageToken parses a cursor, returning the id the page resumes
+// after. A malformed token or one issued for another collection is a
+// CodeInvalidPageToken error.
+func DecodePageToken(collection, token string) (id string, err error) {
+	raw, derr := base64.RawURLEncoding.DecodeString(token)
+	if derr != nil {
+		return "", Errorf(CodeInvalidPageToken, "malformed page_token")
+	}
+	parts := strings.SplitN(string(raw), ":", 3)
+	if len(parts) != 3 || parts[0] != pageTokenVersion || parts[2] == "" {
+		return "", Errorf(CodeInvalidPageToken, "malformed page_token")
+	}
+	if parts[1] != collection {
+		return "", Errorf(CodeInvalidPageToken,
+			"page_token was issued for the %s collection, not %s", parts[1], collection)
+	}
+	return parts[2], nil
+}
+
+// ClampPageLimit normalizes a client-supplied limit: unset (<= 0)
+// becomes the default, oversized clamps to the maximum.
+func ClampPageLimit(limit int) int {
+	switch {
+	case limit <= 0:
+		return DefaultPageLimit
+	case limit > MaxPageLimit:
+		return MaxPageLimit
+	}
+	return limit
+}
+
+// ErrStalePageToken builds the error for a cursor whose item no longer
+// exists in the collection.
+func ErrStalePageToken(collection, after string) *Error {
+	return Errorf(CodeInvalidPageToken,
+		"page_token names a %s entry that no longer exists", collection).With("after", after)
+}
+
+// Paginate slices one page out of the full ordered listing. idOf names
+// each item; token positions the page (empty = from the start) and is
+// invalid when the named item is no longer present — the stale-cursor
+// case. The returned next token is empty when the listing is
+// exhausted. (The reference semantics; the service's ListPage methods
+// implement the same contract without materializing the whole
+// collection per page.)
+func Paginate[T any](items []T, idOf func(T) string, collection string, limit int, token string) (page []T, next string, err error) {
+	limit = ClampPageLimit(limit)
+	start := 0
+	if token != "" {
+		after, err := DecodePageToken(collection, token)
+		if err != nil {
+			return nil, "", err
+		}
+		start = -1
+		for i, it := range items {
+			if idOf(it) == after {
+				start = i + 1
+				break
+			}
+		}
+		if start < 0 {
+			return nil, "", ErrStalePageToken(collection, after)
+		}
+	}
+	end := start + limit
+	if end > len(items) {
+		end = len(items)
+	}
+	page = items[start:end:end]
+	if end < len(items) {
+		next = EncodePageToken(collection, idOf(page[len(page)-1]))
+	}
+	return page, next, nil
+}

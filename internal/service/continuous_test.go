@@ -516,7 +516,7 @@ func TestJobSpecWindowValidation(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Errorf("valid windowed spec rejected: %v", err)
 	}
-	if got := good.windowDuration(); got != 12*time.Hour+30*time.Minute {
-		t.Errorf("windowDuration = %v", got)
+	if got := good.WindowDuration(); got != 12*time.Hour+30*time.Minute {
+		t.Errorf("WindowDuration = %v", got)
 	}
 }

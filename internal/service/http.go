@@ -1,31 +1,46 @@
 package service
 
 import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime/debug"
+	"sort"
 	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/api"
 	"repro/internal/cdr"
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/version"
 )
 
-// Server is the HTTP front of the service: a thin JSON/CSV layer over
-// the Registry and Manager.
+// Server is the HTTP front of the service: the wire contract of
+// internal/api over the Registry and Manager, behind a small middleware
+// stack (request IDs, panic recovery, access logging, per-route
+// timeouts). Every non-2xx response body is the api.Error envelope.
 //
 //	POST   /v1/datasets                    ingest a raw record CSV (streaming body)
-//	GET    /v1/datasets                    list datasets
+//	GET    /v1/datasets                    list datasets (cursor pagination)
 //	GET    /v1/datasets/{id}               dataset metadata
 //	POST   /v1/datasets/{id}/records       append records to the feed (bumps version)
 //	POST   /v1/jobs                        submit an anonymization job (JSON JobSpec)
-//	GET    /v1/jobs                        list jobs
+//	GET    /v1/jobs                        list jobs (cursor pagination)
 //	GET    /v1/jobs/{id}                   job status with live progress
-//	DELETE /v1/jobs/{id}                   cancel a queued or running job
-//	GET    /v1/jobs/{id}/result            download the anonymized CSV
-//	GET    /v1/jobs/{id}/windows/{w}/result  download one window's release
+//	DELETE /v1/jobs/{id}                   cancel a queued or running job (?purge=1 deletes)
+//	GET    /v1/jobs/{id}/events            Server-Sent-Events job stream
+//	GET    /v1/jobs/{id}/result            download the anonymized CSV (ETag, gzip)
+//	GET    /v1/jobs/{id}/windows/{w}/result  download one window's release (ETag, gzip)
 //	GET    /v1/metrics                     accuracy / anonymizability / linkage summary
 //	GET    /healthz                        liveness + version
 type Server struct {
@@ -35,33 +50,289 @@ type Server struct {
 	// the reader's buffer without limit.
 	MaxIngestBytes int64
 
-	reg *Registry
-	mgr *Manager
-	mux *http.ServeMux
+	// AccessLog, when non-nil, receives one line per request (method,
+	// path, status, bytes, duration, request id) plus panic traces.
+	AccessLog io.Writer
+
+	// RouteTimeout is the processing budget of the quick JSON routes
+	// (listings, status, submit, metrics — never the streaming ingest,
+	// download, or event routes). 0 uses DefaultRouteTimeout; negative
+	// disables the budget.
+	RouteTimeout time.Duration
+
+	reg    *Registry
+	mgr    *Manager
+	mux    *http.ServeMux
+	bootID string
+	reqSeq atomic.Uint64
 }
 
-// NewServer wires the routes.
+// DefaultRouteTimeout is the quick-route budget when Server.RouteTimeout
+// is left zero.
+const DefaultRouteTimeout = 15 * time.Second
+
+// sseHeartbeat paces the keep-alive comments of an idle event stream.
+const sseHeartbeat = 15 * time.Second
+
+// NewServer wires the routes. Every path is registered method-agnostic
+// and dispatched by route(), so a method mismatch yields the envelope
+// 405 with an Allow header rather than the mux default.
 func NewServer(reg *Registry, mgr *Manager) *Server {
 	s := &Server{reg: reg, mgr: mgr, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/datasets", s.handleIngest)
-	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
-	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleGetDataset)
-	s.mux.HandleFunc("POST /v1/datasets/{id}/records", s.handleAppendRecords)
-	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDeleteDataset)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/windows/{w}/result", s.handleWindowResult)
-	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	var boot [4]byte
+	if _, err := rand.Read(boot[:]); err == nil {
+		s.bootID = hex.EncodeToString(boot[:])
+	} else {
+		s.bootID = "req"
+	}
+	s.route("/v1/datasets", map[string]http.HandlerFunc{
+		http.MethodGet:  s.quick(s.handleListDatasets),
+		http.MethodPost: s.handleIngest,
+	})
+	s.route("/v1/datasets/{id}", map[string]http.HandlerFunc{
+		http.MethodGet:    s.quick(s.handleGetDataset),
+		http.MethodDelete: s.quick(s.handleDeleteDataset),
+	})
+	s.route("/v1/datasets/{id}/records", map[string]http.HandlerFunc{
+		http.MethodPost: s.handleAppendRecords,
+	})
+	// The mutating job routes stay outside the quick() budget: they are
+	// in-memory operations that cannot usefully time out, and a 504
+	// issued while the detached handler still enqueues (or cancels)
+	// would invite clients to replay a submit whose side effect already
+	// happened.
+	s.route("/v1/jobs", map[string]http.HandlerFunc{
+		http.MethodGet:  s.quick(s.handleListJobs),
+		http.MethodPost: s.handleSubmitJob,
+	})
+	s.route("/v1/jobs/{id}", map[string]http.HandlerFunc{
+		http.MethodGet:    s.quick(s.handleGetJob),
+		http.MethodDelete: s.handleCancelJob,
+	})
+	s.route("/v1/jobs/{id}/events", map[string]http.HandlerFunc{
+		http.MethodGet: s.handleJobEvents,
+	})
+	s.route("/v1/jobs/{id}/result", map[string]http.HandlerFunc{
+		http.MethodGet: s.handleJobResult,
+	})
+	s.route("/v1/jobs/{id}/windows/{w}/result", map[string]http.HandlerFunc{
+		http.MethodGet: s.handleWindowResult,
+	})
+	s.route("/v1/metrics", map[string]http.HandlerFunc{
+		http.MethodGet: s.quick(s.handleMetrics),
+	})
+	s.route("/healthz", map[string]http.HandlerFunc{
+		http.MethodGet: s.quick(s.handleHealthz),
+	})
+	// Everything else is the envelope 404, not the mux's text default.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, r, api.Errorf(api.CodeNotFound, "no route for %s", r.URL.Path))
+	})
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// route registers one path with explicit method dispatch: a known path
+// with an unsupported method answers 405 + Allow in the envelope. HEAD
+// rides on GET (the http package suppresses the body).
+func (s *Server) route(pattern string, handlers map[string]http.HandlerFunc) {
+	methods := make([]string, 0, len(handlers))
+	for m := range handlers {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+	allow := strings.Join(methods, ", ")
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		h, ok := handlers[r.Method]
+		if !ok && r.Method == http.MethodHead {
+			h, ok = handlers[http.MethodGet]
+		}
+		if !ok {
+			w.Header().Set("Allow", allow)
+			writeError(w, r, api.Errorf(api.CodeMethodNotAllowed,
+				"method %s is not allowed on %s", r.Method, r.URL.Path).With("allow", allow))
+			return
+		}
+		h(w, r)
+	})
+}
+
+// ctxKeyRequestID carries the request id through the request context so
+// error envelopes can reference it.
+type ctxKey int
+
+const ctxKeyRequestID ctxKey = iota
+
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// ServeHTTP is the middleware stack: request-ID assignment, panic
+// recovery, and access logging around the method-dispatching mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = fmt.Sprintf("%s-%06d", s.bootID, s.reqSeq.Add(1))
+	}
+	w.Header().Set("X-Request-ID", reqID)
+	r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, reqID))
+
+	rec := &responseRecorder{ResponseWriter: w}
+	start := time.Now()
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				if s.AccessLog != nil && p != http.ErrAbortHandler {
+					fmt.Fprintf(s.AccessLog, "panic %s %s request_id=%s: %v\n%s",
+						r.Method, r.URL.Path, reqID, p, debug.Stack())
+				}
+				if p == http.ErrAbortHandler || rec.wroteHeader {
+					// The response already started (or the handler asked
+					// for an abort): converting the panic to a normal
+					// return would let net/http terminate the truncated
+					// body as a seemingly complete response. Abort the
+					// connection instead so clients can detect it.
+					panic(http.ErrAbortHandler)
+				}
+				writeError(rec, r, api.Errorf(api.CodeInternal, "internal server error"))
+			}
+		}()
+		s.mux.ServeHTTP(rec, r)
+	}()
+	if s.AccessLog != nil {
+		fmt.Fprintf(s.AccessLog, "%s %s %s %d %dB %s request_id=%s\n",
+			start.UTC().Format(time.RFC3339), r.Method, r.URL.Path,
+			rec.statusOr200(), rec.bytes, time.Since(start).Round(time.Microsecond), reqID)
+	}
+}
+
+// responseRecorder observes status and size for the access log while
+// passing Flush (SSE) and the underlying writer (ResponseController)
+// through.
+type responseRecorder struct {
+	http.ResponseWriter
+	status      int
+	bytes       int64
+	wroteHeader bool
+}
+
+func (w *responseRecorder) WriteHeader(code int) {
+	if !w.wroteHeader {
+		w.wroteHeader = true
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *responseRecorder) Write(p []byte) (int, error) {
+	if !w.wroteHeader {
+		w.wroteHeader = true
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *responseRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *responseRecorder) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (w *responseRecorder) statusOr200() int {
+	if w.wroteHeader {
+		return w.status
+	}
+	return http.StatusOK
+}
+
+// quick wraps a JSON handler with the per-route processing budget: the
+// handler runs against a buffered response that is only copied to the
+// wire when it finishes in time; past the budget the client gets the
+// timeout envelope instead of a half-written body. Streaming routes
+// (ingest, downloads, events) are never wrapped.
+func (s *Server) quick(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		d := s.RouteTimeout
+		if d == 0 {
+			d = DefaultRouteTimeout
+		}
+		if d < 0 {
+			h(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		r = r.WithContext(ctx)
+		buf := &bufferedResponse{header: make(http.Header)}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer func() {
+				// The outer recovery middleware cannot see a panic on
+				// this goroutine; convert it here.
+				if p := recover(); p != nil {
+					if s.AccessLog != nil {
+						fmt.Fprintf(s.AccessLog, "panic %s %s request_id=%s: %v\n%s",
+							r.Method, r.URL.Path, requestID(r), p, debug.Stack())
+					}
+					buf.reset()
+					writeError(buf, r, api.Errorf(api.CodeInternal, "internal server error"))
+				}
+			}()
+			h(buf, r)
+		}()
+		select {
+		case <-done:
+			buf.copyTo(w)
+		case <-ctx.Done():
+			writeError(w, r, api.Errorf(api.CodeTimeout,
+				"request exceeded the %s route budget", d))
+		}
+	}
+}
+
+// bufferedResponse is the in-memory ResponseWriter behind quick().
+type bufferedResponse struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.status == 0 {
+		b.status = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	return b.buf.Write(p)
+}
+
+func (b *bufferedResponse) reset() {
+	b.header = make(http.Header)
+	b.status = 0
+	b.buf.Reset()
+}
+
+func (b *bufferedResponse) copyTo(w http.ResponseWriter) {
+	dst := w.Header()
+	for k, vs := range b.header {
+		dst[k] = vs
+	}
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	w.WriteHeader(b.status)
+	w.Write(b.buf.Bytes())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -72,8 +343,34 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeError renders any error as the structured envelope, deriving the
+// HTTP status from the code and stamping the request id into the
+// details. Non-envelope errors become CodeInternal — the pinned
+// invariant that no handler responds outside the contract.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	var ae *api.Error
+	if !errors.As(err, &ae) {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			ae = api.Errorf(api.CodeQueueFull, "%v", err)
+		default:
+			ae = api.Errorf(api.CodeInternal, "%v", err)
+		}
+	}
+	// Copy before annotating: manager errors can be shared values and
+	// the envelope must not accumulate per-request details across
+	// requests.
+	out := &api.Error{Code: ae.Code, Message: ae.Message}
+	for k, v := range ae.Details {
+		out.With(k, v)
+	}
+	if id := requestID(r); id != "" {
+		out.With("request_id", id)
+	}
+	if out.Code == api.CodeQueueFull {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, out.Code.HTTPStatus(), out)
 }
 
 // handleIngest streams the request body into a new dataset. Metadata
@@ -85,19 +382,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var err error
 	if v := q.Get("lat"); v != "" {
 		if lat, err = strconv.ParseFloat(v, 64); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad lat: %w", err))
+			writeError(w, r, api.Errorf(api.CodeInvalidArgument, "bad lat %q", v))
 			return
 		}
 	}
 	if v := q.Get("lon"); v != "" {
 		if lon, err = strconv.ParseFloat(v, 64); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad lon: %w", err))
+			writeError(w, r, api.Errorf(api.CodeInvalidArgument, "bad lon %q", v))
 			return
 		}
 	}
 	if v := q.Get("days"); v != "" {
 		if days, err = strconv.Atoi(v); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad days: %w", err))
+			writeError(w, r, api.Errorf(api.CodeInvalidArgument, "bad days %q", v))
 			return
 		}
 	}
@@ -107,15 +404,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.reg.Ingest(body, q.Get("name"), geo.LatLon{Lat: lat, Lon: lon}, days)
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, tooBig)
-			return
-		}
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, ingestError(err, s.MaxIngestBytes))
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// ingestError classifies a streaming-ingestion failure: the byte-cap
+// violation is body_too_large, anything else is a bad body or bad
+// metadata.
+func ingestError(err error, maxBytes int64) error {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return api.Errorf(api.CodeBodyTooLarge, "%v", tooBig).With("limit_bytes", maxBytes)
+	}
+	return api.Errorf(api.CodeInvalidArgument, "%v", err)
 }
 
 // handleAppendRecords streams additional records onto a registered
@@ -125,7 +428,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAppendRecords(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.reg.Get(id); !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", id))
+		writeError(w, r, api.Errorf(api.CodeDatasetNotFound, "unknown dataset %q", id).With("dataset_id", id))
 		return
 	}
 	body := r.Body
@@ -134,25 +437,58 @@ func (s *Server) handleAppendRecords(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.reg.Append(id, body)
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, tooBig)
-			return
-		}
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, ingestError(err, s.MaxIngestBytes))
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
 }
 
+// pageParams extracts and normalizes the cursor-pagination query
+// parameters: the clamped page limit and the decoded resume cursor
+// (empty = from the start).
+func pageParams(r *http.Request, collection string) (limit int, after string, err error) {
+	q := r.URL.Query()
+	if v := q.Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 0 {
+			return 0, "", api.Errorf(api.CodeInvalidArgument, "bad limit %q", v)
+		}
+	}
+	limit = api.ClampPageLimit(limit)
+	if token := q.Get("page_token"); token != "" {
+		if after, err = api.DecodePageToken(collection, token); err != nil {
+			return 0, "", err
+		}
+	}
+	return limit, after, nil
+}
+
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.reg.List()})
+	limit, after, err := pageParams(r, "datasets")
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	page, more, ok := s.reg.ListPage(after, limit)
+	if !ok {
+		writeError(w, r, api.ErrStalePageToken("datasets", after))
+		return
+	}
+	if page == nil {
+		page = []DatasetInfo{}
+	}
+	next := ""
+	if more {
+		next = api.EncodePageToken("datasets", page[len(page)-1].ID)
+	}
+	writeJSON(w, http.StatusOK, api.DatasetPage{Datasets: page, NextPageToken: next})
 }
 
 func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
-	info, ok := s.reg.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	info, ok := s.reg.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", r.PathValue("id")))
+		writeError(w, r, api.Errorf(api.CodeDatasetNotFound, "unknown dataset %q", id).With("dataset_id", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -161,43 +497,66 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.reg.Delete(id) {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", id))
+		writeError(w, r, api.Errorf(api.CodeDatasetNotFound, "unknown dataset %q", id).With("dataset_id", id))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// maxJobSpecBytes caps the submit body: a JobSpec is a handful of
+// scalars, so anything past this is hostile or broken, and the cap
+// keeps json.Decoder from buffering an arbitrary body into memory the
+// way the streaming routes' MaxIngestBytes guard already does.
+const maxJobSpecBytes = 1 << 20
+
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, r, api.Errorf(api.CodeBodyTooLarge, "%v", tooBig).
+				With("limit_bytes", maxJobSpecBytes))
+			return
+		}
+		writeError(w, r, api.Errorf(api.CodeInvalidSpec, "bad job spec: %v", err))
 		return
 	}
 	st, err := s.mgr.Submit(spec)
 	if err != nil {
-		if errors.Is(err, ErrQueueFull) {
-			// Transient load, not a bad request: tell the client to
-			// retry.
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, err)
-			return
-		}
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+	limit, after, err := pageParams(r, "jobs")
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	page, more, ok := s.mgr.ListPage(after, limit)
+	if !ok {
+		writeError(w, r, api.ErrStalePageToken("jobs", after))
+		return
+	}
+	if page == nil {
+		page = []JobStatus{}
+	}
+	next := ""
+	if more {
+		next = api.EncodePageToken("jobs", page[len(page)-1].ID)
+	}
+	writeJSON(w, http.StatusOK, api.JobPage{Jobs: page, NextPageToken: next})
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
-	st, ok := s.mgr.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	st, ok := s.mgr.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeError(w, r, api.Errorf(api.CodeJobNotFound, "unknown job %q", id).With("job_id", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -215,39 +574,123 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, st)
 		return
 	}
-	if _, ok := s.mgr.Get(id); !ok {
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
-	if !purge {
-		// Already terminal and the client asked to cancel, not delete.
-		writeError(w, http.StatusConflict, err)
+	var ae *api.Error
+	if !purge || !errors.As(err, &ae) || ae.Code != api.CodeJobTerminal {
+		writeError(w, r, err)
 		return
 	}
 	if rerr := s.mgr.Remove(id); rerr != nil {
-		writeError(w, http.StatusConflict, rerr)
+		writeError(w, r, rerr)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleJobEvents streams the job's event log as Server-Sent Events:
+// every past event replays first (so a late subscriber still sees the
+// whole lifecycle), then the stream follows live appends and ends after
+// the terminal state event. ?after=N (or the standard Last-Event-ID
+// header) resumes past the events already seen.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	after := 0
+	seqParam := r.URL.Query().Get("after")
+	if seqParam == "" {
+		seqParam = r.Header.Get("Last-Event-ID")
+	}
+	if seqParam != "" {
+		n, err := strconv.Atoi(seqParam)
+		if err != nil || n < 0 {
+			writeError(w, r, api.Errorf(api.CodeInvalidArgument, "bad event cursor %q", seqParam))
+			return
+		}
+		after = n
+	}
+	if _, ok := s.mgr.Get(id); !ok {
+		writeError(w, r, api.Errorf(api.CodeJobNotFound, "unknown job %q", id).With("job_id", id))
+		return
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	rc.Flush()
+
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		evs, wake, ok := s.mgr.EventsSince(id, after)
+		if !ok {
+			// Evicted mid-stream; the client falls back to polling and
+			// observes the 404.
+			return
+		}
+		for _, e := range evs {
+			if err := writeSSE(w, e); err != nil {
+				return
+			}
+			after = e.Seq
+			if e.Terminal() {
+				rc.Flush()
+				return
+			}
+		}
+		if len(evs) > 0 {
+			rc.Flush()
+			continue
+		}
+		// Nothing new: a terminal job appends no further events, so the
+		// log is complete and the client resumed at or past the terminal
+		// event — end the stream instead of heartbeating forever. (The
+		// terminal event is appended under the same lock that flips the
+		// state, so a terminal status implies it is already in the log;
+		// a transition racing this check closes wake and wakes us.)
+		if st, ok := s.mgr.Get(id); !ok || st.State.Terminal() {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
+				return
+			}
+			rc.Flush()
+		}
+	}
+}
+
+// writeSSE renders one event as an SSE frame: id carries the sequence
+// number, event the type, data the JSON payload.
+func writeSSE(w io.Writer, e api.JobEvent) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
+	return err
+}
+
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// Status before Result: a done job's dataset version is immutable,
+	// so reading it first (and letting Result 404 a racing purge) never
+	// serves a release under a zero-version ETag.
+	st, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, r, api.Errorf(api.CodeJobNotFound, "unknown job %q", id).With("job_id", id))
+		return
+	}
 	ds, err := s.mgr.Result(id)
 	if err != nil {
-		if _, ok := s.mgr.Get(id); !ok {
-			writeError(w, http.StatusNotFound, err)
-		} else {
-			writeError(w, http.StatusConflict, err)
-		}
+		writeError(w, r, err)
 		return
 	}
-	w.Header().Set("Content-Type", "text/csv")
-	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".csv"))
-	if err := cdr.WriteAnonymizedCSV(w, ds); err != nil {
-		// Headers are gone; all we can do is drop the connection.
-		return
-	}
+	serveCSV(w, r, id+".csv", s.resultETag(id, -1, st.DatasetVersion), ds)
 }
 
 // handleWindowResult serves one window's release of a windowed job.
@@ -257,59 +700,101 @@ func (s *Server) handleWindowResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	win, err := strconv.Atoi(r.PathValue("w"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad window index %q", r.PathValue("w")))
+		writeError(w, r, api.Errorf(api.CodeInvalidArgument, "bad window index %q", r.PathValue("w")))
+		return
+	}
+	st, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, r, api.Errorf(api.CodeJobNotFound, "unknown job %q", id).With("job_id", id))
 		return
 	}
 	ds, err := s.mgr.WindowResult(id, win)
 	if err != nil {
-		if _, ok := s.mgr.Get(id); !ok || errors.Is(err, ErrNoSuchWindow) {
-			// Unknown job or a window index the job will never have: a
-			// permanent 404, not a retryable conflict.
-			writeError(w, http.StatusNotFound, err)
-		} else {
-			writeError(w, http.StatusConflict, err)
-		}
+		writeError(w, r, err)
 		return
 	}
-	w.Header().Set("Content-Type", "text/csv")
-	w.Header().Set("Content-Disposition",
-		fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("%s-w%d.csv", id, win)))
-	if err := cdr.WriteAnonymizedCSV(w, ds); err != nil {
+	serveCSV(w, r, fmt.Sprintf("%s-w%d.csv", id, win), s.resultETag(id, win, st.DatasetVersion), ds)
+}
+
+// resultETag derives the strong validator of an immutable release: the
+// server boot id (job sequence numbers and dataset versions restart
+// with the daemon, so the tag must not survive a restart), the job id,
+// the window (when per-window), and the dataset version the job
+// snapshotted. Repeated downloads of the same release get 304s; a
+// different daemon incarnation never aliases them.
+func (s *Server) resultETag(id string, window, datasetVersion int) string {
+	if window >= 0 {
+		return fmt.Sprintf("%q", fmt.Sprintf("%s.%s.w%d.v%d", s.bootID, id, window, datasetVersion))
+	}
+	return fmt.Sprintf("%q", fmt.Sprintf("%s.%s.v%d", s.bootID, id, datasetVersion))
+}
+
+// serveCSV writes one anonymized release with the conditional-request
+// and compression conveniences: a matching If-None-Match answers 304
+// with no body, and clients advertising gzip receive the CSV
+// gzip-encoded.
+func serveCSV(w http.ResponseWriter, r *http.Request, filename, etag string, ds *core.Dataset) {
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Vary", "Accept-Encoding")
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", "text/csv")
+	h.Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", filename))
+	var out io.Writer = w
+	if acceptsGzip(r) {
+		h.Set("Content-Encoding", "gzip")
+		gz := gzip.NewWriter(w)
+		defer gz.Close()
+		out = gz
+	}
+	if err := cdr.WriteAnonymizedCSV(out, ds); err != nil {
+		// Headers are gone; all we can do is drop the connection.
 		return
 	}
 }
 
-// MetricsReport aggregates what the service has published so far.
-type MetricsReport struct {
-	Datasets    int              `json:"datasets"`
-	Jobs        int              `json:"jobs"`
-	JobsByState map[JobState]int `json:"jobs_by_state"`
-	// JobsByStrategy / JobsByIndex count jobs by the execution plan the
-	// core planner resolved (auto rules included), so operators can see
-	// which path — single vs chunked, dense vs sparse — their traffic
-	// actually takes. Jobs that never started (no plan yet) are absent.
-	JobsByStrategy map[core.Strategy]int  `json:"jobs_by_strategy"`
-	JobsByIndex    map[core.IndexKind]int `json:"jobs_by_index"`
-	// WindowedJobs counts jobs submitted with window_hours > 0;
-	// WindowReleases counts the committed per-window releases across
-	// them (completed windows of running or cancelled jobs included).
-	WindowedJobs   int `json:"windowed_jobs"`
-	WindowReleases int `json:"window_releases"`
-	// MeanCrossWindowLinkage averages the linked fraction of the
-	// cross-window linkage analysis over finished windowed jobs that
-	// reported one — the service-wide residual re-identification risk of
-	// continuous publication. Nil when no job measured it.
-	MeanCrossWindowLinkage *float64 `json:"mean_cross_window_linkage,omitempty"`
-	// EffortKernelCalls / EffortKernelPruned aggregate the pruned
-	// effort-kernel accounting (DESIGN.md Sec. 8) over retained finished
-	// jobs, so operators can watch how much Eq. 10 work the threshold
-	// pruning is eliding on their real traffic.
-	EffortKernelCalls  int `json:"effort_kernel_calls"`
-	EffortKernelPruned int `json:"effort_kernel_pruned"`
-	// Completed holds the per-job utility summaries (accuracy from
-	// internal/metrics, anonymizability and cross-window linkage from
-	// internal/analysis).
-	Completed []JobStatus `json:"completed"`
+// etagMatch implements the If-None-Match comparison (weak comparison:
+// a W/ prefix on either side is ignored, as RFC 9110 prescribes for
+// If-None-Match).
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	etag = strings.TrimPrefix(etag, "W/")
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		if candidate == "*" {
+			return true
+		}
+		if strings.TrimPrefix(candidate, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptsGzip reports whether the client advertised gzip with a
+// non-zero quality.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		coding, q, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(coding) != "gzip" {
+			continue
+		}
+		q = strings.TrimSpace(q)
+		if q == "" {
+			return true
+		}
+		if val, ok := strings.CutPrefix(q, "q="); ok {
+			f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+			return err == nil && f > 0
+		}
+		return true
+	}
+	return false
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -356,8 +841,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{
-		"status":  "ok",
-		"version": version.Version,
-	})
+	writeJSON(w, http.StatusOK, api.Health{Status: "ok", Version: version.Version})
 }

@@ -319,8 +319,9 @@ func TestServerErrors(t *testing.T) {
 		}
 	}
 
-	// Bad job specs.
-	for _, body := range []string{"not json", `{"dataset_id":"nope","k":2}`, `{"unknown_field":1}`} {
+	// Bad job specs reject with invalid_spec; an unknown dataset is a
+	// 404 with its own code.
+	for _, body := range []string{"not json", `{"unknown_field":1}`} {
 		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
@@ -329,6 +330,15 @@ func TestServerErrors(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("spec %q: status %d", body, resp.StatusCode)
 		}
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"dataset_id":"nope","k":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown dataset spec: status %d, want 404", resp.StatusCode)
 	}
 
 	// Health endpoint reports the version.

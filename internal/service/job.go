@@ -7,30 +7,11 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/api"
 	"repro/internal/cdr"
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
-
-// JobState is the lifecycle state of an anonymization job.
-type JobState string
-
-const (
-	JobQueued    JobState = "queued"
-	JobRunning   JobState = "running"
-	JobDone      JobState = "done"
-	JobFailed    JobState = "failed"
-	JobCancelled JobState = "cancelled"
-)
-
-// Terminal reports whether the state is final.
-func (s JobState) Terminal() bool {
-	switch s {
-	case JobDone, JobFailed, JobCancelled:
-		return true
-	}
-	return false
-}
 
 // validTransition encodes the job state machine: queued jobs start
 // running or are cancelled before starting; running jobs finish, fail,
@@ -45,88 +26,9 @@ func validTransition(from, to JobState) bool {
 	return false
 }
 
-// JobSpec is the client-supplied description of an anonymization job.
-type JobSpec struct {
-	// DatasetID names a dataset previously registered via ingestion.
-	DatasetID string `json:"dataset_id"`
-	// K is the anonymity level (>= 2).
-	K int `json:"k"`
-	// SuppressKm / SuppressMin optionally discard over-generalized
-	// samples (Sec. 7.1); 0 disables that dimension.
-	SuppressKm  float64 `json:"suppress_km,omitempty"`
-	SuppressMin float64 `json:"suppress_min,omitempty"`
-	// Shards is the requested number of dataset shards anonymized
-	// independently; <= 0 lets the scheduler pick one per worker. The
-	// effective count is clamped so every shard can k-anonymize on its
-	// own.
-	Shards int `json:"shards,omitempty"`
-	// Workers bounds the job's CPU parallelism; <= 0 uses all CPUs.
-	Workers int `json:"workers,omitempty"`
-
-	// Strategy selects single-run vs chunked execution inside each
-	// shard: "auto" (or empty), "single" or "chunked". Auto picks by
-	// shard size (core.SingleRunMaxN).
-	Strategy string `json:"strategy,omitempty"`
-	// ChunkSize is the target fingerprints per chunked block; 0 uses
-	// core.DefaultChunkSize. Must be >= 2k when set, and requires a
-	// strategy other than "single".
-	ChunkSize int `json:"chunk_size,omitempty"`
-	// Index selects the pair-selection index: "auto" (or empty),
-	// "dense" or "sparse". Auto picks dense up to core.DenseIndexMaxN
-	// fingerprints per run and sparse (O(n·m) memory) above.
-	Index string `json:"index,omitempty"`
-
-	// WindowHours, when > 0, turns the job into a continuous-release
-	// run: the dataset snapshot is partitioned into time windows of this
-	// many hours (aligned at multiples from the dataset epoch) and each
-	// window is anonymized independently into its own release, published
-	// as it completes. 0 anonymizes the whole snapshot in one release
-	// (or inherits the daemon-wide default); a negative value submitted
-	// to the manager explicitly forces a batch run even when the daemon
-	// defaults to windowed.
-	WindowHours float64 `json:"window_hours,omitempty"`
-}
-
-// Validate checks the statically checkable parts of the spec.
-func (s JobSpec) Validate() error {
-	if s.DatasetID == "" {
-		return fmt.Errorf("service: job without dataset_id")
-	}
-	if s.K < 2 {
-		return fmt.Errorf("service: job k = %d, need k >= 2", s.K)
-	}
-	if s.SuppressKm < 0 || s.SuppressMin < 0 {
-		return fmt.Errorf("service: negative suppression thresholds")
-	}
-	strategy, err := core.ParseStrategy(s.Strategy)
-	if err != nil {
-		return fmt.Errorf("service: %w", err)
-	}
-	if _, err := core.ParseIndexKind(s.Index); err != nil {
-		return fmt.Errorf("service: %w", err)
-	}
-	switch {
-	case s.ChunkSize < 0:
-		return fmt.Errorf("service: negative chunk_size %d", s.ChunkSize)
-	case s.ChunkSize > 0 && s.ChunkSize < 2*s.K:
-		return fmt.Errorf("service: chunk_size %d < 2k = %d", s.ChunkSize, 2*s.K)
-	case s.ChunkSize > 0 && strategy == core.StrategySingle:
-		return fmt.Errorf("service: chunk_size %d set but strategy is single", s.ChunkSize)
-	}
-	if s.WindowHours < 0 {
-		return fmt.Errorf("service: negative window_hours %g", s.WindowHours)
-	}
-	return nil
-}
-
-// windowDuration converts the spec's window length for the partitioner.
-func (s JobSpec) windowDuration() time.Duration {
-	return time.Duration(s.WindowHours * float64(time.Hour))
-}
-
 // anonymizeOptions translates the spec into the core planner options
 // for one shard. Validate has already vetted the enum spellings.
-func (s JobSpec) anonymizeOptions(workers int, progress func(done, total int)) core.AnonymizeOptions {
+func anonymizeOptions(s JobSpec, workers int, progress func(done, total int)) core.AnonymizeOptions {
 	strategy, _ := core.ParseStrategy(s.Strategy)
 	index, _ := core.ParseIndexKind(s.Index)
 	return core.AnonymizeOptions{
@@ -143,87 +45,6 @@ func (s JobSpec) anonymizeOptions(workers int, progress func(done, total int)) c
 		Strategy:  strategy,
 		ChunkSize: s.ChunkSize,
 	}
-}
-
-// WindowState is the lifecycle of one window of a windowed job. A
-// window becomes downloadable the moment it is done — releases stream
-// out while later windows are still running.
-type WindowState string
-
-const (
-	WindowPending WindowState = "pending"
-	WindowRunning WindowState = "running"
-	WindowDone    WindowState = "done"
-	// WindowAborted marks windows that never completed because the job
-	// failed or was cancelled; they published nothing.
-	WindowAborted WindowState = "aborted"
-)
-
-// WindowStatus is the per-window progress and accounting of a windowed
-// job, one entry per non-empty time window of the snapshot.
-type WindowStatus struct {
-	// Index is the window's position on the absolute time axis (window i
-	// covers minutes [i*w, (i+1)*w) of the dataset epoch).
-	Index int `json:"index"`
-	// StartMinute / EndMinute delimit the half-open window interval.
-	StartMinute float64 `json:"start_minute"`
-	EndMinute   float64 `json:"end_minute"`
-	// Records and Users describe the window's slice of the snapshot.
-	Records int `json:"records"`
-	Users   int `json:"users"`
-
-	State WindowState `json:"state"`
-	// Progress advances from 0 to 1 over the window's anonymization.
-	Progress float64 `json:"progress"`
-	// Groups and Stats are populated once the window is done; the
-	// window's release is then downloadable at
-	// /v1/jobs/{id}/windows/{index}/result.
-	Groups int              `json:"groups,omitempty"`
-	Stats  *core.GloveStats `json:"stats,omitempty"`
-}
-
-// JobStatus is a point-in-time snapshot of a job, the payload of
-// GET /v1/jobs/{id}.
-type JobStatus struct {
-	ID    string   `json:"id"`
-	Spec  JobSpec  `json:"spec"`
-	State JobState `json:"state"`
-	// Progress advances from 0 to 1 over the job's lifetime; while
-	// running it is the mean completion fraction across shards.
-	Progress float64 `json:"progress"`
-	// Shards is the effective shard count chosen by the scheduler (0
-	// until the job starts).
-	Shards int    `json:"shards"`
-	Error  string `json:"error,omitempty"`
-
-	// Plan is the execution plan the core planner resolved for the
-	// job's largest shard (strategy, chunk size, index); nil until the
-	// job starts.
-	Plan *core.Plan `json:"plan,omitempty"`
-
-	// DatasetVersion is the registry version of the dataset snapshot the
-	// job anonymizes; 0 until the run snapshots its input. Appends
-	// racing the job bump the dataset's version but never this one.
-	DatasetVersion int `json:"dataset_version,omitempty"`
-	// Windows holds the per-window progress of a windowed job
-	// (window_hours > 0), in time order; empty for batch jobs.
-	Windows []WindowStatus `json:"windows,omitempty"`
-	// Linkage is the cross-window linkage measurement over consecutive
-	// releases of a finished windowed job (nil for batch jobs,
-	// single-window runs, or when the analysis was skipped).
-	Linkage *analysis.LinkageResult `json:"linkage,omitempty"`
-
-	CreatedAt  time.Time  `json:"created_at"`
-	StartedAt  *time.Time `json:"started_at,omitempty"`
-	FinishedAt *time.Time `json:"finished_at,omitempty"`
-
-	// Stats and Accuracy are populated once the job is done.
-	Stats    *core.GloveStats `json:"stats,omitempty"`
-	Accuracy *metrics.Summary `json:"accuracy,omitempty"`
-	// AnonymousFraction is the fraction of input fingerprints that were
-	// already k-anonymous (Sec. 5 k-gap analysis); nil when the input
-	// was too large for the quadratic analysis pass.
-	AnonymousFraction *float64 `json:"anonymous_fraction,omitempty"`
 }
 
 // Job is one anonymization run owned by the Manager.
@@ -257,11 +78,81 @@ type Job struct {
 	// windows is the per-window state of a windowed job, in time order.
 	windows []*jobWindow
 
+	// events is the job's append-only event log, replayed and streamed
+	// by GET /v1/jobs/{id}/events. eventCh is closed and replaced on
+	// every append, broadcasting to blocked subscribers; progressPct is
+	// the last whole-percent bucket emitted, coalescing the firehose of
+	// shard progress callbacks into at most ~100 events per job.
+	events      []api.JobEvent
+	eventCh     chan struct{}
+	progressPct int
+
 	result            *core.Dataset
 	stats             *core.GloveStats
 	accuracy          *metrics.Summary
 	anonymousFraction *float64
 	linkage           *analysis.LinkageResult
+}
+
+// newJob builds a queued job and seeds its event log with the queued
+// state event, so a subscriber that connects immediately still sees the
+// full lifecycle from the first transition.
+func newJob(id string, spec JobSpec) *Job {
+	j := &Job{
+		id:      id,
+		spec:    spec,
+		state:   JobQueued,
+		created: time.Now().UTC(),
+		eventCh: make(chan struct{}),
+	}
+	j.events = []api.JobEvent{{Seq: 1, Type: api.EventState, JobID: id, State: JobQueued}}
+	return j
+}
+
+// appendEventLocked stamps and stores one event and wakes every
+// subscriber blocked in eventsSince. Caller holds j.mu. A nil eventCh
+// (zero-value Job, as unit tests construct) is tolerated: there is
+// nobody to wake yet.
+func (j *Job) appendEventLocked(e api.JobEvent) {
+	e.Seq = len(j.events) + 1
+	e.JobID = j.id
+	j.events = append(j.events, e)
+	if j.eventCh != nil {
+		close(j.eventCh)
+	}
+	j.eventCh = make(chan struct{})
+}
+
+// eventsSince returns the events after sequence number `after` (0 = from
+// the beginning). When the log has nothing newer it instead returns a
+// channel that is closed on the next append, so subscribers block
+// without polling.
+func (j *Job) eventsSince(after int) ([]api.JobEvent, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.eventCh == nil {
+		j.eventCh = make(chan struct{})
+	}
+	if after < 0 {
+		after = 0
+	}
+	if after >= len(j.events) {
+		return nil, j.eventCh
+	}
+	// Full-slice expression: appends beyond len never alias into what
+	// the subscriber is reading.
+	return j.events[after:len(j.events):len(j.events)], nil
+}
+
+// emitProgressLocked appends a progress event when the overall fraction
+// has advanced at least one whole percent since the last one. Caller
+// holds j.mu.
+func (j *Job) emitProgressLocked() {
+	p := j.progressLocked()
+	if pct := int(p * 100); pct > j.progressPct && p > 0 {
+		j.progressPct = pct
+		j.appendEventLocked(api.JobEvent{Type: api.EventProgress, Progress: p})
+	}
 }
 
 // jobWindow tracks one window of a windowed job.
@@ -304,6 +195,8 @@ func (j *Job) startWindow(w, shards int) {
 	defer j.mu.Unlock()
 	j.windows[w].state = WindowRunning
 	j.windows[w].shardProgress = make([]float64, shards)
+	j.appendEventLocked(api.JobEvent{Type: api.EventWindow,
+		Window: &api.WindowEvent{Index: j.windows[w].index, State: WindowRunning}})
 }
 
 // setWindowShardProgress records one shard's completion fraction inside
@@ -314,6 +207,7 @@ func (j *Job) setWindowShardProgress(w, shard int, frac float64) {
 	jw := j.windows[w]
 	if shard >= 0 && shard < len(jw.shardProgress) && frac > jw.shardProgress[shard] {
 		jw.shardProgress[shard] = frac
+		j.emitProgressLocked()
 	}
 }
 
@@ -324,6 +218,8 @@ func (j *Job) abortOpenWindowsLocked() {
 	for _, w := range j.windows {
 		if w.state != WindowDone {
 			w.state = WindowAborted
+			j.appendEventLocked(api.JobEvent{Type: api.EventWindow,
+				Window: &api.WindowEvent{Index: w.index, State: WindowAborted}})
 		}
 	}
 }
@@ -340,10 +236,15 @@ func (j *Job) commitWindow(w int, out *core.Dataset, stats *core.GloveStats) {
 	for i := range jw.shardProgress {
 		jw.shardProgress[i] = 1
 	}
+	j.appendEventLocked(api.JobEvent{Type: api.EventWindow,
+		Window: &api.WindowEvent{Index: jw.index, State: WindowDone, Groups: jw.groups}})
+	j.emitProgressLocked()
 }
 
 // transition moves the job to the target state, enforcing the state
-// machine; it must be called with j.mu held.
+// machine, and appends the state event (reading j.err, so callers set
+// the error message before transitioning); it must be called with j.mu
+// held.
 func (j *Job) transition(to JobState) error {
 	if !validTransition(j.state, to) {
 		return fmt.Errorf("service: job %s: invalid transition %s -> %s", j.id, j.state, to)
@@ -356,6 +257,7 @@ func (j *Job) transition(to JobState) error {
 	case JobDone, JobFailed, JobCancelled:
 		j.finished = now
 	}
+	j.appendEventLocked(api.JobEvent{Type: api.EventState, State: to, Error: j.err})
 	return nil
 }
 
@@ -367,6 +269,7 @@ func (j *Job) Status() JobStatus {
 		ID:                j.id,
 		Spec:              j.spec,
 		State:             j.state,
+		Progress:          j.progressLocked(),
 		Shards:            len(j.shardProgress),
 		Error:             j.err,
 		Plan:              j.plan,
@@ -399,9 +302,15 @@ func (j *Job) Status() JobStatus {
 		t := j.finished
 		st.FinishedAt = &t
 	}
+	return st
+}
+
+// progressLocked is the job's overall completion fraction; the caller
+// holds j.mu.
+func (j *Job) progressLocked() float64 {
 	switch j.state {
 	case JobDone:
-		st.Progress = 1
+		return 1
 	case JobRunning, JobFailed, JobCancelled:
 		// Failed/cancelled jobs keep the last observed fraction rather
 		// than snapping back to zero.
@@ -417,17 +326,17 @@ func (j *Job) Status() JobStatus {
 				total += weight
 			}
 			if total > 0 {
-				st.Progress = sum / total
+				return sum / total
 			}
 		case len(j.shardProgress) > 0:
 			var sum float64
 			for _, p := range j.shardProgress {
 				sum += p
 			}
-			st.Progress = sum / float64(len(j.shardProgress))
+			return sum / float64(len(j.shardProgress))
 		}
 	}
-	return st
+	return 0
 }
 
 // progressLocked is the window's mean shard fraction; the caller holds
@@ -452,5 +361,6 @@ func (j *Job) setShardProgress(shard int, frac float64) {
 	defer j.mu.Unlock()
 	if shard >= 0 && shard < len(j.shardProgress) && frac > j.shardProgress[shard] {
 		j.shardProgress[shard] = frac
+		j.emitProgressLocked()
 	}
 }

@@ -15,19 +15,16 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/api"
 	"repro/internal/cdr"
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
 
 // ErrQueueFull is returned by Submit when the job queue is at capacity;
-// the condition is transient and the submission can be retried.
+// the condition is transient and the submission can be retried. The
+// HTTP layer maps it to the queue_full envelope code.
 var ErrQueueFull = fmt.Errorf("service: job queue is full")
-
-// ErrNoSuchWindow is returned by WindowResult for a window index the
-// job does not have — a permanent condition (404), unlike a window
-// that exists but has not finished yet (409, retryable).
-var ErrNoSuchWindow = fmt.Errorf("service: no such window")
 
 // ManagerOptions tunes the job manager.
 type ManagerOptions struct {
@@ -149,8 +146,8 @@ func (m *Manager) Close() {
 	for _, j := range m.jobs {
 		j.mu.Lock()
 		if j.state == JobQueued {
-			j.transition(JobCancelled)
 			j.err = "service shut down before the job started"
+			j.transition(JobCancelled)
 		}
 		j.mu.Unlock()
 	}
@@ -187,10 +184,11 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	info, ok := m.reg.Get(spec.DatasetID)
 	if !ok {
-		return JobStatus{}, fmt.Errorf("service: unknown dataset %q", spec.DatasetID)
+		return JobStatus{}, api.Errorf(api.CodeDatasetNotFound, "unknown dataset %q", spec.DatasetID).
+			With("dataset_id", spec.DatasetID)
 	}
 	if info.Users < spec.K {
-		return JobStatus{}, fmt.Errorf("service: dataset %s hides %d users, cannot %d-anonymize",
+		return JobStatus{}, api.Errorf(api.CodeInvalidSpec, "dataset %s hides %d users, cannot %d-anonymize",
 			info.ID, info.Users, spec.K)
 	}
 	if spec.Workers <= 0 {
@@ -200,15 +198,10 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return JobStatus{}, fmt.Errorf("service: manager is shut down")
+		return JobStatus{}, api.Errorf(api.CodeShuttingDown, "manager is shut down")
 	}
 	m.seq++
-	job := &Job{
-		id:      fmt.Sprintf("job-%06d", m.seq),
-		spec:    spec,
-		state:   JobQueued,
-		created: time.Now().UTC(),
-	}
+	job := newJob(fmt.Sprintf("job-%06d", m.seq), spec)
 	// The enqueue happens under m.mu so Close (which also takes m.mu)
 	// cannot close the channel between the closed check and the send.
 	// The send is non-blocking: a full queue rejects the submission.
@@ -254,6 +247,45 @@ func (m *Manager) List() []JobStatus {
 	return out
 }
 
+// ListPage returns up to limit job statuses after the given id (empty
+// = from the start) in submission order, plus whether more remain —
+// the cursor-pagination primitive, snapshotting only the requested
+// page instead of every retained job. ok is false when after names no
+// current job (a stale cursor, e.g. the job was evicted).
+func (m *Manager) ListPage(after string, limit int) (page []JobStatus, more, ok bool) {
+	m.mu.Lock()
+	m.evictFinishedLocked()
+	start := 0
+	if after != "" {
+		idx := -1
+		for i, id := range m.order {
+			if id == after {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			m.mu.Unlock()
+			return nil, false, false
+		}
+		start = idx + 1
+	}
+	end := start + limit
+	if end > len(m.order) {
+		end = len(m.order)
+	}
+	jobs := make([]*Job, 0, end-start)
+	for _, id := range m.order[start:end] {
+		jobs = append(jobs, m.jobs[id])
+	}
+	more = end < len(m.order)
+	m.mu.Unlock()
+	for _, j := range jobs {
+		page = append(page, j.Status())
+	}
+	return page, more, true
+}
+
 // Cancel requests cancellation of a queued or running job. Queued jobs
 // move to cancelled immediately; running jobs are interrupted via their
 // context and reach the cancelled state when the run unwinds.
@@ -262,14 +294,14 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	job, ok := m.jobs[id]
 	m.mu.Unlock()
 	if !ok {
-		return JobStatus{}, fmt.Errorf("service: unknown job %q", id)
+		return JobStatus{}, api.Errorf(api.CodeJobNotFound, "unknown job %q", id).With("job_id", id)
 	}
 	job.mu.Lock()
 	switch {
 	case job.state == JobQueued:
 		job.cancelRequested = true
-		job.transition(JobCancelled)
 		job.err = "cancelled before start"
+		job.transition(JobCancelled)
 		// Now terminal: subject to retention like any finished job.
 		defer func() {
 			m.mu.Lock()
@@ -284,7 +316,8 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	default: // terminal
 		state := job.state
 		job.mu.Unlock()
-		return JobStatus{}, fmt.Errorf("service: job %s already %s", id, state)
+		return JobStatus{}, api.Errorf(api.CodeJobTerminal, "job %s already %s", id, state).
+			With("state", string(state))
 	}
 	job.mu.Unlock()
 	return job.Status(), nil
@@ -298,13 +331,14 @@ func (m *Manager) Remove(id string) error {
 	defer m.mu.Unlock()
 	job, ok := m.jobs[id]
 	if !ok {
-		return fmt.Errorf("service: unknown job %q", id)
+		return api.Errorf(api.CodeJobNotFound, "unknown job %q", id).With("job_id", id)
 	}
 	job.mu.Lock()
 	state := job.state
 	job.mu.Unlock()
 	if !state.Terminal() {
-		return fmt.Errorf("service: job %s is %s, cancel it before removing", id, state)
+		return api.Errorf(api.CodeJobNotTerminal, "job %s is %s, cancel it before removing", id, state).
+			With("state", string(state))
 	}
 	delete(m.jobs, id)
 	for i, oid := range m.order {
@@ -325,16 +359,18 @@ func (m *Manager) Result(id string) (*core.Dataset, error) {
 	job, ok := m.jobs[id]
 	m.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("service: unknown job %q", id)
+		return nil, api.Errorf(api.CodeJobNotFound, "unknown job %q", id).With("job_id", id)
 	}
 	job.mu.Lock()
 	defer job.mu.Unlock()
 	if job.state != JobDone {
-		return nil, fmt.Errorf("service: job %s is %s, no result", id, job.state)
+		return nil, api.Errorf(api.CodeResultNotReady, "job %s is %s, no result", id, job.state).
+			With("state", string(job.state))
 	}
 	if job.result == nil && len(job.windows) > 1 {
-		return nil, fmt.Errorf("service: job %s produced %d windowed releases, download them per window",
-			id, len(job.windows))
+		return nil, api.Errorf(api.CodeResultWindowed,
+			"job %s produced %d windowed releases, download them per window", id, len(job.windows)).
+			With("windows", len(job.windows))
 	}
 	return job.result, nil
 }
@@ -349,12 +385,12 @@ func (m *Manager) WindowResult(id string, w int) (*core.Dataset, error) {
 	job, ok := m.jobs[id]
 	m.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("service: unknown job %q", id)
+		return nil, api.Errorf(api.CodeJobNotFound, "unknown job %q", id).With("job_id", id)
 	}
 	job.mu.Lock()
 	defer job.mu.Unlock()
 	if len(job.windows) == 0 {
-		return nil, fmt.Errorf("service: job %s is not windowed", id)
+		return nil, api.Errorf(api.CodeWindowNotFound, "job %s is not windowed", id)
 	}
 	// w is the absolute window index reported in WindowStatus.Index
 	// (indices may jump over empty windows).
@@ -363,11 +399,27 @@ func (m *Manager) WindowResult(id string, w int) (*core.Dataset, error) {
 			continue
 		}
 		if jw.state != WindowDone {
-			return nil, fmt.Errorf("service: job %s window %d is %s, no release", id, w, jw.state)
+			return nil, api.Errorf(api.CodeWindowNotReady, "job %s window %d is %s, no release", id, w, jw.state).
+				With("window_state", string(jw.state))
 		}
 		return jw.result, nil
 	}
-	return nil, fmt.Errorf("%w: job %s has no window %d", ErrNoSuchWindow, id, w)
+	return nil, api.Errorf(api.CodeWindowNotFound, "job %s has no window %d", id, w).With("window", w)
+}
+
+// EventsSince exposes a job's event log to the SSE endpoint: the events
+// after sequence number `after`, or (when the log has nothing newer) a
+// channel closed on the next append. ok is false for unknown or evicted
+// jobs, which ends the stream.
+func (m *Manager) EventsSince(id string, after int) (evs []api.JobEvent, wake <-chan struct{}, ok bool) {
+	m.mu.Lock()
+	job, found := m.jobs[id]
+	m.mu.Unlock()
+	if !found {
+		return nil, nil, false
+	}
+	evs, wake = job.eventsSince(after)
+	return evs, wake, true
 }
 
 // executor pops jobs off the queue until the queue closes.
@@ -392,8 +444,8 @@ func (m *Manager) runJob(job *Job) {
 	if m.baseCtx.Err() != nil {
 		// Shutdown: skip the run entirely instead of starting a doomed
 		// job that would burn planShards work before noticing.
-		job.transition(JobCancelled)
 		job.err = "service shut down before the job started"
+		job.transition(JobCancelled)
 		job.mu.Unlock()
 		return
 	}
@@ -418,15 +470,18 @@ func (m *Manager) runJob(job *Job) {
 	// A cancel acknowledged while the run was in a non-interruptible
 	// tail (e.g. the capped analysis pass) must still win: never report
 	// "done" for a job the client was told is being cancelled.
+	// Window aborts are recorded (and their events emitted) before the
+	// terminal transition, so an event stream always ends on the
+	// terminal state event.
 	switch {
 	case job.cancelRequested || ctx.Err() != nil:
-		job.transition(JobCancelled)
 		job.err = "cancelled"
 		job.abortOpenWindowsLocked()
+		job.transition(JobCancelled)
 	case err != nil:
-		job.transition(JobFailed)
 		job.err = err.Error()
 		job.abortOpenWindowsLocked()
+		job.transition(JobFailed)
 	default:
 		job.result = outcome.result
 		job.stats = outcome.stats
@@ -533,7 +588,7 @@ func (m *Manager) execute(ctx context.Context, job *Job, spec JobSpec) (runOutco
 	// Resolve and publish the execution plan for the largest shard (one
 	// fingerprint per subscriber) so clients can see what the auto
 	// rules picked before the run finishes.
-	plan, err := core.PlanFor(maxShardUsers(shards), spec.anonymizeOptions(spec.Workers, nil))
+	plan, err := core.PlanFor(maxShardUsers(shards), anonymizeOptions(spec, spec.Workers, nil))
 	if err != nil {
 		return runOutcome{}, err
 	}
@@ -561,7 +616,7 @@ func (m *Manager) execute(ctx context.Context, job *Job, spec JobSpec) (runOutco
 // downloadable — before the next one starts. A failure or cancellation
 // mid-window never publishes that window.
 func (m *Manager) executeWindowed(ctx context.Context, job *Job, spec JobSpec, table *cdr.Table, info DatasetInfo) (runOutcome, error) {
-	wins, err := table.SplitByWindow(spec.windowDuration())
+	wins, err := table.SplitByWindow(spec.WindowDuration())
 	if err != nil {
 		return runOutcome{}, err
 	}
@@ -589,7 +644,7 @@ func (m *Manager) executeWindowed(ctx context.Context, job *Job, spec JobSpec, t
 			maxUsers = u
 		}
 	}
-	plan, err := core.PlanFor(maxUsers, spec.anonymizeOptions(spec.Workers, nil))
+	plan, err := core.PlanFor(maxUsers, anonymizeOptions(spec, spec.Workers, nil))
 	if err != nil {
 		return runOutcome{}, err
 	}

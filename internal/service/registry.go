@@ -10,23 +10,6 @@ import (
 	"repro/internal/geo"
 )
 
-// DatasetInfo is the public metadata of a registered dataset.
-type DatasetInfo struct {
-	ID       string `json:"id"`
-	Name     string `json:"name"`
-	Records  int    `json:"records"`
-	Users    int    `json:"users"`
-	SpanDays int    `json:"span_days"`
-	// Version is a monotone counter starting at 1, incremented by every
-	// record append. Jobs snapshot the dataset at submission of the run,
-	// so a job's reported dataset_version names exactly the feed state it
-	// anonymized.
-	Version   int        `json:"version"`
-	Center    geo.LatLon `json:"center"`
-	CreatedAt time.Time  `json:"created_at"`
-	UpdatedAt time.Time  `json:"updated_at"`
-}
-
 // Registry holds the datasets the service can anonymize. Ingestion is
 // streaming: records are decoded and validated one at a time off the
 // wire, so a multi-gigabyte operator feed never forces a second
@@ -237,4 +220,35 @@ func (g *Registry) List() []DatasetInfo {
 		out = append(out, g.infos[id])
 	}
 	return out
+}
+
+// ListPage returns up to limit datasets after the given id (empty =
+// from the start) in ingestion order, plus whether more remain — the
+// cursor-pagination primitive, copying only the requested page. ok is
+// false when after names no current dataset (a stale cursor).
+func (g *Registry) ListPage(after string, limit int) (page []DatasetInfo, more, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	start := 0
+	if after != "" {
+		idx := -1
+		for i, id := range g.order {
+			if id == after {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, false, false
+		}
+		start = idx + 1
+	}
+	end := start + limit
+	if end > len(g.order) {
+		end = len(g.order)
+	}
+	for _, id := range g.order[start:end] {
+		page = append(page, g.infos[id])
+	}
+	return page, end < len(g.order), true
 }

@@ -119,7 +119,7 @@ func runShard(ctx context.Context, t *cdr.Table, spec JobSpec, workers int, prog
 	if err != nil {
 		return shardResult{err: err}
 	}
-	out, stats, err := core.AnonymizeContext(ctx, ds, spec.anonymizeOptions(workers, progress))
+	out, stats, err := core.AnonymizeContext(ctx, ds, anonymizeOptions(spec, workers, progress))
 	if err != nil {
 		return shardResult{err: err}
 	}
