@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt depcheck test race bench bench-json profile check
+.PHONY: all build vet fmt depcheck test race bench bench-json profile expolint check
 
 all: check
 
@@ -25,7 +25,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/service/ ./internal/parallel/ ./internal/core/ ./pkg/client/
+	$(GO) test -race ./internal/service/ ./internal/parallel/ ./internal/core/ ./internal/obs/ ./pkg/client/
+
+# expolint pins the Prometheus text-exposition contract: the strict
+# parser round-trips over rendered registries and a live /metrics
+# scrape of a server that has done real work.
+expolint:
+	$(GO) test -run Exposition ./internal/obs/ ./internal/service/
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...

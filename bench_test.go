@@ -13,9 +13,11 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // benchScale is the fixed workload used by the figure/table benchmarks.
@@ -338,6 +340,52 @@ func BenchmarkAblationIndex(b *testing.B) {
 			}
 		})
 	}
+}
+
+// Observability overhead on the k=2 civ run: "bare" is the engine
+// alone, "instrumented" adds the exact per-run work the service layer
+// performs — a span tree with the shard/phase children and attrs, plus
+// the counter and histogram updates folded from GloveStats. The engine
+// hot loop itself is never instrumented (stats are lock-free counters
+// read once at the end), so the two series must stay within the
+// acceptance bound (2%) of each other.
+func BenchmarkAblationInstrumentation(b *testing.B) {
+	d := benchDataset(b)
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Glove(d, core.GloveOptions{K: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		calls := reg.Counter("bench_effort_kernel_calls_total", "kernel calls.")
+		pruned := reg.Counter("bench_effort_kernel_pruned_total", "pruned calls.")
+		merges := reg.Counter("bench_merges_total", "merges.")
+		dur := reg.Histogram("bench_run_seconds", "run durations.", nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTrace(obs.SpanJob, "bench")
+			span := tr.Root().Child(obs.SpanShard, "shard 0")
+			start := time.Now()
+			_, stats, err := core.Glove(d, core.GloveOptions{K: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			span.SetAttr("fingerprints", stats.InputFingerprints)
+			span.AddCompleted(obs.SpanIndexBuild, "", start,
+				time.Duration(stats.IndexBuildNanos), nil)
+			span.AddCompleted(obs.SpanMerge, "", start,
+				time.Duration(stats.MergeNanos), map[string]any{"merges": stats.Merges})
+			span.End()
+			tr.Root().End()
+			calls.Add(float64(stats.EffortKernelCalls))
+			pruned.Add(float64(stats.EffortKernelPruned))
+			merges.Add(float64(stats.Merges))
+			dur.Observe(time.Since(start).Seconds())
+		}
+	})
 }
 
 // The pruned-vs-naive effort kernel comparison lives next to the

@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/api"
@@ -29,6 +31,7 @@ type remoteJob struct {
 	index       string
 	window      float64
 	out         string
+	trace       bool
 }
 
 // runRemote drives a resident gloved through the pkg/client SDK: it
@@ -137,6 +140,17 @@ func runRemote(ctx context.Context, server string, job remoteJob, stdout, stderr
 		}
 		return err
 	}
+	// Fetch the trace before the outcome check: the span tree of a
+	// failed run is exactly what the flag exists to show.
+	if job.trace {
+		tr, terr := c.JobTrace(ctx, final.ID)
+		if terr != nil {
+			fmt.Fprintf(stderr, "glovectl: trace unavailable: %v\n", terr)
+		} else {
+			fmt.Fprintf(stderr, "glovectl: trace of %s:\n", tr.JobID)
+			printSpan(stderr, tr.Root, 1)
+		}
+	}
 	if final.State != api.JobDone {
 		return fmt.Errorf("glovectl: job finished %s: %s", final.State, final.Error)
 	}
@@ -208,6 +222,36 @@ func downloadWindows(ctx context.Context, c *client.Client, final client.JobStat
 		fmt.Fprintf(stderr, "glovectl: cross-window linkage: %s\n", final.Linkage)
 	}
 	return nil
+}
+
+// printSpan renders one node of a job trace as an indented tree line,
+// attributes sorted for stable output, then recurses into children.
+func printSpan(w io.Writer, s *client.TraceSpan, depth int) {
+	if s == nil {
+		return
+	}
+	name := string(s.Kind)
+	if s.Name != "" {
+		name += " " + s.Name
+	}
+	line := fmt.Sprintf("%s%s %.1fms", strings.Repeat("  ", depth), name, s.DurationMS)
+	if s.Unfinished {
+		line += " (unfinished)"
+	}
+	if len(s.Attrs) > 0 {
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			line += fmt.Sprintf(" %s=%v", k, s.Attrs[k])
+		}
+	}
+	fmt.Fprintln(w, line)
+	for _, c := range s.Children {
+		printSpan(w, c, depth+1)
+	}
 }
 
 // fetchCSV drains one download into memory (releases are small relative

@@ -41,6 +41,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		index       = fs.String("index", "", "pair-selection index: auto, dense or sparse (empty = auto)")
 		window      = fs.Float64("window", 0, "continuous release: anonymize per time window of this many hours (0 = one batch release; requires -out)")
 		server      = fs.String("server", "", "remote mode: drive a resident gloved at this base URL (e.g. http://localhost:8080) instead of anonymizing in-process")
+		trace       = fs.Bool("trace", false, "remote mode: print the job's span tree after it finishes (requires -server)")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -61,12 +62,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("glovectl: -window needs -out (one CSV per window release)")
 	}
 
+	if *trace && *server == "" {
+		return fmt.Errorf("glovectl: -trace needs -server (the span tree is recorded by the daemon)")
+	}
 	if *server != "" {
 		return runRemote(ctx, *server, remoteJob{
 			in: *in, lat: *lat, lon: *lon, days: *days,
 			k: *k, suppressKm: *suppressKm, suppressMin: *suppressMin,
 			workers: *workers, strategy: *strategy, chunkSize: *chunkSize, index: *index,
-			window: *window, out: *out,
+			window: *window, out: *out, trace: *trace,
 		}, stdout, stderr)
 	}
 

@@ -6,8 +6,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -34,7 +36,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		windowHours = fs.Float64("window-hours", 0, "default job release window in hours (0 = batch jobs)")
 		retainJobs  = fs.Int("retain-jobs", 64, "finished jobs retained in memory, oldest evicted first (0 = unlimited)")
 		retainAge   = fs.Duration("retain-age", 0, "evict finished jobs older than this (0 = no age bound)")
-		accessLog   = fs.Bool("access-log", true, "log one line per request to stderr")
+		accessLog   = fs.Bool("access-log", true, "log one structured record per request to stderr")
+		logFormat   = fs.String("log-format", "text", "structured log encoding: text or json")
+		pprofAddr   = fs.String("pprof", "", "mount net/http/pprof on this private listen address (empty = disabled)")
 		routeTO     = fs.Duration("route-timeout", service.DefaultRouteTimeout, "processing budget of the quick JSON routes (0 = unlimited; streaming routes are never bounded)")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
@@ -72,6 +76,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxFinished = -1
 	}
 
+	// One slog logger backs the request log and the manager's job
+	// lifecycle records, so job_id/request_id correlation lands in a
+	// single stream.
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(stderr, nil))
+	default:
+		return fmt.Errorf("gloved: -log-format %q, need text or json", *logFormat)
+	}
+
 	reg := service.NewRegistry()
 	reg.MaxRecords = *maxRecords
 	mgr := service.NewManager(reg, service.ManagerOptions{
@@ -85,6 +102,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		DefaultChunkSize:        *chunkSize,
 		DefaultIndex:            *index,
 		DefaultWindowHours:      *windowHours,
+		Log:                     logger,
 	})
 	defer mgr.Close()
 
@@ -95,7 +113,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	handler := service.NewServer(reg, mgr)
 	handler.MaxIngestBytes = *maxBody
 	if *accessLog {
-		handler.AccessLog = stderr
+		handler.Log = logger
 	}
 	// The operator-facing spelling for "no budget" is 0; the Server's
 	// is negative (its 0 means the default).
@@ -105,6 +123,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	srv := &http.Server{Handler: handler}
 	fmt.Fprintf(stderr, "gloved: %s listening on %s\n", version.Version, ln.Addr())
+
+	// The profiling listener is private and separate from the API
+	// address: pprof exposes heap contents and must never ride on the
+	// public port.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("gloved: -pprof: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Handler: pmux}
+		defer psrv.Close()
+		go psrv.Serve(pln)
+		fmt.Fprintf(stderr, "gloved: pprof listening on %s\n", pln.Addr())
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -67,6 +67,9 @@ const (
 	// CodeWindowNotReady means the window exists but has not committed
 	// its release yet — retry when that window is done.
 	CodeWindowNotReady Code = "window_not_ready"
+	// CodeTraceNotFound means the job exists but has recorded no trace
+	// (it has not started executing, or the server predates tracing).
+	CodeTraceNotFound Code = "trace_not_found"
 	// CodeTimeout means the route's processing budget elapsed.
 	CodeTimeout Code = "timeout"
 	// CodeInternal is the recovery middleware's catch-all.
@@ -79,7 +82,8 @@ func (c Code) HTTPStatus() int {
 	switch c {
 	case CodeInvalidArgument, CodeInvalidSpec, CodeInvalidPageToken:
 		return http.StatusBadRequest
-	case CodeDatasetNotFound, CodeJobNotFound, CodeWindowNotFound, CodeNotFound:
+	case CodeDatasetNotFound, CodeJobNotFound, CodeWindowNotFound,
+		CodeTraceNotFound, CodeNotFound:
 		return http.StatusNotFound
 	case CodeMethodNotAllowed:
 		return http.StatusMethodNotAllowed
@@ -118,7 +122,7 @@ func Codes() []Code {
 		CodeNotFound, CodeMethodNotAllowed, CodeBodyTooLarge,
 		CodeQueueFull, CodeShuttingDown, CodeJobNotTerminal,
 		CodeJobTerminal, CodeResultNotReady, CodeResultWindowed,
-		CodeWindowNotReady, CodeTimeout, CodeInternal,
+		CodeWindowNotReady, CodeTraceNotFound, CodeTimeout, CodeInternal,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // DatasetInfo is the public metadata of a registered dataset.
@@ -242,6 +243,8 @@ type MetricsReport struct {
 	// WindowedJobs counts jobs submitted with window_hours > 0;
 	// WindowReleases counts the committed per-window releases across
 	// them (completed windows of running or cancelled jobs included).
+	// Both are incremental lifetime totals: they survive terminal-job
+	// eviction rather than being recomputed from retained jobs.
 	WindowedJobs   int `json:"windowed_jobs"`
 	WindowReleases int `json:"window_releases"`
 	// MeanCrossWindowLinkage averages the linked fraction of the
@@ -250,13 +253,21 @@ type MetricsReport struct {
 	// continuous publication. Nil when no job measured it.
 	MeanCrossWindowLinkage *float64 `json:"mean_cross_window_linkage,omitempty"`
 	// EffortKernelCalls / EffortKernelPruned aggregate the pruned
-	// effort-kernel accounting (DESIGN.md Sec. 8) over retained finished
-	// jobs, so operators can watch how much Eq. 10 work the threshold
-	// pruning is eliding on their real traffic.
+	// effort-kernel accounting (DESIGN.md Sec. 8) over every finished
+	// job since boot (incremental, eviction-proof), so operators can
+	// watch how much Eq. 10 work the threshold pruning is eliding on
+	// their real traffic.
 	EffortKernelCalls  int `json:"effort_kernel_calls"`
 	EffortKernelPruned int `json:"effort_kernel_pruned"`
+	// CompletedTotal counts every job that reached the done state since
+	// boot; Completed below is capped, so the two can differ.
+	CompletedTotal int `json:"completed_total"`
 	// Completed holds the per-job utility summaries (accuracy from
 	// internal/metrics, anonymizability and cross-window linkage from
-	// internal/analysis).
+	// internal/analysis) of the most recently finished jobs, newest
+	// first, capped so the report stays bounded under job churn.
 	Completed []JobStatus `json:"completed"`
+	// Runtime snapshots process health (goroutines, heap, GC, uptime,
+	// boot id) so restarts and leaks are visible without a scraper.
+	Runtime obs.RuntimeInfo `json:"runtime"`
 }

@@ -1,0 +1,18 @@
+package api
+
+import "repro/internal/obs"
+
+// TraceSpan is one node of a job's trace tree. The shape is defined by
+// internal/obs (the recorder) and re-exported here because it crosses
+// the wire: span kinds are an append-only vocabulary, like error codes.
+type TraceSpan = obs.Span
+
+// JobTrace is the payload of GET /v1/jobs/{id}/trace: the span tree a
+// job's execution recorded so far. For a running job the tree is a
+// live snapshot with open spans marked unfinished; for a terminal job
+// it is final.
+type JobTrace struct {
+	JobID string     `json:"job_id"`
+	State JobState   `json:"state"`
+	Root  *TraceSpan `json:"root"`
+}

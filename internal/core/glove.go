@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/parallel"
 )
@@ -123,6 +124,15 @@ type GloveStats struct {
 	// (DESIGN.md Sec. 8). Pruning never changes output — only cost.
 	EffortKernelCalls  int
 	EffortKernelPruned int
+
+	// IndexBuildNanos and MergeNanos account the wall-clock time spent
+	// building the pair-effort index (including view construction) and
+	// running the merge loop. They are measured with two time.Now pairs
+	// per run — no instrumentation inside the hot loop — and, being
+	// wall-clock, are the only non-deterministic GloveStats fields;
+	// comparisons of otherwise-identical runs must zero them first.
+	IndexBuildNanos int64
+	MergeNanos      int64
 }
 
 // Add accumulates every counter of o into s. Aggregators that combine
@@ -141,6 +151,8 @@ func (s *GloveStats) Add(o *GloveStats) {
 	s.DiscardedUsers += o.DiscardedUsers
 	s.EffortKernelCalls += o.EffortKernelCalls
 	s.EffortKernelPruned += o.EffortKernelPruned
+	s.IndexBuildNanos += o.IndexBuildNanos
+	s.MergeNanos += o.MergeNanos
 }
 
 // Glove runs the GLOVE algorithm (Alg. 1) on the dataset and returns the
@@ -187,10 +199,12 @@ func GloveContext(ctx context.Context, d *Dataset, opt GloveOptions) (*Dataset, 
 		InputSamples:      totalWeight(d),
 	}
 
+	buildStart := time.Now()
 	st, err := newGloveState(ctx, d, opt)
 	if err != nil {
 		return nil, nil, err
 	}
+	stats.IndexBuildNanos = time.Since(buildStart).Nanoseconds()
 	// Progress accounting: step 0 -> 1 is the index build, then one
 	// step per merge (at most one merge per initially-active
 	// fingerprint, counting the leftover fold).
@@ -201,6 +215,7 @@ func GloveContext(ctx context.Context, d *Dataset, opt GloveOptions) (*Dataset, 
 		}
 	}
 	progress(1)
+	mergeStart := time.Now()
 	for st.activeCount() >= 2 {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
@@ -216,6 +231,7 @@ func GloveContext(ctx context.Context, d *Dataset, opt GloveOptions) (*Dataset, 
 		st.foldIntoDone(leftover)
 		stats.Merges++
 	}
+	stats.MergeNanos = time.Since(mergeStart).Nanoseconds()
 	stats.EffortKernelCalls = int(st.ws.kc.calls.Load())
 	stats.EffortKernelPruned = int(st.ws.kc.pruned.Load())
 

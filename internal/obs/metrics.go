@@ -1,0 +1,420 @@
+// Package obs is the dependency-free observability layer: a metrics
+// registry rendered in Prometheus text exposition format, a matching
+// exposition parser (the lint side of the round-trip contract), and an
+// in-process span recorder for per-job traces.
+//
+// The package deliberately depends only on the standard library so it
+// can sit below every other internal package. Instruments are safe for
+// concurrent use; hot paths touch a single atomic per update.
+//
+// Metric names and label sets are part of the wire contract: like the
+// API error-code registry, names are append-only. Renaming or dropping
+// a metric is a breaking change for scrapers (see DESIGN.md Sec. 10).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType is the TYPE of a metric family in the exposition format.
+type MetricType string
+
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// DefBuckets are the default duration histogram bounds, in seconds.
+// Anonymization jobs span milliseconds (tests) to minutes (full
+// profiles), so the ladder is wide; +Inf is implicit.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Counter is a monotonically non-decreasing value.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments the counter. Negative deltas are a programming error
+// and panic: monotonicity is the counter's contract.
+func (c *Counter) Add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		panic(fmt.Sprintf("obs: counter add of invalid delta %v", v))
+	}
+	addFloatBits(&c.bits, v)
+}
+
+// Value reads the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a value that can move in both directions.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add moves the value by a (possibly negative) delta.
+func (g *Gauge) Add(v float64) { addFloatBits(&g.bits, v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func addFloatBits(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Histogram is a fixed-bucket distribution. Observations land in the
+// first bucket whose upper bound is >= the value; counts are kept
+// per-bucket (non-cumulative) internally and accumulated at render
+// time, so exposed bucket series are cumulative by construction.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, +Inf excluded
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    atomic.Uint64   // float64 bits
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bounds := make([]float64, 0, len(buckets))
+	for _, b := range buckets {
+		if math.IsInf(b, +1) {
+			continue // +Inf is implicit
+		}
+		if math.IsNaN(b) {
+			panic("obs: NaN histogram bound")
+		}
+		bounds = append(bounds, b)
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds not sorted")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] == bounds[i-1] {
+			panic("obs: duplicate histogram bound")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	addFloatBits(&h.sum, v)
+}
+
+// snapshot returns cumulative bucket counts (ending with the +Inf
+// total), the sample sum, and the sample count. Buckets are read
+// low-to-high after the sum, so a concurrent Observe can at worst be
+// missed entirely — never produce a non-cumulative view.
+func (h *Histogram) snapshot() (cum []uint64, sum float64, count uint64) {
+	sum = math.Float64frombits(h.sum.Load())
+	cum = make([]uint64, len(h.counts))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cum[i] = acc
+	}
+	return cum, sum, cum[len(cum)-1]
+}
+
+// series is one label-value combination inside a family.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// family is one named metric with a fixed type and label schema.
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	labels  []string
+	buckets []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*series
+	fn     func() float64 // value-callback families (no labels)
+}
+
+func (f *family) get(labelValues []string) *series {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d",
+			f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labelValues: append([]string(nil), labelValues...)}
+	switch f.typ {
+	case TypeCounter:
+		s.counter = &Counter{}
+	case TypeGauge:
+		s.gauge = &Gauge{}
+	case TypeHistogram:
+		s.hist = newHistogram(f.buckets)
+	}
+	f.series[key] = s
+	return s
+}
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition. Families are registered once (double registration
+// panics — instruments are process singletons wired at startup).
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help string, typ MetricType, buckets []float64, labels ...string) *family {
+	if !metricNameRe.MatchString(name) {
+		panic("obs: invalid metric name " + name)
+	}
+	for _, l := range labels {
+		if !labelNameRe.MatchString(l) || l == "le" {
+			panic("obs: invalid label name " + l)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[name]; dup {
+		panic("obs: duplicate metric " + name)
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels:  append([]string(nil), labels...),
+		buckets: buckets,
+		series:  make(map[string]*series),
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, TypeCounter, nil).get(nil).counter
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, TypeGauge, nil).get(nil).gauge
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, TypeGauge, nil).fn = fn
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time. fn must be monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, TypeCounter, nil).fn = fn
+}
+
+// Histogram registers an unlabeled histogram with the given upper
+// bounds (nil means DefBuckets); +Inf is always appended at render.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return r.register(name, help, TypeHistogram, buckets).get(nil).hist
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating the
+// series on first use.
+func (v *CounterVec) With(labelValues ...string) *Counter { return v.f.get(labelValues).counter }
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge { return v.f.get(labelValues).gauge }
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram { return v.f.get(labelValues).hist }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, TypeCounter, nil, labels...)}
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, TypeGauge, nil, labels...)}
+}
+
+// HistogramVec registers a labeled histogram family (nil buckets means
+// DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{r.register(name, help, TypeHistogram, buckets, labels...)}
+}
+
+// WritePrometheus renders every family in text exposition format
+// (version 0.0.4): families sorted by name, series sorted by label
+// values, histogram buckets cumulative and terminated by +Inf.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	fams := make(map[string]*family, len(r.fams))
+	for n, f := range r.fams {
+		names = append(names, n)
+		fams[n] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		fams[n].writeTo(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the exposition over HTTP.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+func (f *family) writeTo(b *strings.Builder) {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	snap := make([]*series, len(keys))
+	for i, k := range keys {
+		snap[i] = f.series[k]
+	}
+	fn := f.fn
+	f.mu.Unlock()
+
+	if len(snap) == 0 && fn == nil {
+		return // nothing observed yet and no callback: omit the family
+	}
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	if fn != nil {
+		fmt.Fprintf(b, "%s %s\n", f.name, formatValue(fn()))
+		return
+	}
+	for _, s := range snap {
+		switch f.typ {
+		case TypeCounter:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, renderLabels(f.labels, s.labelValues, "", ""), formatValue(s.counter.Value()))
+		case TypeGauge:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, renderLabels(f.labels, s.labelValues, "", ""), formatValue(s.gauge.Value()))
+		case TypeHistogram:
+			cum, sum, count := s.hist.snapshot()
+			for i, bound := range s.hist.bounds {
+				le := renderLabels(f.labels, s.labelValues, "le", formatValue(bound))
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, le, cum[i])
+			}
+			inf := renderLabels(f.labels, s.labelValues, "le", "+Inf")
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, inf, cum[len(cum)-1])
+			plain := renderLabels(f.labels, s.labelValues, "", "")
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, plain, formatValue(sum))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name, plain, count)
+		}
+	}
+}
+
+// renderLabels formats {a="x",b="y"} with values escaped; extraName
+// non-empty appends one more pair (the histogram le label). Returns ""
+// when there are no labels at all.
+func renderLabels(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+func escapeHelp(v string) string  { return helpEscaper.Replace(v) }
+
+func formatValue(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

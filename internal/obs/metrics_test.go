@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterAndGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Total ops.")
+	g := r.Gauge("test_depth", "Current depth.")
+	c.Inc()
+	c.Add(2.5)
+	g.Set(4)
+	g.Dec()
+	out := scrape(t, r)
+	for _, want := range []string{
+		"# HELP test_ops_total Total ops.\n",
+		"# TYPE test_ops_total counter\n",
+		"test_ops_total 3.5\n",
+		"# TYPE test_depth gauge\n",
+		"test_depth 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter add did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+// Label values with backslashes, quotes, and newlines must round-trip
+// through the escaped exposition.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_esc_total", "Escapes.", "path")
+	hairy := "a\\b\"c\nd"
+	v.With(hairy).Add(7)
+	out := scrape(t, r)
+	want := `test_esc_total{path="a\\b\"c\nd"} 7` + "\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped line %q missing in:\n%s", want, out)
+	}
+	fams, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var got string
+	for _, f := range fams {
+		if f.Name == "test_esc_total" {
+			got = f.Samples[0].Labels[0].Value
+		}
+	}
+	if got != hairy {
+		t.Fatalf("label round-trip = %q, want %q", got, hairy)
+	}
+}
+
+// Histogram buckets must render cumulatively, end in +Inf, and agree
+// with _count — the parser enforces all three.
+func TestHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	out := scrape(t, r)
+	for _, want := range []string{
+		`test_latency_seconds_bucket{le="0.1"} 2`,
+		`test_latency_seconds_bucket{le="1"} 3`,
+		`test_latency_seconds_bucket{le="10"} 4`,
+		`test_latency_seconds_bucket{le="+Inf"} 5`,
+		`test_latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if _, err := ParseText(strings.NewReader(out)); err != nil {
+		t.Fatalf("self-scrape rejected: %v", err)
+	}
+	// Boundary semantics: le is inclusive.
+	h2 := r.Histogram("test_edge_seconds", "Edge.", []float64{1})
+	h2.Observe(1)
+	cum, _, _ := h2.snapshot()
+	if cum[0] != 1 {
+		t.Errorf("observation at bound landed in bucket %v, want le=1", cum)
+	}
+}
+
+// Counters must never appear to decrease across scrapes, even while
+// other goroutines hammer them (run under -race).
+func TestCounterMonotonicUnderConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_mono_total", "Monotonic.")
+	h := r.Histogram("test_mono_seconds", "Histogram monotonic.", []float64{0.5})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(0.25)
+				}
+			}
+		}()
+	}
+	prevC, prevCount := -1.0, uint64(0)
+	for i := 0; i < 200; i++ {
+		out := scrape(t, r)
+		fams, err := ParseText(strings.NewReader(out))
+		if err != nil {
+			t.Fatalf("scrape %d invalid: %v", i, err)
+		}
+		for _, f := range fams {
+			switch f.Name {
+			case "test_mono_total":
+				if f.Samples[0].Value < prevC {
+					t.Fatalf("counter went backwards: %v -> %v", prevC, f.Samples[0].Value)
+				}
+				prevC = f.Samples[0].Value
+			case "test_mono_seconds":
+				for _, s := range f.Samples {
+					if s.Name == "test_mono_seconds_count" {
+						if uint64(s.Value) < prevCount {
+							t.Fatalf("histogram count went backwards: %v -> %v", prevCount, s.Value)
+						}
+						prevCount = uint64(s.Value)
+					}
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("test_dup_total", "y")
+}
+
+func TestGaugeAndCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("test_fn", "Fn.", func() float64 { return 42 })
+	r.CounterFunc("test_fn_total", "Fn counter.", func() float64 { return 7 })
+	out := scrape(t, r)
+	if !strings.Contains(out, "test_fn 42\n") || !strings.Contains(out, "test_fn_total 7\n") {
+		t.Fatalf("func metrics missing:\n%s", out)
+	}
+	if _, err := ParseText(strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInfFormatting(t *testing.T) {
+	if formatValue(math.Inf(1)) != "+Inf" || formatValue(math.Inf(-1)) != "-Inf" {
+		t.Fatal("Inf formatting broken")
+	}
+}
+
+// Vec series render sorted by label value so scrapes are stable.
+func TestVecRenderDeterministic(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("test_routes", "Routes.", "route", "method")
+	v.With("/b", "GET").Set(1)
+	v.With("/a", "GET").Set(2)
+	v.With("/a", "POST").Set(3)
+	out := scrape(t, r)
+	ia := strings.Index(out, `{route="/a",method="GET"}`)
+	ip := strings.Index(out, `{route="/a",method="POST"}`)
+	ib := strings.Index(out, `{route="/b",method="GET"}`)
+	if ia < 0 || ip < 0 || ib < 0 || !(ia < ip && ip < ib) {
+		t.Fatalf("series not sorted: %d %d %d\n%s", ia, ip, ib, out)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram(DefBuckets)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i%100) / 100)
+			i++
+		}
+	})
+}
+
+func ExampleRegistry_WritePrometheus() {
+	r := NewRegistry()
+	r.Counter("example_total", "Example.").Add(3)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	fmt.Print(b.String())
+	// Output:
+	// # HELP example_total Example.
+	// # TYPE example_total counter
+	// example_total 3
+}

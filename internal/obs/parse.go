@@ -1,0 +1,378 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its label pairs
+// in source order, and the value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label is one name="value" pair with escapes resolved.
+type Label struct{ Name, Value string }
+
+// Family is one parsed metric family with its samples in source order.
+type Family struct {
+	Name    string
+	Help    string
+	Type    MetricType
+	Samples []Sample
+}
+
+// ParseText parses Prometheus text exposition (format version 0.0.4)
+// and validates the structural invariants this repo pins in CI:
+//
+//   - every sample belongs to a family announced by a # TYPE line
+//     (histogram samples may use the _bucket/_sum/_count suffixes);
+//   - no family or sample is declared twice;
+//   - histogram buckets are cumulative, have strictly increasing le
+//     bounds, end in le="+Inf", and agree with the _count sample;
+//   - counter and histogram values are finite and non-negative.
+//
+// Families are returned in source order.
+func ParseText(r io.Reader) ([]*Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+
+	var fams []*Family
+	byName := make(map[string]*Family)
+	seen := make(map[string]bool) // duplicate-sample detection
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		fail := func(format string, args ...any) ([]*Family, error) {
+			return nil, fmt.Errorf("exposition line %d: %s (%q)", lineNo, fmt.Sprintf(format, args...), line)
+		}
+		switch {
+		case strings.TrimSpace(line) == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if !metricNameRe.MatchString(name) {
+				return fail("bad metric name in HELP")
+			}
+			if f := byName[name]; f != nil && f.Help != "" {
+				return fail("duplicate HELP for %s", name)
+			}
+			f := familyFor(name, &fams, byName)
+			f.Help = help
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return fail("malformed TYPE line")
+			}
+			name, typ := fields[0], MetricType(fields[1])
+			if !metricNameRe.MatchString(name) {
+				return fail("bad metric name in TYPE")
+			}
+			switch typ {
+			case TypeCounter, TypeGauge, TypeHistogram:
+			default:
+				return fail("unknown metric type %q", typ)
+			}
+			if f := byName[name]; f != nil {
+				if f.Type != "" {
+					return fail("duplicate TYPE for %s", name)
+				}
+				if len(f.Samples) > 0 {
+					return fail("TYPE for %s after its samples", name)
+				}
+			}
+			familyFor(name, &fams, byName).Type = typ
+		case strings.HasPrefix(line, "#"):
+			continue // free-form comment
+		default:
+			s, err := parseSample(line)
+			if err != nil {
+				return fail("%v", err)
+			}
+			fam := byName[baseName(s.Name, byName)]
+			if fam == nil || fam.Type == "" {
+				return fail("sample for %s without a TYPE line", s.Name)
+			}
+			if fam.Type != TypeHistogram && s.Name != fam.Name {
+				return fail("suffix sample %s on %s family", s.Name, fam.Type)
+			}
+			key := sampleKey(s)
+			if seen[key] {
+				return fail("duplicate sample")
+			}
+			seen[key] = true
+			if math.IsNaN(s.Value) {
+				return fail("NaN sample value")
+			}
+			if (fam.Type == TypeCounter || fam.Type == TypeHistogram) && s.Value < 0 {
+				return fail("negative %s value", fam.Type)
+			}
+			fam.Samples = append(fam.Samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("exposition: family %s has HELP but no TYPE", f.Name)
+		}
+		if f.Type == TypeHistogram {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+func familyFor(name string, fams *[]*Family, byName map[string]*Family) *Family {
+	if f := byName[name]; f != nil {
+		return f
+	}
+	f := &Family{Name: name}
+	byName[name] = f
+	*fams = append(*fams, f)
+	return f
+}
+
+// baseName maps a sample name to its family name, resolving histogram
+// suffixes against declared families (an actual metric literally named
+// x_bucket would shadow a histogram x — the registry never emits such
+// names, and the parser prefers the exact match).
+func baseName(name string, byName map[string]*Family) string {
+	if byName[name] != nil {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if f := byName[base]; f != nil && f.Type == TypeHistogram {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func sampleKey(s Sample) string {
+	parts := make([]string, 0, len(s.Labels)+1)
+	parts = append(parts, s.Name)
+	for _, l := range s.Labels {
+		parts = append(parts, l.Name+"\xfe"+l.Value)
+	}
+	return strings.Join(parts, "\xff")
+}
+
+// parseSample parses `name{l="v",...} value`. Timestamps (a third
+// field) are rejected: the registry never writes them.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("missing value")
+	}
+	s.Name = line[:i]
+	if !metricNameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	if rest == "" {
+		return s, fmt.Errorf("missing value")
+	}
+	if strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("trailing fields after value (timestamps unsupported)")
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `{a="x",b="y"}` from the front of in, resolving
+// escape sequences, and returns the remainder.
+func parseLabels(in string) ([]Label, string, error) {
+	var labels []Label
+	rest := in[1:] // skip '{'
+	names := make(map[string]bool)
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !labelNameRe.MatchString(name) {
+			return nil, "", fmt.Errorf("bad label name %q", name)
+		}
+		if names[name] {
+			return nil, "", fmt.Errorf("repeated label %q", name)
+		}
+		names[name] = true
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, "", fmt.Errorf("label %s value not quoted", name)
+		}
+		value, tail, err := parseQuoted(rest)
+		if err != nil {
+			return nil, "", err
+		}
+		labels = append(labels, Label{Name: name, Value: value})
+		rest = tail
+		switch {
+		case strings.HasPrefix(rest, ","):
+			rest = rest[1:]
+		case strings.HasPrefix(rest, "}"):
+			return labels, rest[1:], nil
+		default:
+			return nil, "", fmt.Errorf("bad separator after label %s", name)
+		}
+	}
+}
+
+// parseQuoted consumes a leading double-quoted string with \\, \" and
+// \n escapes and returns the decoded value and the remainder.
+func parseQuoted(in string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(in); i++ {
+		switch in[i] {
+		case '"':
+			return b.String(), in[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(in) {
+				return "", "", fmt.Errorf("dangling escape in label value")
+			}
+			switch in[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", in[i])
+			}
+		default:
+			b.WriteByte(in[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// validateHistogram checks the cumulative-bucket contract for every
+// label combination of a histogram family.
+func validateHistogram(f *Family) error {
+	type hist struct {
+		les     []float64
+		buckets []float64
+		sum     *float64
+		count   *float64
+	}
+	group := make(map[string]*hist)
+	order := []string{}
+	for _, s := range f.Samples {
+		var le *float64
+		var key strings.Builder
+		for _, l := range s.Labels {
+			if l.Name == "le" && s.Name == f.Name+"_bucket" {
+				v, err := parseValue(l.Value)
+				if err != nil {
+					return fmt.Errorf("histogram %s: bad le %q", f.Name, l.Value)
+				}
+				le = &v
+				continue
+			}
+			key.WriteString(l.Name)
+			key.WriteByte('\xfe')
+			key.WriteString(l.Value)
+			key.WriteByte('\xff')
+		}
+		h := group[key.String()]
+		if h == nil {
+			h = &hist{}
+			group[key.String()] = h
+			order = append(order, key.String())
+		}
+		v := s.Value
+		switch s.Name {
+		case f.Name + "_bucket":
+			if le == nil {
+				return fmt.Errorf("histogram %s: bucket sample without le label", f.Name)
+			}
+			h.les = append(h.les, *le)
+			h.buckets = append(h.buckets, v)
+		case f.Name + "_sum":
+			h.sum = &v
+		case f.Name + "_count":
+			h.count = &v
+		default:
+			return fmt.Errorf("histogram %s: unexpected sample %s", f.Name, s.Name)
+		}
+	}
+	for _, key := range order {
+		h := group[key]
+		if len(h.buckets) == 0 {
+			return fmt.Errorf("histogram %s: series without buckets", f.Name)
+		}
+		if !math.IsInf(h.les[len(h.les)-1], +1) {
+			return fmt.Errorf("histogram %s: buckets do not end in le=\"+Inf\"", f.Name)
+		}
+		if !sort.Float64sAreSorted(h.les) {
+			return fmt.Errorf("histogram %s: le bounds not increasing", f.Name)
+		}
+		for i := 1; i < len(h.les); i++ {
+			if h.les[i] == h.les[i-1] {
+				return fmt.Errorf("histogram %s: duplicate le bound %v", f.Name, h.les[i])
+			}
+			if h.buckets[i] < h.buckets[i-1] {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative at le=%v", f.Name, h.les[i])
+			}
+		}
+		if h.count == nil || h.sum == nil {
+			return fmt.Errorf("histogram %s: missing _sum or _count", f.Name)
+		}
+		if *h.count != h.buckets[len(h.buckets)-1] {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", f.Name, *h.count, h.buckets[len(h.buckets)-1])
+		}
+	}
+	return nil
+}

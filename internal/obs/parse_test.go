@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpositionParserRejects pins the validation side of the
+// round-trip contract: each malformed document must be refused.
+func TestExpositionParserRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "orphan_total 3\n",
+		"unknown type":        "# TYPE x widget\nx 1\n",
+		"duplicate TYPE":      "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"duplicate sample":    "# TYPE x counter\nx 1\nx 2\n",
+		"duplicate labeled sample": "# TYPE x counter\n" +
+			`x{a="1"} 1` + "\n" + `x{a="1"} 2` + "\n",
+		"negative counter":    "# TYPE x counter\nx -1\n",
+		"NaN sample":          "# TYPE x gauge\nx NaN\n",
+		"bad value":           "# TYPE x gauge\nx pancake\n",
+		"timestamp field":     "# TYPE x gauge\nx 1 1712345678\n",
+		"unterminated labels": "# TYPE x counter\n" + `x{a="1" 2` + "\n",
+		"unquoted label":      "# TYPE x counter\nx{a=1} 2\n",
+		"repeated label":      "# TYPE x counter\n" + `x{a="1",a="2"} 3` + "\n",
+		"bad escape":          "# TYPE x counter\n" + `x{a="\t"} 1` + "\n",
+		"gauge with suffix sample": "# TYPE x gauge\n" +
+			"x_bucket 1\n",
+		"histogram missing +Inf": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 2` + "\nh_sum 1\nh_count 2\n",
+		"histogram non-cumulative": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="+Inf"} 3` + "\n" +
+			"h_sum 1\nh_count 3\n",
+		"histogram count mismatch": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 2` + "\n" + `h_bucket{le="+Inf"} 5` + "\n" +
+			"h_sum 1\nh_count 4\n",
+		"histogram unsorted le": "# TYPE h histogram\n" +
+			`h_bucket{le="5"} 1` + "\n" + `h_bucket{le="1"} 1` + "\n" +
+			`h_bucket{le="+Inf"} 1` + "\nh_sum 1\nh_count 1\n",
+		"histogram missing sum": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 1` + "\nh_count 1\n",
+		"HELP without TYPE": "# HELP lonely doc\n",
+	}
+	for name, doc := range cases {
+		if _, err := ParseText(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted\n%s", name, doc)
+		}
+	}
+}
+
+func TestExpositionParserAccepts(t *testing.T) {
+	doc := strings.Join([]string{
+		"# a free-form comment",
+		"# HELP jobs_total Total jobs.",
+		"# TYPE jobs_total counter",
+		`jobs_total{state="done"} 4`,
+		`jobs_total{state="failed"} 1`,
+		"# TYPE depth gauge",
+		"depth -3.5",
+		"# TYPE lat histogram",
+		`lat_bucket{le="0.1"} 1`,
+		`lat_bucket{le="+Inf"} 2`,
+		"lat_sum 1.5",
+		"lat_count 2",
+		"",
+	}, "\n")
+	fams, err := ParseText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("got %d families, want 3", len(fams))
+	}
+	if fams[0].Name != "jobs_total" || fams[0].Help != "Total jobs." || len(fams[0].Samples) != 2 {
+		t.Errorf("family 0 = %+v", fams[0])
+	}
+	if fams[1].Samples[0].Value != -3.5 {
+		t.Errorf("gauge value = %v", fams[1].Samples[0].Value)
+	}
+	if fams[2].Type != TypeHistogram {
+		t.Errorf("family 2 type = %v", fams[2].Type)
+	}
+}
+
+// Round trip: everything the registry renders must parse cleanly, and
+// every value must survive.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_ops_total", "Ops.").Add(12)
+	r.GaugeVec("rt_depth", "Depth.", "pool", "kind").With("a b", `q"x`).Set(2.5)
+	h := r.HistogramVec("rt_lat_seconds", "Latency.", []float64{0.01, 0.1}, "route")
+	h.With("/v1/jobs/{id}").Observe(0.05)
+	h.With("/v1/jobs/{id}").Observe(5)
+	r.GaugeFunc("rt_uptime_seconds", "Uptime.", func() float64 { return 9 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("round trip rejected:\n%s\n%v", b.String(), err)
+	}
+	byName := map[string]*Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["rt_ops_total"]; f == nil || f.Samples[0].Value != 12 {
+		t.Errorf("rt_ops_total = %+v", f)
+	}
+	if f := byName["rt_depth"]; f == nil || f.Samples[0].Labels[1].Value != `q"x` {
+		t.Errorf("rt_depth = %+v", f)
+	}
+	if f := byName["rt_lat_seconds"]; f == nil {
+		t.Error("rt_lat_seconds missing")
+	} else {
+		var count float64
+		for _, s := range f.Samples {
+			if s.Name == "rt_lat_seconds_count" {
+				count = s.Value
+			}
+		}
+		if count != 2 {
+			t.Errorf("histogram count = %v, want 2", count)
+		}
+	}
+	if f := byName["rt_uptime_seconds"]; f == nil || f.Samples[0].Value != 9 {
+		t.Errorf("rt_uptime_seconds = %+v", f)
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimeInfo is a point-in-time snapshot of process health, embedded
+// in the JSON metrics report so restarts and leaks are visible without
+// a Prometheus scraper or pprof.
+type RuntimeInfo struct {
+	Goroutines          int     `json:"goroutines"`
+	HeapInuseBytes      uint64  `json:"heap_inuse_bytes"`
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+	NumGC               uint32  `json:"num_gc"`
+	UptimeSeconds       float64 `json:"uptime_seconds"`
+	BootID              string  `json:"boot_id"`
+}
+
+// ReadRuntime samples the process state. start is the process (or
+// server) start time; bootID distinguishes restarts.
+func ReadRuntime(bootID string, start time.Time) RuntimeInfo {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeInfo{
+		Goroutines:          runtime.NumGoroutine(),
+		HeapInuseBytes:      ms.HeapInuse,
+		GCPauseTotalSeconds: float64(ms.PauseTotalNs) / 1e9,
+		NumGC:               ms.NumGC,
+		UptimeSeconds:       time.Since(start).Seconds(),
+		BootID:              bootID,
+	}
+}
+
+// RegisterRuntime registers the process-level gauges on r: goroutine
+// count, heap in use, total GC pause, uptime, and a constant
+// glove_boot_info{boot_id} 1 series identifying the incarnation.
+func RegisterRuntime(r *Registry, bootID string, start time.Time) {
+	r.GaugeFunc("glove_process_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("glove_process_heap_inuse_bytes",
+		"Bytes of heap memory in use.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapInuse)
+		})
+	r.CounterFunc("glove_process_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+	r.GaugeFunc("glove_process_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(start).Seconds() })
+	boot := r.GaugeVec("glove_boot_info",
+		"Constant 1, labeled with the server boot id; a changed boot_id means a restart.",
+		"boot_id")
+	boot.With(bootID).Set(1)
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceTree(t *testing.T) {
+	tr := NewTrace(SpanJob, "job-1")
+	root := tr.Root()
+	plan := root.Child(SpanPlan, "")
+	plan.SetAttr("strategy", "chunked")
+	plan.End()
+	w := root.Child(SpanWindow, "w0")
+	sh := w.Child(SpanShard, "shard 0")
+	sh.AddCompleted(SpanIndexBuild, "", time.Now(), 3*time.Millisecond, nil)
+	sh.AddCompleted(SpanMerge, "", time.Now(), 5*time.Millisecond, map[string]any{"merges": 12})
+	sh.End()
+	w.End()
+	root.End()
+
+	s := tr.Snapshot()
+	if s.Kind != SpanJob || s.Name != "job-1" || s.Unfinished {
+		t.Fatalf("root = %+v", s)
+	}
+	if len(s.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(s.Children))
+	}
+	if s.Children[0].Kind != SpanPlan || s.Children[0].Attrs["strategy"] != "chunked" {
+		t.Errorf("plan span = %+v", s.Children[0])
+	}
+	shard := s.Children[1].Children[0]
+	if shard.Kind != SpanShard || len(shard.Children) != 2 {
+		t.Fatalf("shard span = %+v", shard)
+	}
+	if shard.Children[1].Kind != SpanMerge || shard.Children[1].DurationMS < 4.9 {
+		t.Errorf("merge child = %+v", shard.Children[1])
+	}
+	// The snapshot must be JSON-serializable (it is the wire payload).
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+// A snapshot taken while spans are open marks them unfinished instead
+// of blocking or panicking.
+func TestTraceSnapshotWhileOpen(t *testing.T) {
+	tr := NewTrace(SpanJob, "j")
+	tr.Root().Child(SpanPlan, "")
+	s := tr.Snapshot()
+	if !s.Unfinished || !s.Children[0].Unfinished {
+		t.Fatalf("open spans not marked unfinished: %+v", s)
+	}
+}
+
+// The zero ActiveSpan and nil Trace are inert: instrumented code never
+// needs nil checks.
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.Snapshot() != nil {
+		t.Fatal("nil trace snapshot not nil")
+	}
+	s := tr.Root()
+	c := s.Child(SpanPlan, "x")
+	c.SetAttr("k", 1)
+	c.AddCompleted(SpanMerge, "", time.Now(), time.Second, nil)
+	if d := c.End(); d != 0 {
+		t.Fatalf("no-op End = %v", d)
+	}
+}
+
+// Concurrent children (parallel shards) and snapshots must be safe
+// under -race.
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace(SpanJob, "j")
+	root := tr.Root()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := root.Child(SpanShard, "s")
+			sp.SetAttr("i", i)
+			sp.End()
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		tr.Snapshot()
+	}
+	wg.Wait()
+	if got := len(tr.Snapshot().Children); got != 8 {
+		t.Fatalf("children = %d, want 8", got)
+	}
+}
+
+func TestSpanKindsRegistry(t *testing.T) {
+	kinds := SpanKinds()
+	seen := map[SpanKind]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			t.Fatalf("duplicate kind %s", k)
+		}
+		seen[k] = true
+	}
+	for _, want := range []SpanKind{SpanJob, SpanPlan, SpanWindow, SpanShard, SpanIndexBuild, SpanMerge, SpanValidate} {
+		if !seen[want] {
+			t.Fatalf("kind %s missing from registry", want)
+		}
+	}
+}

@@ -136,6 +136,7 @@ func TestServerErrorEnvelope(t *testing.T) {
 		{"events of unknown job", "GET", "/v1/jobs/job-999999/events", "", 404, api.CodeJobNotFound},
 		{"bad event cursor", "GET", "/v1/jobs/job-999999/events?after=x", "", 400, api.CodeInvalidArgument},
 		{"window of unknown job", "GET", "/v1/jobs/job-999999/windows/0/result", "", 404, api.CodeJobNotFound},
+		{"trace of unknown job", "GET", "/v1/jobs/job-999999/trace", "", 404, api.CodeJobNotFound},
 		{"bad window index", "GET", "/v1/jobs/job-999999/windows/zero/result", "", 400, api.CodeInvalidArgument},
 	}
 	for _, tc := range cases {

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"sort"
@@ -41,7 +42,9 @@ import (
 //	GET    /v1/jobs/{id}/events            Server-Sent-Events job stream
 //	GET    /v1/jobs/{id}/result            download the anonymized CSV (ETag, gzip)
 //	GET    /v1/jobs/{id}/windows/{w}/result  download one window's release (ETag, gzip)
-//	GET    /v1/metrics                     accuracy / anonymizability / linkage summary
+//	GET    /v1/jobs/{id}/trace             per-job span tree (JSON)
+//	GET    /v1/metrics                     accuracy / anonymizability / linkage summary (JSON)
+//	GET    /metrics                        Prometheus text exposition
 //	GET    /healthz                        liveness + version
 type Server struct {
 	// MaxIngestBytes bounds the request body of a single ingestion
@@ -50,9 +53,10 @@ type Server struct {
 	// the reader's buffer without limit.
 	MaxIngestBytes int64
 
-	// AccessLog, when non-nil, receives one line per request (method,
-	// path, status, bytes, duration, request id) plus panic traces.
-	AccessLog io.Writer
+	// Log, when non-nil, receives one structured record per request
+	// (method, path, route, status, bytes, duration, request_id) plus
+	// panic traces — log/slog replaced the old ad-hoc access-log lines.
+	Log *slog.Logger
 
 	// RouteTimeout is the processing budget of the quick JSON routes
 	// (listings, status, submit, metrics — never the streaming ingest,
@@ -63,6 +67,7 @@ type Server struct {
 	reg    *Registry
 	mgr    *Manager
 	mux    *http.ServeMux
+	tel    *Telemetry
 	bootID string
 	reqSeq atomic.Uint64
 }
@@ -84,6 +89,10 @@ func NewServer(reg *Registry, mgr *Manager) *Server {
 		s.bootID = hex.EncodeToString(boot[:])
 	} else {
 		s.bootID = "req"
+	}
+	if mgr != nil {
+		s.tel = mgr.tel
+		s.tel.registerBoot(s.bootID)
 	}
 	s.route("/v1/datasets", map[string]http.HandlerFunc{
 		http.MethodGet:  s.quick(s.handleListDatasets),
@@ -118,8 +127,14 @@ func NewServer(reg *Registry, mgr *Manager) *Server {
 	s.route("/v1/jobs/{id}/windows/{w}/result", map[string]http.HandlerFunc{
 		http.MethodGet: s.handleWindowResult,
 	})
+	s.route("/v1/jobs/{id}/trace", map[string]http.HandlerFunc{
+		http.MethodGet: s.quick(s.handleJobTrace),
+	})
 	s.route("/v1/metrics", map[string]http.HandlerFunc{
 		http.MethodGet: s.quick(s.handleMetrics),
+	})
+	s.route("/metrics", map[string]http.HandlerFunc{
+		http.MethodGet: s.handlePrometheus,
 	})
 	s.route("/healthz", map[string]http.HandlerFunc{
 		http.MethodGet: s.quick(s.handleHealthz),
@@ -168,7 +183,8 @@ func requestID(r *http.Request) string {
 }
 
 // ServeHTTP is the middleware stack: request-ID assignment, panic
-// recovery, and access logging around the method-dispatching mux.
+// recovery, request metrics, and structured request logging around the
+// method-dispatching mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	reqID := r.Header.Get("X-Request-ID")
 	if reqID == "" {
@@ -179,12 +195,33 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	rec := &responseRecorder{ResponseWriter: w}
 	start := time.Now()
+	s.tel.httpStart()
+	defer func() {
+		// ServeMux stamped the matched pattern onto the request, so the
+		// route label is bounded ("/v1/jobs/{id}", never the raw path);
+		// unmatched paths share one label. Deferred so panicking
+		// (aborted) requests are still counted.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		s.tel.httpDone(route, r.Method, rec.statusOr200(), rec.bytes, time.Since(start))
+		if s.Log != nil {
+			s.Log.Info("request",
+				"method", r.Method, "path", r.URL.Path, "route", route,
+				"status", rec.statusOr200(), "bytes", rec.bytes,
+				"duration", time.Since(start).Round(time.Microsecond),
+				"request_id", reqID)
+		}
+	}()
 	func() {
 		defer func() {
 			if p := recover(); p != nil {
-				if s.AccessLog != nil && p != http.ErrAbortHandler {
-					fmt.Fprintf(s.AccessLog, "panic %s %s request_id=%s: %v\n%s",
-						r.Method, r.URL.Path, reqID, p, debug.Stack())
+				if s.Log != nil && p != http.ErrAbortHandler {
+					s.Log.Error("panic",
+						"method", r.Method, "path", r.URL.Path,
+						"request_id", reqID, "panic", fmt.Sprint(p),
+						"stack", string(debug.Stack()))
 				}
 				if p == http.ErrAbortHandler || rec.wroteHeader {
 					// The response already started (or the handler asked
@@ -199,11 +236,6 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}()
 		s.mux.ServeHTTP(rec, r)
 	}()
-	if s.AccessLog != nil {
-		fmt.Fprintf(s.AccessLog, "%s %s %s %d %dB %s request_id=%s\n",
-			start.UTC().Format(time.RFC3339), r.Method, r.URL.Path,
-			rec.statusOr200(), rec.bytes, time.Since(start).Round(time.Microsecond), reqID)
-	}
 }
 
 // responseRecorder observes status and size for the access log while
@@ -275,9 +307,11 @@ func (s *Server) quick(h http.HandlerFunc) http.HandlerFunc {
 				// The outer recovery middleware cannot see a panic on
 				// this goroutine; convert it here.
 				if p := recover(); p != nil {
-					if s.AccessLog != nil {
-						fmt.Fprintf(s.AccessLog, "panic %s %s request_id=%s: %v\n%s",
-							r.Method, r.URL.Path, requestID(r), p, debug.Stack())
+					if s.Log != nil {
+						s.Log.Error("panic",
+							"method", r.Method, "path", r.URL.Path,
+							"request_id", requestID(r), "panic", fmt.Sprint(p),
+							"stack", string(debug.Stack()))
 					}
 					buf.reset()
 					writeError(buf, r, api.Errorf(api.CodeInternal, "internal server error"))
@@ -798,46 +832,31 @@ func acceptsGzip(r *http.Request) bool {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	rep := MetricsReport{
-		Datasets:       len(s.reg.List()),
-		JobsByState:    make(map[JobState]int),
-		JobsByStrategy: make(map[core.Strategy]int),
-		JobsByIndex:    make(map[core.IndexKind]int),
+	writeJSON(w, http.StatusOK, s.mgr.Report())
+}
+
+// handleJobTrace serves the per-job span tree recorded by the run.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	tr, err := s.mgr.Trace(r.PathValue("id"))
+	if err != nil {
+		writeError(w, r, err)
+		return
 	}
-	var linkageSum float64
-	var linkageJobs int
-	for _, st := range s.mgr.List() {
-		rep.Jobs++
-		rep.JobsByState[st.State]++
-		if st.Plan != nil {
-			rep.JobsByStrategy[st.Plan.Strategy]++
-			rep.JobsByIndex[st.Plan.Index]++
-		}
-		if st.Spec.WindowHours > 0 {
-			rep.WindowedJobs++
-			for _, ws := range st.Windows {
-				if ws.State == WindowDone {
-					rep.WindowReleases++
-				}
-			}
-		}
-		if st.State == JobDone {
-			rep.Completed = append(rep.Completed, st)
-			if st.Linkage != nil {
-				linkageSum += st.Linkage.LinkedFraction
-				linkageJobs++
-			}
-			if st.Stats != nil {
-				rep.EffortKernelCalls += st.Stats.EffortKernelCalls
-				rep.EffortKernelPruned += st.Stats.EffortKernelPruned
-			}
-		}
+	writeJSON(w, http.StatusOK, tr)
+}
+
+// handlePrometheus serves the text exposition of every registered
+// instrument. Deliberately outside the quick() budget: the render is a
+// bounded in-memory walk and the scrape path should not compete with
+// slow JSON routes for the buffered-response machinery.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	if s.tel == nil {
+		writeError(w, r, api.Errorf(api.CodeNotFound, "metrics are not enabled on this server"))
+		return
 	}
-	if linkageJobs > 0 {
-		mean := linkageSum / float64(linkageJobs)
-		rep.MeanCrossWindowLinkage = &mean
-	}
-	writeJSON(w, http.StatusOK, rep)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.tel.Reg.WritePrometheus(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

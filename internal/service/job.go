@@ -11,6 +11,7 @@ import (
 	"repro/internal/cdr"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // validTransition encodes the job state machine: queued jobs start
@@ -87,11 +88,35 @@ type Job struct {
 	eventCh     chan struct{}
 	progressPct int
 
+	// trace is the job's span recorder, created when the run starts;
+	// nil for jobs that never ran (the trace_not_found condition).
+	trace *obs.Trace
+
 	result            *core.Dataset
 	stats             *core.GloveStats
 	accuracy          *metrics.Summary
 	anonymousFraction *float64
 	linkage           *analysis.LinkageResult
+}
+
+// traceRoot hands the run its root span; the zero ActiveSpan of an
+// untraced job is a no-op recorder.
+func (j *Job) traceRoot() obs.ActiveSpan {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace.Root()
+}
+
+// emitSpan appends a span summary event (plan, window, validate) to the
+// job's event log.
+func (j *Job) emitSpan(kind obs.SpanKind, name string, d time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendEventLocked(api.JobEvent{Type: api.EventSpan, Span: &api.SpanEvent{
+		Kind:       string(kind),
+		Name:       name,
+		DurationMS: float64(d) / float64(time.Millisecond),
+	}})
 }
 
 // newJob builds a queued job and seeds its event log with the queued

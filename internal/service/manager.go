@@ -9,6 +9,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sort"
 	"sync"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/cdr"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // ErrQueueFull is returned by Submit when the job queue is at capacity;
@@ -66,6 +68,15 @@ type ManagerOptions struct {
 	// leaves it 0 (gloved -window-hours flag), turning every job into a
 	// windowed continuous release by default.
 	DefaultWindowHours float64
+
+	// Telemetry receives the manager's metrics; nil creates a fresh one
+	// (NewManager also attaches it to the registry), so callers of the
+	// plain NewRegistry/NewManager/NewServer wiring get instrumentation
+	// without threading anything.
+	Telemetry *Telemetry
+	// Log, when non-nil, receives structured job-lifecycle records
+	// correlated by job_id.
+	Log *slog.Logger
 }
 
 func (o ManagerOptions) withDefaults() ManagerOptions {
@@ -89,6 +100,8 @@ func (o ManagerOptions) withDefaults() ManagerOptions {
 type Manager struct {
 	reg *Registry
 	opt ManagerOptions
+	tel *Telemetry
+	log *slog.Logger
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -100,20 +113,44 @@ type Manager struct {
 	jobs   map[string]*Job
 	order  []string
 	closed bool
+
+	// agg holds the incremental lifetime aggregates behind the JSON
+	// metrics report, updated at submission, window commit, and terminal
+	// transition — never recomputed by walking retained jobs, so the
+	// report stays O(retained) and the totals survive eviction.
+	agg struct {
+		sync.Mutex
+		completedTotal int
+		windowedJobs   int
+		windowReleases int
+		kernelCalls    int
+		kernelPruned   int
+		linkageSum     float64
+		linkageJobs    int
+	}
 }
 
 // NewManager starts a manager executing jobs against the registry.
 // Close must be called to release its executor goroutines.
 func NewManager(reg *Registry, opt ManagerOptions) *Manager {
 	opt = opt.withDefaults()
+	if opt.Telemetry == nil {
+		opt.Telemetry = NewTelemetry()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		reg:        reg,
 		opt:        opt,
+		tel:        opt.Telemetry,
+		log:        opt.Log,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *Job, opt.QueueLimit),
 		jobs:       make(map[string]*Job),
+	}
+	m.tel.registerQueueDepth(func() float64 { return float64(len(m.queue)) })
+	if reg != nil {
+		reg.attachTelemetry(m.tel)
 	}
 	m.wg.Add(opt.MaxConcurrentJobs)
 	for i := 0; i < opt.MaxConcurrentJobs; i++ {
@@ -148,6 +185,7 @@ func (m *Manager) Close() {
 		if j.state == JobQueued {
 			j.err = "service shut down before the job started"
 			j.transition(JobCancelled)
+			m.tel.jobNeverStarted()
 		}
 		j.mu.Unlock()
 	}
@@ -214,6 +252,17 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	m.jobs[job.id] = job
 	m.order = append(m.order, job.id)
 	m.mu.Unlock()
+
+	m.tel.jobSubmitted()
+	if spec.WindowHours > 0 {
+		m.agg.Lock()
+		m.agg.windowedJobs++
+		m.agg.Unlock()
+	}
+	if m.log != nil {
+		m.log.Info("job submitted", "job_id", job.id,
+			"dataset_id", spec.DatasetID, "k", spec.K, "window_hours", spec.WindowHours)
+	}
 	return job.Status(), nil
 }
 
@@ -302,6 +351,7 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 		job.cancelRequested = true
 		job.err = "cancelled before start"
 		job.transition(JobCancelled)
+		m.tel.jobNeverStarted()
 		// Now terminal: subject to retention like any finished job.
 		defer func() {
 			m.mu.Lock()
@@ -446,13 +496,21 @@ func (m *Manager) runJob(job *Job) {
 		// job that would burn planShards work before noticing.
 		job.err = "service shut down before the job started"
 		job.transition(JobCancelled)
+		m.tel.jobNeverStarted()
 		job.mu.Unlock()
 		return
 	}
 	job.cancel = cancel
+	job.trace = obs.NewTrace(obs.SpanJob, job.id)
 	job.transition(JobRunning)
 	spec := job.spec
+	started := job.started
 	job.mu.Unlock()
+
+	m.tel.jobStarted()
+	if m.log != nil {
+		m.log.Info("job started", "job_id", job.id)
+	}
 
 	outcome, err := m.execute(ctx, job, spec)
 
@@ -490,7 +548,34 @@ func (m *Manager) runJob(job *Job) {
 		job.linkage = outcome.linkage
 		job.transition(JobDone)
 	}
+	job.trace.Root().End()
+	state := job.state
+	stats := job.stats
+	finished := job.finished
 	job.mu.Unlock()
+
+	m.tel.jobFinished(state, finished.Sub(started), stats)
+	m.agg.Lock()
+	if state == JobDone {
+		m.agg.completedTotal++
+		if stats != nil {
+			m.agg.kernelCalls += stats.EffortKernelCalls
+			m.agg.kernelPruned += stats.EffortKernelPruned
+		}
+		if outcome.linkage != nil {
+			m.agg.linkageSum += outcome.linkage.LinkedFraction
+			m.agg.linkageJobs++
+		}
+	}
+	m.agg.Unlock()
+	if m.log != nil {
+		attrs := []any{"job_id", job.id, "state", string(state),
+			"duration", finished.Sub(started)}
+		if err != nil {
+			attrs = append(attrs, "error", err.Error())
+		}
+		m.log.Info("job finished", attrs...)
+	}
 
 	// The job just turned terminal: apply the retention policy so a
 	// resident daemon sheds the oldest finished jobs and their results.
@@ -583,7 +668,9 @@ func (m *Manager) execute(ctx context.Context, job *Job, spec JobSpec) (runOutco
 	if spec.WindowHours > 0 {
 		return m.executeWindowed(ctx, job, spec, table, info)
 	}
+	root := job.traceRoot()
 
+	planSpan := root.Child(obs.SpanPlan, "")
 	shards := planShards(table, info.Users, spec.K, spec.Shards, m.opt.ShardSeed)
 	// Resolve and publish the execution plan for the largest shard (one
 	// fingerprint per subscriber) so clients can see what the auto
@@ -592,16 +679,24 @@ func (m *Manager) execute(ctx context.Context, job *Job, spec JobSpec) (runOutco
 	if err != nil {
 		return runOutcome{}, err
 	}
+	planSpan.SetAttr("strategy", string(plan.Strategy))
+	planSpan.SetAttr("index", string(plan.Index))
+	planSpan.SetAttr("shards", len(shards))
+	job.emitSpan(obs.SpanPlan, "", planSpan.End())
+	m.tel.jobPlanned(&plan)
 	job.mu.Lock()
 	job.shardProgress = make([]float64, len(shards))
 	job.plan = &plan
 	job.mu.Unlock()
 
-	result, stats, err := runShards(ctx, shards, spec, job.setShardProgress)
+	result, stats, err := runShards(ctx, shards, spec, m.tel, root, job.setShardProgress)
 	if err != nil {
 		return runOutcome{}, err
 	}
-	if verr := core.ValidateKAnonymity(result, spec.K); verr != nil {
+	vspan := root.Child(obs.SpanValidate, "")
+	verr := core.ValidateKAnonymity(result, spec.K)
+	job.emitSpan(obs.SpanValidate, "", vspan.End())
+	if verr != nil {
 		return runOutcome{}, fmt.Errorf("service: published dataset failed validation: %w", verr)
 	}
 
@@ -621,6 +716,8 @@ func (m *Manager) executeWindowed(ctx context.Context, job *Job, spec JobSpec, t
 		return runOutcome{}, err
 	}
 	job.initWindows(wins)
+	root := job.traceRoot()
+	planSpan := root.Child(obs.SpanPlan, "")
 
 	// Dry-plan every window up front: publishes the plan of the largest
 	// run before work starts and rejects a window too sparse to
@@ -648,6 +745,11 @@ func (m *Manager) executeWindowed(ctx context.Context, job *Job, spec JobSpec, t
 	if err != nil {
 		return runOutcome{}, err
 	}
+	planSpan.SetAttr("strategy", string(plan.Strategy))
+	planSpan.SetAttr("index", string(plan.Index))
+	planSpan.SetAttr("windows", len(wins))
+	job.emitSpan(obs.SpanPlan, "", planSpan.End())
+	m.tel.jobPlanned(&plan)
 	job.mu.Lock()
 	job.plan = &plan
 	job.mu.Unlock()
@@ -658,18 +760,33 @@ func (m *Manager) executeWindowed(ctx context.Context, job *Job, spec JobSpec, t
 		if err := ctx.Err(); err != nil {
 			return runOutcome{}, err
 		}
+		wname := fmt.Sprintf("w%d", win.Index)
+		wspan := root.Child(obs.SpanWindow, wname)
+		wspan.SetAttr("records", len(win.Table.Records))
+		wspan.SetAttr("users", userCounts[wi])
 		shards := planShards(win.Table, userCounts[wi], spec.K, spec.Shards, m.opt.ShardSeed)
 		job.startWindow(wi, len(shards))
-		out, stats, err := runShards(ctx, shards, spec, func(shard int, frac float64) {
+		out, stats, err := runShards(ctx, shards, spec, m.tel, wspan, func(shard int, frac float64) {
 			job.setWindowShardProgress(wi, shard, frac)
 		})
 		if err != nil {
+			wspan.End()
 			return runOutcome{}, fmt.Errorf("service: window %d: %w", wins[wi].Index, err)
 		}
-		if verr := core.ValidateKAnonymity(out, spec.K); verr != nil {
+		vspan := wspan.Child(obs.SpanValidate, "")
+		verr := core.ValidateKAnonymity(out, spec.K)
+		vspan.End()
+		if verr != nil {
+			wspan.End()
 			return runOutcome{}, fmt.Errorf("service: window %d failed validation: %w", wins[wi].Index, verr)
 		}
+		wspan.SetAttr("groups", out.Len())
 		job.commitWindow(wi, out, stats)
+		job.emitSpan(obs.SpanWindow, wname, wspan.End())
+		m.tel.windowCommitted(wspan.End())
+		m.agg.Lock()
+		m.agg.windowReleases++
+		m.agg.Unlock()
 		total.Add(stats)
 		releases = append(releases, out)
 	}
@@ -748,6 +865,81 @@ func (m *Manager) crossWindowLinkage(ctx context.Context, wins []cdr.Window, rel
 		res.Pairs[i].Window = wins[i].Index
 	}
 	return &res
+}
+
+// completedDetailCap bounds the per-job detail list of the JSON metrics
+// report: under job churn the report stays a few tens of kilobytes
+// instead of growing with the retention window.
+const completedDetailCap = 16
+
+// Report assembles the JSON metrics report. Per-state/strategy/index
+// counts walk the retained jobs (bounded by the retention policy);
+// lifetime totals — window releases, kernel counters, completed count,
+// linkage mean — come from the incremental aggregates, so they survive
+// eviction. The Completed detail list is capped to the most recently
+// finished jobs, newest first.
+func (m *Manager) Report() MetricsReport {
+	rep := MetricsReport{
+		Datasets:       m.reg.Count(),
+		JobsByState:    make(map[JobState]int),
+		JobsByStrategy: make(map[core.Strategy]int),
+		JobsByIndex:    make(map[core.IndexKind]int),
+		Runtime:        m.tel.Runtime(),
+	}
+	var done []JobStatus
+	for _, st := range m.List() {
+		rep.Jobs++
+		rep.JobsByState[st.State]++
+		if st.Plan != nil {
+			rep.JobsByStrategy[st.Plan.Strategy]++
+			rep.JobsByIndex[st.Plan.Index]++
+		}
+		if st.State == JobDone {
+			done = append(done, st)
+		}
+	}
+	sort.Slice(done, func(i, j int) bool {
+		return done[i].FinishedAt.After(*done[j].FinishedAt)
+	})
+	if len(done) > completedDetailCap {
+		done = done[:completedDetailCap]
+	}
+	rep.Completed = done
+
+	m.agg.Lock()
+	rep.CompletedTotal = m.agg.completedTotal
+	rep.WindowedJobs = m.agg.windowedJobs
+	rep.WindowReleases = m.agg.windowReleases
+	rep.EffortKernelCalls = m.agg.kernelCalls
+	rep.EffortKernelPruned = m.agg.kernelPruned
+	if m.agg.linkageJobs > 0 {
+		mean := m.agg.linkageSum / float64(m.agg.linkageJobs)
+		rep.MeanCrossWindowLinkage = &mean
+	}
+	m.agg.Unlock()
+	return rep
+}
+
+// Trace returns the span tree a job's execution recorded. Jobs that
+// never started (still queued, or cancelled before running) have no
+// trace yet — the stable trace_not_found condition.
+func (m *Manager) Trace(id string) (api.JobTrace, error) {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return api.JobTrace{}, api.Errorf(api.CodeJobNotFound, "unknown job %q", id).With("job_id", id)
+	}
+	job.mu.Lock()
+	tr := job.trace
+	state := job.state
+	job.mu.Unlock()
+	if tr == nil {
+		return api.JobTrace{}, api.Errorf(api.CodeTraceNotFound,
+			"job %s has not recorded a trace (state %s)", id, state).
+			With("job_id", id).With("state", string(state))
+	}
+	return api.JobTrace{JobID: id, State: state, Root: tr.Snapshot()}, nil
 }
 
 // anonymizability runs the k-gap analysis of Sec. 5 on the job's input,

@@ -30,6 +30,53 @@ type Registry struct {
 	data  map[string]*cdr.Table
 	users map[string]map[string]struct{}
 	order []string
+	tel   *Telemetry
+}
+
+// attachTelemetry wires the registry's dataset gauges; NewManager calls
+// it so the plain NewRegistry/NewManager wiring is instrumented without
+// signature changes. The first telemetry wins; the current totals are
+// pushed immediately so gauges are correct even when datasets were
+// ingested before the manager existed.
+func (g *Registry) attachTelemetry(tel *Telemetry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.tel != nil || tel == nil {
+		return
+	}
+	g.tel = tel
+	g.publishTotalsLocked()
+}
+
+// publishTotalsLocked pushes the dataset count and record total to the
+// gauges. Caller holds g.mu.
+func (g *Registry) publishTotalsLocked() {
+	records := 0
+	for _, id := range g.order {
+		records += g.infos[id].Records
+	}
+	g.tel.datasetTotals(len(g.order), records)
+}
+
+// Count returns the number of registered datasets without copying their
+// metadata (the metrics report calls this per scrape).
+func (g *Registry) Count() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.order)
+}
+
+// countingReader counts bytes consumed from an ingestion body so the
+// ingest-bytes counter reflects actual wire volume.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // NewRegistry returns an empty dataset registry.
@@ -73,7 +120,8 @@ func (g *Registry) Ingest(r io.Reader, name string, center geo.LatLon, spanDays 
 	if spanDays <= 0 {
 		return DatasetInfo{}, fmt.Errorf("service: span_days = %d, need > 0", spanDays)
 	}
-	recs, users, err := g.readRecords(r, g.MaxRecords)
+	cr := &countingReader{r: r}
+	recs, users, err := g.readRecords(cr, g.MaxRecords)
 	if err != nil {
 		return DatasetInfo{}, err
 	}
@@ -101,6 +149,8 @@ func (g *Registry) Ingest(r io.Reader, name string, center geo.LatLon, spanDays 
 	g.data[info.ID] = table
 	g.users[info.ID] = users
 	g.order = append(g.order, info.ID)
+	g.tel.ingested(len(recs), cr.n)
+	g.publishTotalsLocked()
 	return info, nil
 }
 
@@ -122,7 +172,8 @@ func (g *Registry) Append(id string, r io.Reader) (DatasetInfo, error) {
 	if room < 0 {
 		room = 0
 	}
-	recs, newUsers, err := g.readRecords(r, room)
+	cr := &countingReader{r: r}
+	recs, newUsers, err := g.readRecords(cr, room)
 	if err != nil {
 		return DatasetInfo{}, err
 	}
@@ -165,6 +216,8 @@ func (g *Registry) Append(id string, r io.Reader) (DatasetInfo, error) {
 	info.Version++
 	info.UpdatedAt = time.Now().UTC()
 	g.infos[id] = info
+	g.tel.ingested(len(recs), cr.n)
+	g.publishTotalsLocked()
 	return info, nil
 }
 
@@ -208,6 +261,7 @@ func (g *Registry) Delete(id string) bool {
 			break
 		}
 	}
+	g.publishTotalsLocked()
 	return true
 }
 

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/cdr"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -58,7 +60,12 @@ type shardResult struct {
 // merged dataset keeps unique identifiers. Because each shard is
 // anonymized completely, every group of the union hides >= k
 // subscribers and the k-anonymity guarantee is preserved.
-func runShards(ctx context.Context, shards []*cdr.Table, spec JobSpec, onProgress func(shard int, frac float64)) (*core.Dataset, *core.GloveStats, error) {
+//
+// Each shard records a span under parent (with the engine's index-build
+// and merge phases grafted in from GloveStats — no locks in the hot
+// loop) and moves the shard-pool telemetry gauges; tel may be nil and
+// parent may be the zero ActiveSpan.
+func runShards(ctx context.Context, shards []*cdr.Table, spec JobSpec, tel *Telemetry, parent obs.ActiveSpan, onProgress func(shard int, frac float64)) (*core.Dataset, *core.GloveStats, error) {
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = parallel.DefaultWorkers()
@@ -82,11 +89,17 @@ func runShards(ctx context.Context, shards []*cdr.Table, spec JobSpec, onProgres
 	defer failFast()
 	results := make([]shardResult, len(shards))
 	err := parallel.ForContext(runCtx, len(shards), poolWorkers, func(i int) {
+		span := parent.Child(obs.SpanShard, fmt.Sprintf("shard %d", i))
+		tel.shardStarted()
+		start := time.Now()
 		results[i] = runShard(runCtx, shards[i], spec, innerWorkers, func(done, total int) {
 			if onProgress != nil && total > 0 {
 				onProgress(i, float64(done)/float64(total))
 			}
 		})
+		tel.shardDone()
+		annotateShardSpan(span, start, results[i])
+		span.End()
 		if results[i].err != nil {
 			failFast()
 		}
@@ -109,6 +122,32 @@ func runShards(ctx context.Context, shards []*cdr.Table, spec JobSpec, onProgres
 		return nil, nil, cancelled
 	}
 	return mergeShardResults(results, len(shards) > 1)
+}
+
+// annotateShardSpan records the shard outcome on its span: the input
+// size, merge and kernel accounting, and — grafted from the engine's
+// GloveStats timing — index_build and merge child spans approximating
+// where the shard's wall clock went (chunked shards sum their blocks'
+// phases, so the two children may not tile the shard span exactly).
+func annotateShardSpan(span obs.ActiveSpan, start time.Time, r shardResult) {
+	if r.err != nil {
+		span.SetAttr("error", r.err.Error())
+		return
+	}
+	st := r.stats
+	if st == nil {
+		return
+	}
+	span.SetAttr("fingerprints", st.InputFingerprints)
+	span.SetAttr("merges", st.Merges)
+	if st.EffortKernelCalls > 0 {
+		span.SetAttr("kernel_prune_ratio",
+			float64(st.EffortKernelPruned)/float64(st.EffortKernelCalls))
+	}
+	build := time.Duration(st.IndexBuildNanos)
+	span.AddCompleted(obs.SpanIndexBuild, "", start, build, nil)
+	span.AddCompleted(obs.SpanMerge, "", start.Add(build), time.Duration(st.MergeNanos),
+		map[string]any{"merges": st.Merges})
 }
 
 // runShard converts one shard table into a fingerprint dataset and

@@ -47,6 +47,8 @@ type (
 	WindowStatus  = api.WindowStatus
 	WindowState   = api.WindowState
 	MetricsReport = api.MetricsReport
+	JobTrace      = api.JobTrace
+	TraceSpan     = api.TraceSpan
 	Health        = api.Health
 	Code          = api.Code
 )
@@ -317,6 +319,15 @@ func (c *Client) Metrics(ctx context.Context) (MetricsReport, error) {
 	var m MetricsReport
 	err := c.doJSON(ctx, http.MethodGet, "/v1/metrics", nil, nil, &m)
 	return m, err
+}
+
+// JobTrace fetches the span tree a job's run recorded (plan, windows,
+// shards, index-build/merge phases). A job that never started has no
+// trace — a trace_not_found error.
+func (c *Client) JobTrace(ctx context.Context, jobID string) (JobTrace, error) {
+	var tr JobTrace
+	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(jobID)+"/trace", nil, nil, &tr)
+	return tr, err
 }
 
 // --- plumbing ---
