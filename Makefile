@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt depcheck test race bench bench-json profile expolint check
+.PHONY: all build vet fmt depcheck test race bench bench-json profile profile-1m expolint check
 
 all: check
 
@@ -25,7 +25,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/service/ ./internal/parallel/ ./internal/core/ ./internal/obs/ ./pkg/client/
+	$(GO) test -race ./internal/service/ ./internal/parallel/ ./internal/core/ ./internal/obs/ ./internal/colstore/ ./pkg/client/
 
 # expolint pins the Prometheus text-exposition contract: the strict
 # parser round-trips over rendered registries and a live /metrics
@@ -38,12 +38,13 @@ bench:
 
 # bench-json runs the ablation benchmarks (nearest cache, merge stages,
 # reshape, parallel scaling, pruning, chunked, dense-vs-sparse index,
-# pruned-vs-naive effort kernel; DESIGN.md Sec. 5) and records the
-# machine-readable stream in BENCH_glove.json so the performance
-# trajectory is tracked across PRs.
+# pruned-vs-naive effort kernel; DESIGN.md Sec. 5) plus the 100k/300k/1M
+# scaling series with its peak-heap metrics (DESIGN.md Sec. 11) and
+# records the machine-readable stream in BENCH_glove.json so the
+# performance trajectory is tracked across PRs.
 bench-json:
-	$(GO) test -run=^$$ -bench='BenchmarkAblation|BenchmarkFingerprintEffortKernel|BenchmarkEffortKernel' \
-		-benchtime=1x -json . ./internal/core > BENCH_glove.json
+	$(GO) test -run=^$$ -bench='BenchmarkAblation|BenchmarkFingerprintEffortKernel|BenchmarkEffortKernel|BenchmarkScaling' \
+		-benchtime=1x -timeout=30m -json . ./internal/core > BENCH_glove.json
 
 # profile writes a CPU pprof of the k=2 civ GLOVE run (the
 # BenchmarkAblationNearestCache/cached workload, which is dominated by
@@ -51,5 +52,12 @@ bench-json:
 profile:
 	$(GO) test -run=^$$ -bench='BenchmarkAblationNearestCache/cached' \
 		-benchtime=3x -cpuprofile=cpu.pprof -o bench.test .
+
+# profile-1m writes a CPU pprof of the 1M-fingerprint index-build and
+# merge-burst probe to cpu1m.pprof — the workload the scaling tier
+# optimizes; inspect with `go tool pprof cpu1m.pprof`.
+profile-1m:
+	$(GO) test -run=^$$ -bench='BenchmarkScalingIndexMerge/1m' \
+		-benchtime=1x -timeout=30m -cpuprofile=cpu1m.pprof -o bench.test .
 
 check: build vet fmt depcheck test

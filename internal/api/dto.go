@@ -270,4 +270,26 @@ type MetricsReport struct {
 	// Runtime snapshots process health (goroutines, heap, GC, uptime,
 	// boot id) so restarts and leaks are visible without a scraper.
 	Runtime obs.RuntimeInfo `json:"runtime"`
+	// Colstore snapshots the memory-bounded columnar storage tier;
+	// omitted entirely on daemons running the in-memory table backend.
+	Colstore *ColstoreInfo `json:"colstore,omitempty"`
+}
+
+// ColstoreInfo snapshots the columnar storage tier of the dataset
+// registry (gloved -columnar): the live resident/spilled footprint and
+// the cumulative spill-path traffic since boot.
+type ColstoreInfo struct {
+	// Datasets counts the registered columnar-backed datasets.
+	Datasets int `json:"datasets"`
+	// ResidentBytes is the column bytes currently held in memory across
+	// all columnar stores; bounded by the per-dataset byte budget.
+	ResidentBytes int64 `json:"resident_bytes"`
+	// ResidentChunks / SpilledChunks split the column chunks by where
+	// they currently live.
+	ResidentChunks int `json:"resident_chunks"`
+	SpilledChunks  int `json:"spilled_chunks"`
+	// ChunkFaults / ChunkSpills count chunk reads from and writes to the
+	// spill file since boot (monotone, deletion-proof).
+	ChunkFaults int64 `json:"chunk_faults"`
+	ChunkSpills int64 `json:"chunk_spills"`
 }

@@ -21,24 +21,11 @@ import (
 // with planar coordinates in meters and times in minutes, one row per
 // published sample, plus a `count` column carrying the group size.
 
-// WriteCSV writes the raw record table.
+// WriteCSV writes the raw record table. It is WriteSourceCSV over the
+// in-memory backend; both spellings stay because callers predate the
+// Source seam.
 func WriteCSV(w io.Writer, t *Table) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"user", "lat", "lon", "minute"}); err != nil {
-		return err
-	}
-	row := make([]string, 4)
-	for _, r := range t.Records {
-		row[0] = r.User
-		row[1] = strconv.FormatFloat(r.Pos.Lat, 'f', -1, 64)
-		row[2] = strconv.FormatFloat(r.Pos.Lon, 'f', -1, 64)
-		row[3] = strconv.FormatFloat(r.Minute, 'f', -1, 64)
-		if err := cw.Write(row); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return WriteSourceCSV(w, t)
 }
 
 // ReadCSV reads a raw record table written by WriteCSV. Center and

@@ -21,7 +21,7 @@ func (t *Table) ShardByUser(shards int, seed uint64) []*Table {
 	for _, r := range t.Records {
 		b, ok := assigned[r.User]
 		if !ok {
-			b = int(userHash(r.User, seed) % uint64(shards))
+			b = ShardOfUser(r.User, shards, seed)
 			assigned[r.User] = b
 		}
 		buckets[b] = append(buckets[b], r)

@@ -51,23 +51,38 @@ type fpView struct {
 	tHiMax                 []float64
 	bounds                 FingerprintBounds
 	count                  int // n_a, the subscriber count behind the fingerprint
+
+	// backing is the single allocation behind the seven arrays, kept so
+	// the working set can recycle it through its view pool when the slot
+	// dies (DESIGN.md Sec. 11: the merge loop allocates no views in
+	// steady state). Arena-built views carry their arena segment here;
+	// recycling it is harmless (capacity-checked on reuse).
+	backing []float64
 }
 
-// newFPView flattens a fingerprint into its SoA kernel view. One backing
-// allocation serves all seven arrays.
-func newFPView(f *Fingerprint) *fpView {
+// fill (re)builds the view for f inside the given backing slice, which
+// must hold exactly 7*len(f.Samples) float64s. The bounding volume is
+// accumulated in the same pass — the column spans being merged are
+// exactly the bounds, so the former second BoundsOf sweep is free here
+// (identical values: samples are finite, so running comparisons match
+// math.Min/Max).
+func (v *fpView) fill(f *Fingerprint, backing []float64) {
 	m := len(f.Samples)
-	backing := make([]float64, 7*m)
-	v := &fpView{
-		x:      backing[0*m : 1*m],
-		xHi:    backing[1*m : 2*m],
-		y:      backing[2*m : 3*m],
-		yHi:    backing[3*m : 4*m],
-		t:      backing[4*m : 5*m],
-		tHi:    backing[5*m : 6*m],
-		tHiMax: backing[6*m : 7*m],
-		bounds: BoundsOf(f),
-		count:  f.Count,
+	*v = fpView{
+		x:       backing[0*m : 1*m],
+		xHi:     backing[1*m : 2*m],
+		y:       backing[2*m : 3*m],
+		yHi:     backing[3*m : 4*m],
+		t:       backing[4*m : 5*m],
+		tHi:     backing[5*m : 6*m],
+		tHiMax:  backing[6*m : 7*m],
+		count:   f.Count,
+		backing: backing,
+	}
+	b := FingerprintBounds{
+		MinX: math.Inf(1), MaxX: math.Inf(-1),
+		MinY: math.Inf(1), MaxY: math.Inf(-1),
+		MinT: math.Inf(1), MaxT: math.Inf(-1),
 	}
 	hiMax := math.Inf(-1)
 	for i := range f.Samples {
@@ -82,7 +97,34 @@ func newFPView(f *Fingerprint) *fpView {
 			hiMax = v.tHi[i]
 		}
 		v.tHiMax[i] = hiMax
+		if v.x[i] < b.MinX {
+			b.MinX = v.x[i]
+		}
+		if v.xHi[i] > b.MaxX {
+			b.MaxX = v.xHi[i]
+		}
+		if v.y[i] < b.MinY {
+			b.MinY = v.y[i]
+		}
+		if v.yHi[i] > b.MaxY {
+			b.MaxY = v.yHi[i]
+		}
+		if v.t[i] < b.MinT {
+			b.MinT = v.t[i]
+		}
+		if v.tHi[i] > b.MaxT {
+			b.MaxT = v.tHi[i]
+		}
 	}
+	v.bounds = b
+}
+
+// newFPView flattens a fingerprint into its SoA kernel view with a
+// fresh backing allocation. Hot paths use the working set's pooled and
+// arena variants instead.
+func newFPView(f *Fingerprint) *fpView {
+	v := &fpView{}
+	v.fill(f, make([]float64, 7*len(f.Samples)))
 	return v
 }
 

@@ -294,12 +294,26 @@ func newGloveState(ctx context.Context, d *Dataset, opt GloveOptions) (*gloveSta
 		ws.alive[i] = true
 		st.active++
 	}
-	// SoA kernel views for the initially active slots; each is immutable
-	// until its slot is merged away, so the indexes built next can share
-	// them freely across goroutines.
+	// SoA kernel views for the initially active slots, built in bulk
+	// into one shared column arena: a single allocation sized by a
+	// prefix sum over sample counts, filled in parallel (each slot owns
+	// a disjoint segment). Each view is immutable until its slot is
+	// merged away, so the indexes built next can share them freely
+	// across goroutines; at 1M fingerprints this replaces 1M small
+	// allocations with one.
+	offsets := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		offsets[i+1] = offsets[i]
+		if ws.alive[i] {
+			offsets[i+1] += 7 * len(ws.fps[i].Samples)
+		}
+	}
+	arena := make([]float64, offsets[n])
 	parallel.For(n, opt.Workers, func(i int) {
 		if ws.alive[i] {
-			ws.views[i] = newFPView(ws.fps[i])
+			v := &fpView{}
+			v.fill(ws.fps[i], arena[offsets[i]:offsets[i+1]:offsets[i+1]])
+			ws.views[i] = v
 		}
 	})
 	kind, err := opt.resolveIndex(n)
@@ -359,8 +373,9 @@ func (st *gloveState) merge(i, j int) {
 func (st *gloveState) foldIntoDone(i int) {
 	ws := st.ws
 	f := ws.fps[i]
-	fv := ws.views[i]
-	ws.kill(i)
+	// Detach rather than kill: the leftover's view feeds every candidate
+	// evaluation below and must not be recycled mid-fold.
+	fv := ws.detach(i)
 	st.active--
 	st.idx.Remove(i)
 
@@ -373,7 +388,11 @@ func (st *gloveState) foldIntoDone(i int) {
 	}
 	res := parallel.Map(len(st.done), st.opt.Workers, func(c int) cand {
 		thr := math.Float64frombits(bestBits.Load())
-		e, below := p.effortBelowViews(fv, newFPView(st.done[c]), thr)
+		// Per-group views come from the shared pool (bounds included in
+		// the fill pass — no separate BoundsOf sweep per candidate).
+		dv := ws.borrowView(st.done[c])
+		e, below := p.effortBelowViews(fv, dv, thr)
+		ws.returnView(dv)
 		ws.kc.calls.Add(1)
 		if !below {
 			ws.kc.pruned.Add(1)
@@ -396,6 +415,7 @@ func (st *gloveState) foldIntoDone(i int) {
 		}
 	}
 	st.done[bestIdx] = MergeFingerprints(p, st.done[bestIdx], f, st.opt.Merge)
+	ws.returnView(fv)
 }
 
 // applySuppression removes over-generalized samples from the published

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math"
+	"sync"
 )
 
 // workingSet is the slot table an EffortIndex operates over: the active
@@ -24,23 +25,69 @@ type workingSet struct {
 	views []*fpView      // slot -> cached kernel view (nil when dead)
 	n     int            // slot capacity (== initial dataset size)
 
+	// viewPool recycles view structs and their backing arrays between
+	// merges, keeping the fpView layer allocation-free in steady state:
+	// every merge kills two slots and puts at most one, so the pool
+	// never grows past the churn of the run. The pool is also shared by
+	// the leftover fold's transient per-group views.
+	viewPool sync.Pool
+
 	kc kernelCounters // pruned-kernel accounting for GloveStats
 }
 
+// borrowView builds a kernel view for f from pooled storage. The caller
+// owns the view until it recycles it (returnView) or hands it to a slot
+// (put does both ends internally).
+func (ws *workingSet) borrowView(f *Fingerprint) *fpView {
+	v, _ := ws.viewPool.Get().(*fpView)
+	if v == nil {
+		v = &fpView{}
+	}
+	need := 7 * len(f.Samples)
+	backing := v.backing
+	if cap(backing) < need {
+		backing = make([]float64, need)
+	}
+	v.fill(f, backing[:need])
+	return v
+}
+
+// returnView recycles a view obtained from borrowView. The view must no
+// longer be referenced: its backing is overwritten by the next borrow.
+func (ws *workingSet) returnView(v *fpView) {
+	if v != nil {
+		ws.viewPool.Put(v)
+	}
+}
+
 // put (re)activates slot i with fingerprint f, rebuilding its kernel
-// view. The view is immutable from here on: merging removes both inputs
-// and puts a fresh fingerprint, it never edits one in place.
+// view from pooled storage. The view is immutable from here on: merging
+// removes both inputs and puts a fresh fingerprint, it never edits one
+// in place.
 func (ws *workingSet) put(i int, f *Fingerprint) {
 	ws.fps[i] = f
 	ws.alive[i] = true
-	ws.views[i] = newFPView(f)
+	ws.views[i] = ws.borrowView(f)
 }
 
-// kill deactivates slot i and drops its fingerprint and view.
+// kill deactivates slot i, dropping its fingerprint and recycling its
+// view. Callers that still need the view must detach first.
 func (ws *workingSet) kill(i int) {
 	ws.alive[i] = false
 	ws.fps[i] = nil
+	ws.returnView(ws.views[i])
 	ws.views[i] = nil
+}
+
+// detach deactivates slot i like kill but hands the view back to the
+// caller instead of recycling it — the leftover fold keeps reading the
+// view after the slot dies.
+func (ws *workingSet) detach(i int) *fpView {
+	v := ws.views[i]
+	ws.alive[i] = false
+	ws.fps[i] = nil
+	ws.views[i] = nil
+	return v
 }
 
 // effortBelow runs the pruned kernel over the cached views of two live

@@ -34,6 +34,12 @@ type denseIndex struct {
 	matrix  []float64 // n*n efforts among active slots
 	trunc   []bool    // entry holds a lower bound, not the exact effort
 	nearest []int     // slot -> active slot at canonical min effort (-1 if none)
+
+	// Reinsert scratch rows, allocated once at Build so the per-merge
+	// offer fan-out allocates nothing (the merge loop is serial, so one
+	// set suffices).
+	reE     []float64
+	reTrunc []bool
 }
 
 func newDenseIndex(ws *workingSet, naive bool) *denseIndex {
@@ -52,6 +58,8 @@ func (x *denseIndex) Build(ctx context.Context) error {
 	x.matrix = make([]float64, n*n)
 	x.trunc = make([]bool, n*n)
 	x.nearest = make([]int, n)
+	x.reE = make([]float64, n)
+	x.reTrunc = make([]bool, n)
 	if x.naive {
 		// The ablation's full-matrix rescans read every entry, so build
 		// the exact matrix, one evaluation per unordered pair.
@@ -233,14 +241,10 @@ func (x *denseIndex) Remove(i int) {
 func (x *denseIndex) Reinsert(i int) {
 	ws := x.ws
 	n := ws.n
-	type entry struct {
-		e     float64
-		trunc bool
-		dead  bool
-	}
-	row := parallel.Map(n, ws.workers, func(c int) entry {
+	parallel.For(n, ws.workers, func(c int) {
 		if c == i || !ws.alive[c] {
-			return entry{dead: true}
+			x.reE[c] = math.NaN() // dead marker
+			return
 		}
 		thr := math.Inf(1)
 		if !x.naive {
@@ -249,16 +253,17 @@ func (x *denseIndex) Reinsert(i int) {
 			}
 		}
 		e, below := ws.effortBelow(i, c, thr)
-		return entry{e: e, trunc: !below}
+		x.reE[c] = e
+		x.reTrunc[c] = !below
 	})
-	for c, en := range row {
-		if en.dead {
+	for c, e := range x.reE {
+		if math.IsNaN(e) {
 			continue
 		}
-		x.matrix[i*n+c] = en.e
-		x.matrix[c*n+i] = en.e
-		x.trunc[i*n+c] = en.trunc
-		x.trunc[c*n+i] = en.trunc
+		x.matrix[i*n+c] = e
+		x.matrix[c*n+i] = e
+		x.trunc[i*n+c] = x.reTrunc[c]
+		x.trunc[c*n+i] = x.reTrunc[c]
 	}
 	x.rescanNearest(i)
 	// Other caches may only improve via the reinserted slot. On an exact

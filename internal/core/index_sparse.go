@@ -50,6 +50,11 @@ type sparseIndex struct {
 	grid             map[[2]int32][]int32
 	gridMin, gridMax [2]int32 // monotone cell-coordinate envelope
 	maxReach         float64  // monotone max of reach over all inserts
+
+	// offers is the Reinsert scratch row, allocated once at Build so the
+	// per-merge offer fan-out allocates nothing (the merge loop is
+	// serial, so one row suffices).
+	offers []float64
 }
 
 // candidate is one entry of a per-slot list: the effort to a neighbour
@@ -93,20 +98,81 @@ func (x *sparseIndex) Build(ctx context.Context) error {
 	x.cutE = make([]float64, n)
 	x.cutS = make([]int32, n)
 	x.grid = make(map[[2]int32][]int32)
+	x.offers = make([]float64, n)
+
+	// Grid construction runs over contiguous slot stripes in parallel:
+	// each stripe builds a private sub-grid (plus its envelope and reach
+	// maximum) over its own slots, writing per-slot geometry directly
+	// (disjoint indices). Concatenating the per-cell lists in stripe
+	// order then reproduces exactly the serial loop's ascending slot
+	// order inside every cell — the order ring scans observe — so the
+	// parallel build is bit-identical to the old serial one.
+	workers := ws.workers
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	stripes := workers
+	if stripes > n {
+		stripes = 1
+	}
+	type stripeGrid struct {
+		grid     map[[2]int32][]int32
+		min, max [2]int32
+		any      bool
+		maxReach float64
+	}
+	sgs := make([]stripeGrid, stripes)
+	if err := parallel.ForContext(ctx, stripes, workers, func(s int) {
+		sg := &sgs[s]
+		sg.grid = make(map[[2]int32][]int32)
+		for i := n * s / stripes; i < n*(s+1)/stripes; i++ {
+			if !ws.alive[i] {
+				continue
+			}
+			cell := x.placeGeom(i)
+			sg.grid[cell] = append(sg.grid[cell], int32(i))
+			if !sg.any {
+				sg.min, sg.max = cell, cell
+				sg.any = true
+			} else {
+				for a := 0; a < 2; a++ {
+					if cell[a] < sg.min[a] {
+						sg.min[a] = cell[a]
+					}
+					if cell[a] > sg.max[a] {
+						sg.max[a] = cell[a]
+					}
+				}
+			}
+			if x.reach[i] > sg.maxReach {
+				sg.maxReach = x.reach[i]
+			}
+			x.lists[i] = make([]candidate, 0, x.m+1)
+		}
+	}); err != nil {
+		return err
+	}
 	first := true
-	for i := 0; i < n; i++ {
-		if !ws.alive[i] {
+	for s := range sgs {
+		sg := &sgs[s]
+		if !sg.any {
 			continue
 		}
-		x.place(i)
+		for cell, slots := range sg.grid {
+			x.grid[cell] = append(x.grid[cell], slots...)
+		}
 		if first {
-			x.gridMin, x.gridMax = x.cellOf[i], x.cellOf[i]
+			x.gridMin, x.gridMax = sg.min, sg.max
 			first = false
 		} else {
-			x.expandEnvelope(x.cellOf[i])
+			x.expandEnvelope(sg.min)
+			x.expandEnvelope(sg.max)
 		}
-		x.lists[i] = make([]candidate, 0, x.m+1)
+		if sg.maxReach > x.maxReach {
+			x.maxReach = sg.maxReach
+		}
 	}
+
 	// Per-slot rebuilds are independent: each writes only its own list
 	// and cutoff, and reads the (frozen during Build) grid and geometry.
 	return parallel.ForContext(ctx, n, ws.workers, func(i int) {
@@ -116,18 +182,25 @@ func (x *sparseIndex) Build(ctx context.Context) error {
 	})
 }
 
-// place computes slot i's geometry and registers it in the grid. The
-// caller ensures ws.fps[i] (and so its cached kernel view) is set.
-func (x *sparseIndex) place(i int) {
+// placeGeom computes and stores slot i's geometry (bounds, cell, reach)
+// and returns its grid cell. The caller ensures ws.fps[i] (and so its
+// cached kernel view) is set.
+func (x *sparseIndex) placeGeom(i int) [2]int32 {
 	b := x.ws.views[i].bounds
 	x.bounds[i] = b
 	cx, cy := (b.MinX+b.MaxX)/2, (b.MinY+b.MaxY)/2
 	cell := [2]int32{int32(math.Floor(cx / x.cw)), int32(math.Floor(cy / x.cw))}
 	x.cellOf[i] = cell
-	r := math.Max(b.MaxX-b.MinX, b.MaxY-b.MinY) / 2
-	x.reach[i] = r
-	if r > x.maxReach {
-		x.maxReach = r
+	x.reach[i] = math.Max(b.MaxX-b.MinX, b.MaxY-b.MinY) / 2
+	return cell
+}
+
+// place computes slot i's geometry and registers it in the main grid
+// (the Reinsert path; Build goes through stripe-local grids instead).
+func (x *sparseIndex) place(i int) {
+	cell := x.placeGeom(i)
+	if x.reach[i] > x.maxReach {
+		x.maxReach = x.reach[i]
 	}
 	x.grid[cell] = append(x.grid[cell], int32(i))
 }
@@ -302,11 +375,25 @@ func (x *sparseIndex) head(i int) (candidate, bool) {
 	return list[0], true
 }
 
-func (x *sparseIndex) MinPair() (int, int) {
+// minPairParallelCut is the slot count above which MinPair fans its
+// head scan out across workers; below it the serial scan wins (the
+// fan-out costs more than the scan itself). A variable so the
+// equivalence tests can force the parallel path on small datasets.
+var minPairParallelCut = 4096
+
+// headBest is one stripe's minimum over head entries.
+type headBest struct {
+	e    float64
+	i, j int
+}
+
+// scanHeads returns the canonical first minimum over the heads of slots
+// [lo, hi): strictly lower effort replaces, so the lowest slot index
+// wins effort ties — the serial MinPair selection rule.
+func (x *sparseIndex) scanHeads(lo, hi int) headBest {
 	ws := x.ws
-	best := math.Inf(1)
-	bi, bj := -1, -1
-	for i := 0; i < ws.n; i++ {
+	b := headBest{e: math.Inf(1), i: -1, j: -1}
+	for i := lo; i < hi; i++ {
 		if !ws.alive[i] {
 			continue
 		}
@@ -314,11 +401,46 @@ func (x *sparseIndex) MinPair() (int, int) {
 		if !ok {
 			continue
 		}
-		if h.e < best {
-			best = h.e
-			bi, bj = i, int(h.slot)
+		if h.e < b.e {
+			b = headBest{e: h.e, i: i, j: int(h.slot)}
 		}
 	}
+	return b
+}
+
+// MinPair scans the per-slot heads for the canonical global minimum.
+// Above minPairParallelCut the scan runs over contiguous slot stripes
+// in parallel and the stripe minima reduce in stripe order with a
+// strict comparison — exactly the serial scan's first-minimum rule, so
+// the selected pair (and hence the whole run) is bit-identical to the
+// serial path. Stripe scans are safe to run concurrently: head only
+// mutates per-slot state (lazy purge and rebuild of slot i's own list
+// and cutoff) and reads shared structures that are frozen between
+// merges (grid, geometry, alive flags, views); kernel counters are
+// atomic.
+func (x *sparseIndex) MinPair() (int, int) {
+	ws := x.ws
+	workers := ws.workers
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	var b headBest
+	if ws.n < minPairParallelCut || workers <= 1 {
+		b = x.scanHeads(0, ws.n)
+	} else {
+		stripes := workers
+		res := make([]headBest, stripes)
+		parallel.For(stripes, workers, func(s int) {
+			res[s] = x.scanHeads(ws.n*s/stripes, ws.n*(s+1)/stripes)
+		})
+		b = headBest{e: math.Inf(1), i: -1, j: -1}
+		for _, r := range res {
+			if r.i >= 0 && r.e < b.e {
+				b = r
+			}
+		}
+	}
+	bi, bj := b.i, b.j
 	if bi > bj {
 		bi, bj = bj, bi
 	}
@@ -355,22 +477,26 @@ func (x *sparseIndex) Reinsert(i int) {
 	// invariant: the excluded candidate is >= the cutoff by
 	// construction).
 	i32 := int32(i)
-	row := parallel.Map(ws.n, ws.workers, func(c int) float64 {
+	row := x.offers
+	parallel.For(ws.n, ws.workers, func(c int) {
 		if c == i || !ws.alive[c] {
-			return math.NaN()
+			row[c] = math.NaN()
+			return
 		}
 		lb := p.EffortLowerBound(x.bounds[i], x.bounds[c])
 		if !lexLess(lb, i32, x.cutE[c], x.cutS[c]) {
-			return math.NaN()
+			row[c] = math.NaN()
+			return
 		}
 		// Pruned kernel, thresholded at the slot's cutoff effort: a
 		// not-below result proves the offer lies strictly beyond the
 		// cutoff, so skipping it preserves the list invariant.
 		e, below := ws.effortBelow(i, c, x.cutE[c])
 		if !below {
-			return math.NaN()
+			row[c] = math.NaN()
+			return
 		}
-		return e
+		row[c] = e
 	})
 	for c, e := range row {
 		if math.IsNaN(e) || !lexLess(e, i32, x.cutE[c], x.cutS[c]) {

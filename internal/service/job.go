@@ -198,7 +198,7 @@ type jobWindow struct {
 
 // initWindows records the windowed job's layout; called once when the
 // run has split its snapshot.
-func (j *Job) initWindows(wins []cdr.Window) {
+func (j *Job) initWindows(wins []cdr.SourceWindow) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.windows = make([]*jobWindow, len(wins))
@@ -207,8 +207,8 @@ func (j *Job) initWindows(wins []cdr.Window) {
 			index:       w.Index,
 			startMinute: w.StartMinute,
 			endMinute:   w.EndMinute,
-			records:     len(w.Table.Records),
-			users:       w.Table.Users(),
+			records:     w.Source.NumRecords(),
+			users:       w.Source.NumUsers(),
 			state:       WindowPending,
 		}
 	}

@@ -94,10 +94,10 @@ func TestPlanShards(t *testing.T) {
 	}
 	var total int
 	for i, s := range shards {
-		if s.Users() < 2 {
-			t.Errorf("shard %d hides %d users < k", i, s.Users())
+		if s.NumUsers() < 2 {
+			t.Errorf("shard %d hides %d users < k", i, s.NumUsers())
 		}
-		total += len(s.Records)
+		total += s.NumRecords()
 	}
 	if total != len(table.Records) {
 		t.Errorf("shards hold %d records, want %d", total, len(table.Records))

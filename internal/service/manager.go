@@ -657,7 +657,7 @@ type runOutcome struct {
 // frozen snapshot of the dataset: appends racing the run bump the
 // registry version but never change what this job anonymizes.
 func (m *Manager) execute(ctx context.Context, job *Job, spec JobSpec) (runOutcome, error) {
-	table, info, ok := m.reg.Snapshot(spec.DatasetID)
+	table, info, ok := m.reg.SnapshotSource(spec.DatasetID)
 	if !ok {
 		return runOutcome{}, fmt.Errorf("service: dataset %q disappeared", spec.DatasetID)
 	}
@@ -710,8 +710,8 @@ func (m *Manager) execute(ctx context.Context, job *Job, spec JobSpec) (runOutco
 // the batch run), and every completed window is committed — and
 // downloadable — before the next one starts. A failure or cancellation
 // mid-window never publishes that window.
-func (m *Manager) executeWindowed(ctx context.Context, job *Job, spec JobSpec, table *cdr.Table, info DatasetInfo) (runOutcome, error) {
-	wins, err := table.SplitByWindow(spec.WindowDuration())
+func (m *Manager) executeWindowed(ctx context.Context, job *Job, spec JobSpec, table cdr.Source, info DatasetInfo) (runOutcome, error) {
+	wins, err := table.WindowSplit(spec.WindowDuration())
 	if err != nil {
 		return runOutcome{}, err
 	}
@@ -729,14 +729,14 @@ func (m *Manager) executeWindowed(ctx context.Context, job *Job, spec JobSpec, t
 	userCounts := make([]int, len(wins))
 	maxUsers := 0
 	for wi, win := range wins {
-		users := win.Table.Users()
+		users := win.Source.NumUsers()
 		if users < spec.K {
 			return runOutcome{}, fmt.Errorf(
 				"service: window %d (minutes [%g, %g)) hides %d users, cannot %d-anonymize; use a longer window",
 				win.Index, win.StartMinute, win.EndMinute, users, spec.K)
 		}
 		userCounts[wi] = users
-		shards := planShards(win.Table, users, spec.K, spec.Shards, m.opt.ShardSeed)
+		shards := planShards(win.Source, users, spec.K, spec.Shards, m.opt.ShardSeed)
 		if u := maxShardUsers(shards); u > maxUsers {
 			maxUsers = u
 		}
@@ -762,9 +762,9 @@ func (m *Manager) executeWindowed(ctx context.Context, job *Job, spec JobSpec, t
 		}
 		wname := fmt.Sprintf("w%d", win.Index)
 		wspan := root.Child(obs.SpanWindow, wname)
-		wspan.SetAttr("records", len(win.Table.Records))
+		wspan.SetAttr("records", win.Source.NumRecords())
 		wspan.SetAttr("users", userCounts[wi])
-		shards := planShards(win.Table, userCounts[wi], spec.K, spec.Shards, m.opt.ShardSeed)
+		shards := planShards(win.Source, userCounts[wi], spec.K, spec.Shards, m.opt.ShardSeed)
 		job.startWindow(wi, len(shards))
 		out, stats, err := runShards(ctx, shards, spec, m.tel, wspan, func(shard int, frac float64) {
 			job.setWindowShardProgress(wi, shard, frac)
@@ -812,10 +812,10 @@ func (m *Manager) executeWindowed(ctx context.Context, job *Job, spec JobSpec, t
 }
 
 // maxShardUsers returns the subscriber count of the largest shard.
-func maxShardUsers(shards []*cdr.Table) int {
+func maxShardUsers(shards []cdr.Source) int {
 	max := 0
 	for _, s := range shards {
-		if u := s.Users(); u > max {
+		if u := s.NumUsers(); u > max {
 			max = u
 		}
 	}
@@ -833,14 +833,14 @@ const (
 // crossWindowLinkage measures residual cross-release linkability of a
 // finished windowed run (nil for single-window runs, on cancellation,
 // or for inputs above the analysis cap).
-func (m *Manager) crossWindowLinkage(ctx context.Context, wins []cdr.Window, releases []*core.Dataset, spec JobSpec) *analysis.LinkageResult {
+func (m *Manager) crossWindowLinkage(ctx context.Context, wins []cdr.SourceWindow, releases []*core.Dataset, spec JobSpec) *analysis.LinkageResult {
 	if len(releases) < 2 || ctx.Err() != nil {
 		return nil
 	}
 	originals := make([]*core.Dataset, len(wins))
 	totalUsers := 0
 	for i, win := range wins {
-		ds, err := win.Table.BuildDataset()
+		ds, err := win.Source.BuildDataset()
 		if err != nil {
 			return nil
 		}
@@ -885,6 +885,7 @@ func (m *Manager) Report() MetricsReport {
 		JobsByStrategy: make(map[core.Strategy]int),
 		JobsByIndex:    make(map[core.IndexKind]int),
 		Runtime:        m.tel.Runtime(),
+		Colstore:       m.reg.ColstoreReport(),
 	}
 	var done []JobStatus
 	for _, st := range m.List() {
@@ -946,7 +947,7 @@ func (m *Manager) Trace(id string) (api.JobTrace, error) {
 // reporting the fraction of fingerprints that were k-anonymous before
 // GLOVE ran. The pass is quadratic, so it is skipped (nil) for inputs
 // above the configured cap or when the analysis fails.
-func (m *Manager) anonymizability(ctx context.Context, table *cdr.Table, spec JobSpec) *float64 {
+func (m *Manager) anonymizability(ctx context.Context, table cdr.Source, spec JobSpec) *float64 {
 	if ctx.Err() != nil {
 		return nil
 	}

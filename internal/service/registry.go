@@ -1,12 +1,15 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/cdr"
+	"repro/internal/colstore"
 	"repro/internal/geo"
 )
 
@@ -21,16 +24,38 @@ type Registry struct {
 	// MaxRecords bounds a dataset's total record count (0 = unlimited).
 	// The bound is enforced during streaming and before any record is
 	// committed, so an oversized upload fails early and never buffers
-	// past the cap.
+	// past the cap. For columnar datasets it is additionally enforced
+	// against the store's own committed count inside its append critical
+	// section, so concurrent appends cannot double-admit.
 	MaxRecords int
 
-	mu    sync.Mutex
-	seq   int
-	infos map[string]DatasetInfo
-	data  map[string]*cdr.Table
-	users map[string]map[string]struct{}
-	order []string
-	tel   *Telemetry
+	// Columnar switches new datasets to the memory-bounded columnar
+	// backend (internal/colstore): records stream directly into column
+	// chunks, never materializing a []Record, and jobs read the store
+	// through cdr.Source views. Existing table-backed datasets are
+	// unaffected; the two backends produce bit-identical pipelines.
+	Columnar bool
+	// ColumnarByteBudget caps the resident column bytes of each columnar
+	// dataset; chunks beyond the budget spill to disk (0 = everything
+	// stays resident).
+	ColumnarByteBudget int64
+	// ColumnarSpillDir holds the columnar spill files ("" = system temp
+	// directory).
+	ColumnarSpillDir string
+
+	mu     sync.Mutex
+	seq    int
+	infos  map[string]DatasetInfo
+	data   map[string]*cdr.Table
+	stores map[string]*colstore.Store
+	users  map[string]map[string]struct{}
+	order  []string
+	tel    *Telemetry
+
+	// colCounters accumulates spill-path activity across every columnar
+	// store ever owned by this registry; shared so the exported fault and
+	// spill counters stay monotone as datasets come and go.
+	colCounters colstore.Counters
 }
 
 // attachTelemetry wires the registry's dataset gauges; NewManager calls
@@ -45,7 +70,52 @@ func (g *Registry) attachTelemetry(tel *Telemetry) {
 		return
 	}
 	g.tel = tel
+	tel.registerColstore(
+		func() float64 { return float64(g.colstoreStats().ResidentBytes) },
+		func() float64 { return float64(g.colstoreStats().SpilledChunks) },
+		func() float64 { return float64(g.colCounters.Faults.Load()) },
+		func() float64 { return float64(g.colCounters.Spills.Load()) },
+	)
 	g.publishTotalsLocked()
+}
+
+// colstoreStats sums the live columnar stores' footprints for the
+// exported gauges.
+func (g *Registry) colstoreStats() colstore.Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var sum colstore.Stats
+	for _, st := range g.stores {
+		s := st.Stats()
+		sum.Records += s.Records
+		sum.Chunks += s.Chunks
+		sum.ResidentChunks += s.ResidentChunks
+		sum.SpilledChunks += s.SpilledChunks
+		sum.ResidentBytes += s.ResidentBytes
+	}
+	return sum
+}
+
+// ColstoreReport summarizes the columnar storage tier for the JSON
+// metrics report; nil when the registry is not running columnar and has
+// no columnar dataset, so table-only daemons omit the block entirely.
+func (g *Registry) ColstoreReport() *api.ColstoreInfo {
+	g.mu.Lock()
+	columnar := g.Columnar || len(g.stores) > 0
+	datasets := len(g.stores)
+	g.mu.Unlock()
+	if !columnar {
+		return nil
+	}
+	st := g.colstoreStats()
+	return &api.ColstoreInfo{
+		Datasets:       datasets,
+		ResidentBytes:  st.ResidentBytes,
+		ResidentChunks: st.ResidentChunks,
+		SpilledChunks:  st.SpilledChunks,
+		ChunkFaults:    g.colCounters.Faults.Load(),
+		ChunkSpills:    g.colCounters.Spills.Load(),
+	}
 }
 
 // publishTotalsLocked pushes the dataset count and record total to the
@@ -82,10 +152,25 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // NewRegistry returns an empty dataset registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		infos: make(map[string]DatasetInfo),
-		data:  make(map[string]*cdr.Table),
-		users: make(map[string]map[string]struct{}),
+		infos:  make(map[string]DatasetInfo),
+		data:   make(map[string]*cdr.Table),
+		stores: make(map[string]*colstore.Store),
+		users:  make(map[string]map[string]struct{}),
 	}
+}
+
+// Close releases every columnar store's spill file; called at daemon
+// shutdown after the manager has stopped all jobs.
+func (g *Registry) Close() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var first error
+	for _, st := range g.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // readRecords streams a record CSV, enforcing the record cap before
@@ -119,6 +204,9 @@ func (g *Registry) Ingest(r io.Reader, name string, center geo.LatLon, spanDays 
 	}
 	if spanDays <= 0 {
 		return DatasetInfo{}, fmt.Errorf("service: span_days = %d, need > 0", spanDays)
+	}
+	if g.Columnar {
+		return g.ingestColumnar(r, name, center, spanDays)
 	}
 	cr := &countingReader{r: r}
 	recs, users, err := g.readRecords(cr, g.MaxRecords)
@@ -154,6 +242,120 @@ func (g *Registry) Ingest(r io.Reader, name string, center geo.LatLon, spanDays 
 	return info, nil
 }
 
+// colstoreOptions assembles the per-store options of a new columnar
+// dataset.
+func (g *Registry) colstoreOptions() colstore.Options {
+	return colstore.Options{
+		ByteBudget: g.ColumnarByteBudget,
+		SpillDir:   g.ColumnarSpillDir,
+		Counters:   &g.colCounters,
+	}
+}
+
+// capErr translates the columnar store's cap violation into the same
+// error the table path's streaming reader reports.
+func (g *Registry) capErr(err error) error {
+	if errors.Is(err, colstore.ErrTooManyRecords) {
+		return fmt.Errorf("service: dataset exceeds %d records", g.MaxRecords)
+	}
+	return err
+}
+
+// ingestColumnar streams a record CSV straight into a fresh columnar
+// store: no []Record is ever materialized, so ingestion memory is the
+// store's resident budget plus one CSV row. The store enforces the
+// record cap against its own committed count and rolls back on any
+// decode error.
+func (g *Registry) ingestColumnar(r io.Reader, name string, center geo.LatLon, spanDays int) (DatasetInfo, error) {
+	cr := &countingReader{r: r}
+	rr := cdr.NewRecordReader(cr)
+	store := colstore.New(cdr.Meta{Center: center, SpanDays: spanDays}, g.colstoreOptions())
+	max := -1
+	if g.MaxRecords > 0 {
+		max = g.MaxRecords
+	}
+	added, err := store.AppendStreamMax(rr.Next, max)
+	if err != nil {
+		return DatasetInfo{}, g.capErr(err)
+	}
+	if added == 0 {
+		return DatasetInfo{}, fmt.Errorf("service: dataset is empty")
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.seq++
+	now := time.Now().UTC()
+	info := DatasetInfo{
+		ID:        fmt.Sprintf("ds-%06d", g.seq),
+		Name:      name,
+		Records:   store.Len(),
+		Users:     store.Users(),
+		SpanDays:  spanDays,
+		Version:   1,
+		Center:    center,
+		CreatedAt: now,
+		UpdatedAt: now,
+	}
+	g.infos[info.ID] = info
+	g.stores[info.ID] = store
+	g.order = append(g.order, info.ID)
+	g.tel.ingested(added, cr.n)
+	g.publishTotalsLocked()
+	return info, nil
+}
+
+// appendColumnar streams additional records into a columnar dataset's
+// store. Atomicity and the record cap live inside the store's append
+// critical section; the registry only refreshes the metadata afterwards
+// from the store's authoritative counts.
+func (g *Registry) appendColumnar(id string, store *colstore.Store, r io.Reader) (DatasetInfo, error) {
+	cr := &countingReader{r: r}
+	rr := cdr.NewRecordReader(cr)
+	maxMinute := 0.0
+	next := func() (cdr.Record, error) {
+		rec, err := rr.Next()
+		if err == nil && rec.Minute > maxMinute {
+			maxMinute = rec.Minute
+		}
+		return rec, err
+	}
+	max := -1
+	if g.MaxRecords > 0 {
+		max = g.MaxRecords
+	}
+	added, err := store.AppendStreamMax(next, max)
+	if err != nil {
+		return DatasetInfo{}, g.capErr(err)
+	}
+	if added == 0 {
+		return DatasetInfo{}, fmt.Errorf("service: append without records")
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	info, ok := g.infos[id]
+	if !ok {
+		// Deleted while the stream was in flight; the store the caller
+		// resolved keeps the records, but it is no longer registered.
+		return DatasetInfo{}, fmt.Errorf("service: unknown dataset %q", id)
+	}
+	// Records may extend the recording period; keep the nominal span
+	// covering the feed (it feeds rate-based screening downstream).
+	if days := int(maxMinute/cdr.MinutesPerDay) + 1; days > info.SpanDays {
+		info.SpanDays = days
+		store.SetSpanDays(days)
+	}
+	info.Records = store.Len()
+	info.Users = store.Users()
+	info.Version++
+	info.UpdatedAt = time.Now().UTC()
+	g.infos[id] = info
+	g.tel.ingested(added, cr.n)
+	g.publishTotalsLocked()
+	return info, nil
+}
+
 // Append streams additional records onto a registered dataset and bumps
 // its version. The append is atomic: a decode error or a record-cap
 // violation leaves the dataset untouched. Snapshots taken by running
@@ -164,9 +366,13 @@ func (g *Registry) Append(id string, r io.Reader) (DatasetInfo, error) {
 	// bound against the current size is re-checked under the lock.
 	g.mu.Lock()
 	info, ok := g.infos[id]
+	store := g.stores[id]
 	g.mu.Unlock()
 	if !ok {
 		return DatasetInfo{}, fmt.Errorf("service: unknown dataset %q", id)
+	}
+	if store != nil {
+		return g.appendColumnar(id, store, r)
 	}
 	room := g.MaxRecords - info.Records
 	if room < 0 {
@@ -229,13 +435,18 @@ func (g *Registry) Get(id string) (DatasetInfo, bool) {
 	return info, ok
 }
 
-// Snapshot returns a frozen copy-on-write view of the dataset's record
-// table together with the metadata of that version. Later appends never
+// SnapshotSource returns a frozen read view of the dataset's records
+// together with the metadata of that version. Later appends never
 // mutate records the snapshot can see, so jobs anonymize exactly the
-// version they started from.
-func (g *Registry) Snapshot(id string) (*cdr.Table, DatasetInfo, bool) {
+// version they started from. Table-backed datasets return a
+// copy-on-write table clone; columnar datasets return an O(1) view
+// bounded to the rows committed so far.
+func (g *Registry) SnapshotSource(id string) (cdr.Source, DatasetInfo, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if st, ok := g.stores[id]; ok {
+		return st.Snapshot(), g.infos[id], true
+	}
 	t, ok := g.data[id]
 	if !ok {
 		return nil, DatasetInfo{}, false
@@ -245,7 +456,9 @@ func (g *Registry) Snapshot(id string) (*cdr.Table, DatasetInfo, bool) {
 
 // Delete removes a dataset, releasing its record table. Jobs already
 // holding a snapshot keep running; queued jobs referencing the ID fail
-// when they start.
+// when they start. A columnar store is unregistered but not closed —
+// running jobs may still fault its spilled chunks; the unlinked spill
+// file is reclaimed once the last view is garbage collected.
 func (g *Registry) Delete(id string) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -254,6 +467,7 @@ func (g *Registry) Delete(id string) bool {
 	}
 	delete(g.infos, id)
 	delete(g.data, id)
+	delete(g.stores, id)
 	delete(g.users, id)
 	for i, oid := range g.order {
 		if oid == id {

@@ -1,0 +1,235 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/cdr"
+	"repro/internal/colstore"
+	"repro/internal/geo"
+)
+
+// columnarRegistry returns a registry running the columnar backend with
+// a small chunk budget so spilling is exercised even by test-sized
+// datasets.
+func columnarRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Columnar = true
+	reg.ColumnarByteBudget = 4 * colstore.DefaultChunkRecords * 28
+	reg.ColumnarSpillDir = t.TempDir()
+	t.Cleanup(func() { reg.Close() })
+	return reg
+}
+
+// capCSV builds a record CSV with n rows, one subscriber per 5 rows.
+func capCSV(n int) string {
+	var b strings.Builder
+	b.WriteString("user,lat,lon,minute\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "u%04d,7.5%d,-5.5%d,%d\n", i/5, i%10, i%7, i*3)
+	}
+	return b.String()
+}
+
+// TestColumnarRecordCapBoundary pins the record-cap accounting of the
+// columnar path: the cap is enforced against the store's own committed
+// count, exactly at the boundary, and violations roll back atomically.
+func TestColumnarRecordCapBoundary(t *testing.T) {
+	center := geo.LatLon{Lat: 7.54, Lon: -5.55}
+
+	// Ingesting exactly MaxRecords succeeds; one more record fails and
+	// registers nothing.
+	reg := columnarRegistry(t)
+	reg.MaxRecords = 50
+	if _, err := reg.Ingest(strings.NewReader(capCSV(51)), "over", center, 1); err == nil {
+		t.Fatal("ingest above the cap accepted")
+	}
+	if got := reg.Count(); got != 0 {
+		t.Fatalf("failed ingest left %d datasets registered", got)
+	}
+	info, err := reg.Ingest(strings.NewReader(capCSV(40)), "at", center, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Appending up to exactly the cap succeeds.
+	info2, err := reg.Append(info.ID, strings.NewReader(capCSV(10)))
+	if err != nil {
+		t.Fatalf("append to exactly the cap: %v", err)
+	}
+	if info2.Records != 50 {
+		t.Fatalf("records at cap = %d, want 50", info2.Records)
+	}
+
+	// One more record over the cap fails atomically: count, users and
+	// version are untouched.
+	if _, err := reg.Append(info.ID, strings.NewReader(capCSV(1))); err == nil {
+		t.Fatal("append beyond the cap accepted")
+	}
+	got, ok := reg.Get(info.ID)
+	if !ok {
+		t.Fatal("dataset disappeared")
+	}
+	if got.Records != 50 || got.Version != info2.Version || got.Users != info2.Users {
+		t.Fatalf("failed append mutated the dataset: %+v vs %+v", got, info2)
+	}
+
+	// The snapshot agrees with the authoritative count.
+	src, _, ok := reg.SnapshotSource(info.ID)
+	if !ok {
+		t.Fatal("snapshot failed")
+	}
+	if src.NumRecords() != 50 {
+		t.Fatalf("snapshot holds %d records, want 50", src.NumRecords())
+	}
+}
+
+// TestColumnarRegistryEquivalence runs the same feed and the same job
+// through a table-backed and a columnar registry and requires identical
+// results end to end: dataset metadata, streamed CSV bytes, and the
+// anonymized output of a sharded windowed job.
+func TestColumnarRegistryEquivalence(t *testing.T) {
+	table := synthTable(t, 40, 2)
+	var raw bytes.Buffer
+	if err := cdr.WriteCSV(&raw, table); err != nil {
+		t.Fatal(err)
+	}
+
+	plain := NewRegistry()
+	col := columnarRegistry(t)
+	infoP, err := plain.Ingest(bytes.NewReader(raw.Bytes()), "d", table.Center, table.SpanDays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infoC, err := col.Ingest(bytes.NewReader(raw.Bytes()), "d", table.Center, table.SpanDays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoP.Records != infoC.Records || infoP.Users != infoC.Users {
+		t.Fatalf("metadata diverges: table %+v, columnar %+v", infoP, infoC)
+	}
+
+	srcP, _, _ := plain.SnapshotSource(infoP.ID)
+	srcC, _, _ := col.SnapshotSource(infoC.ID)
+	var csvP, csvC bytes.Buffer
+	if err := cdr.WriteSourceCSV(&csvP, srcP); err != nil {
+		t.Fatal(err)
+	}
+	if err := cdr.WriteSourceCSV(&csvC, srcC); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvP.Bytes(), csvC.Bytes()) {
+		t.Fatal("columnar snapshot CSV differs from the table snapshot")
+	}
+
+	spec := JobSpec{K: 2, Shards: 2, WindowHours: 24}
+	run := func(reg *Registry, id string) *JobStatus {
+		mgr := NewManager(reg, ManagerOptions{})
+		defer mgr.Close()
+		s := spec
+		s.DatasetID = id
+		st, err := mgr.Submit(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := waitForState(t, mgr, st.ID, func(s JobStatus) bool { return s.State.Terminal() })
+		if final.State != JobDone {
+			t.Fatalf("job finished %s: %s", final.State, final.Error)
+		}
+		return &final
+	}
+	finalP := run(plain, infoP.ID)
+	finalC := run(col, infoC.ID)
+
+	if len(finalP.Windows) != len(finalC.Windows) {
+		t.Fatalf("window counts diverge: %d vs %d", len(finalP.Windows), len(finalC.Windows))
+	}
+	for i := range finalP.Windows {
+		wp, wc := finalP.Windows[i], finalC.Windows[i]
+		if wp.Records != wc.Records || wp.Users != wc.Users || wp.Groups != wc.Groups {
+			t.Errorf("window %d diverges: table %+v, columnar %+v", i, wp, wc)
+		}
+	}
+	// The engine-level accounting (merges, kernel calls are
+	// nondeterministic across workers — compare the deterministic parts).
+	if finalP.Stats.Merges != finalC.Stats.Merges ||
+		finalP.Stats.OutputFingerprints != finalC.Stats.OutputFingerprints ||
+		finalP.Stats.SuppressedSamples != finalC.Stats.SuppressedSamples {
+		t.Errorf("stats diverge: table %+v, columnar %+v", finalP.Stats, finalC.Stats)
+	}
+	if !reflect.DeepEqual(finalP.Accuracy, finalC.Accuracy) {
+		t.Errorf("accuracy diverges: %+v vs %+v", finalP.Accuracy, finalC.Accuracy)
+	}
+
+	// The columnar tier reports its footprint in the metrics block.
+	rep := col.ColstoreReport()
+	if rep == nil || rep.Datasets != 1 {
+		t.Fatalf("colstore report missing or wrong: %+v", rep)
+	}
+	if plain.ColstoreReport() != nil {
+		t.Error("table-backed registry reports a colstore block")
+	}
+}
+
+// TestColstoreMetricsExposition pins the colstore instruments on a live
+// scrape: a budget of one byte forces every sealed chunk to spill, and
+// streaming the snapshot back faults them in, so all four series must
+// show real traffic on /metrics and in the /v1/metrics colstore block.
+func TestColstoreMetricsExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Columnar = true
+	reg.ColumnarByteBudget = 1
+	reg.ColumnarSpillDir = t.TempDir()
+	t.Cleanup(func() { reg.Close() })
+	mgr := NewManager(reg, ManagerOptions{})
+	t.Cleanup(mgr.Close)
+	srv := httptest.NewServer(NewServer(reg, mgr))
+	t.Cleanup(srv.Close)
+
+	// One sealed chunk (DefaultChunkRecords) plus a tail.
+	center := geo.LatLon{Lat: 7.54, Lon: -5.55}
+	info, err := reg.Ingest(strings.NewReader(capCSV(colstore.DefaultChunkRecords+100)), "m", center, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After ingest the sealed chunk is spilled, not resident.
+	fams := scrape(t, srv.URL)
+	if got := value(t, fams, "colstore_resident_bytes", nil); got <= 0 {
+		t.Errorf("colstore_resident_bytes = %g, want > 0", got)
+	}
+	if got := value(t, fams, "colstore_spilled_chunks", nil); got < 1 {
+		t.Errorf("colstore_spilled_chunks = %g, want >= 1", got)
+	}
+	if got := value(t, fams, "colstore_chunk_spills_total", nil); got < 1 {
+		t.Errorf("colstore_chunk_spills_total = %g, want >= 1", got)
+	}
+
+	// Streaming the snapshot back faults the spilled chunk in.
+	src, _, ok := reg.SnapshotSource(info.ID)
+	if !ok {
+		t.Fatal("snapshot failed")
+	}
+	if err := cdr.WriteSourceCSV(io.Discard, src); err != nil {
+		t.Fatal(err)
+	}
+	fams = scrape(t, srv.URL)
+	if got := value(t, fams, "colstore_chunk_faults_total", nil); got < 1 {
+		t.Errorf("colstore_chunk_faults_total = %g, want >= 1", got)
+	}
+
+	var rep api.MetricsReport
+	getJSON(t, srv.URL+"/v1/metrics", &rep)
+	if rep.Colstore == nil {
+		t.Fatal("colstore block missing from /v1/metrics")
+	}
+	if rep.Colstore.Datasets != 1 || rep.Colstore.ChunkSpills < 1 || rep.Colstore.ChunkFaults < 1 {
+		t.Errorf("colstore block does not reflect traffic: %+v", rep.Colstore)
+	}
+}

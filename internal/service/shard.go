@@ -12,13 +12,15 @@ import (
 	"repro/internal/parallel"
 )
 
-// planShards partitions the table for a k-anonymization job. The
+// planShards partitions the snapshot for a k-anonymization job. The
 // requested shard count is clamped so shards average at least 2k
 // subscribers, then lowered further if the hash assignment leaves any
 // shard below k (the minimum a shard needs to anonymize on its own).
 // The result always has at least one shard and covers every record
-// exactly once.
-func planShards(t *cdr.Table, users, k, requested int, seed uint64) []*cdr.Table {
+// exactly once. The source may be an in-memory table or a columnar
+// view; both shard by the same user hash, so the plan is identical
+// across backends.
+func planShards(t cdr.Source, users, k, requested int, seed uint64) []cdr.Source {
 	max := users / (2 * k)
 	if max < 1 {
 		max = 1
@@ -33,10 +35,10 @@ func planShards(t *cdr.Table, users, k, requested int, seed uint64) []*cdr.Table
 	// Each attempt re-hashes every record, so back off geometrically: at
 	// most log2(n) passes even when a client requests an absurd count.
 	for ; n > 1; n /= 2 {
-		shards := t.ShardByUser(n, seed)
+		shards := t.UserShards(n, seed)
 		ok := true
 		for _, s := range shards {
-			if s.Users() < k {
+			if s.NumUsers() < k {
 				ok = false
 				break
 			}
@@ -45,7 +47,7 @@ func planShards(t *cdr.Table, users, k, requested int, seed uint64) []*cdr.Table
 			return shards
 		}
 	}
-	return t.ShardByUser(1, seed)
+	return t.UserShards(1, seed)
 }
 
 // shardResult is the outcome of anonymizing one shard.
@@ -65,7 +67,7 @@ type shardResult struct {
 // and merge phases grafted in from GloveStats — no locks in the hot
 // loop) and moves the shard-pool telemetry gauges; tel may be nil and
 // parent may be the zero ActiveSpan.
-func runShards(ctx context.Context, shards []*cdr.Table, spec JobSpec, tel *Telemetry, parent obs.ActiveSpan, onProgress func(shard int, frac float64)) (*core.Dataset, *core.GloveStats, error) {
+func runShards(ctx context.Context, shards []cdr.Source, spec JobSpec, tel *Telemetry, parent obs.ActiveSpan, onProgress func(shard int, frac float64)) (*core.Dataset, *core.GloveStats, error) {
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = parallel.DefaultWorkers()
@@ -150,10 +152,10 @@ func annotateShardSpan(span obs.ActiveSpan, start time.Time, r shardResult) {
 		map[string]any{"merges": st.Merges})
 }
 
-// runShard converts one shard table into a fingerprint dataset and
+// runShard converts one shard source into a fingerprint dataset and
 // anonymizes it through the core planner, which resolves the spec's
 // strategy/index (or the auto rules) for this shard's size.
-func runShard(ctx context.Context, t *cdr.Table, spec JobSpec, workers int, progress func(done, total int)) shardResult {
+func runShard(ctx context.Context, t cdr.Source, spec JobSpec, workers int, progress func(done, total int)) shardResult {
 	ds, err := t.BuildDataset()
 	if err != nil {
 		return shardResult{err: err}

@@ -51,8 +51,9 @@ type Telemetry struct {
 	mergeSeconds      *obs.Counter
 	suppressedSamples *obs.Counter
 
-	queueOnce sync.Once
-	bootOnce  sync.Once
+	queueOnce    sync.Once
+	bootOnce     sync.Once
+	colstoreOnce sync.Once
 
 	mu     sync.Mutex
 	bootID string
@@ -127,6 +128,27 @@ func (t *Telemetry) registerQueueDepth(fn func() float64) {
 	t.queueOnce.Do(func() {
 		t.Reg.GaugeFunc("glove_job_queue_depth",
 			"Jobs queued but not yet started.", fn)
+	})
+}
+
+// registerColstore exposes the columnar storage tier's live footprint:
+// resident column bytes and spilled chunks as gauges over the live
+// stores, fault-ins and spill-outs as monotone counters surviving
+// dataset deletion. Only the first registry attached to this telemetry
+// wires them; a table-only registry exports zeros.
+func (t *Telemetry) registerColstore(resident, spilled, faults, spills func() float64) {
+	if t == nil {
+		return
+	}
+	t.colstoreOnce.Do(func() {
+		t.Reg.GaugeFunc("colstore_resident_bytes",
+			"Resident column bytes across the registry's columnar stores.", resident)
+		t.Reg.GaugeFunc("colstore_spilled_chunks",
+			"Column chunks currently living only in the spill file.", spilled)
+		t.Reg.CounterFunc("colstore_chunk_faults_total",
+			"Column chunks faulted back in from the spill file.", faults)
+		t.Reg.CounterFunc("colstore_chunk_spills_total",
+			"Column chunks written out to the spill file.", spills)
 	})
 }
 
