@@ -25,7 +25,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/service/ ./internal/parallel/ ./internal/core/ ./internal/obs/ ./internal/colstore/ ./pkg/client/
+	$(GO) test -race ./internal/service/ ./internal/parallel/ ./internal/core/ ./internal/obs/ ./internal/colstore/ ./internal/cdr/ ./pkg/client/ ./cmd/glovectl/
 
 # expolint pins the Prometheus text-exposition contract: the strict
 # parser round-trips over rendered registries and a live /metrics
@@ -41,9 +41,11 @@ bench:
 # pruned-vs-naive effort kernel; DESIGN.md Sec. 5) plus the 100k/300k/1M
 # scaling series with its peak-heap metrics (DESIGN.md Sec. 11) and
 # records the machine-readable stream in BENCH_glove.json so the
-# performance trajectory is tracked across PRs.
+# performance trajectory is tracked across PRs. BenchmarkWindowCommit
+# pins the streaming pipeline: per-window commit latency must track the
+# window's new-data volume, not the total feed size (DESIGN.md Sec. 12).
 bench-json:
-	$(GO) test -run=^$$ -bench='BenchmarkAblation|BenchmarkFingerprintEffortKernel|BenchmarkEffortKernel|BenchmarkScaling' \
+	$(GO) test -run=^$$ -bench='BenchmarkAblation|BenchmarkFingerprintEffortKernel|BenchmarkEffortKernel|BenchmarkScaling|BenchmarkWindowCommit' \
 		-benchtime=1x -timeout=30m -json . ./internal/core > BENCH_glove.json
 
 # profile writes a CPU pprof of the k=2 civ GLOVE run (the

@@ -32,6 +32,14 @@ type remoteJob struct {
 	window      float64
 	out         string
 	trace       bool
+
+	// Streaming mode: follow the feed's appends instead of freezing a
+	// snapshot; dataset attaches to a feed already resident on the
+	// daemon (a one-shot ingest would never grow, so its last window
+	// would never close).
+	follow        bool
+	followWindows int
+	dataset       string
 }
 
 // runRemote drives a resident gloved through the pkg/client SDK: it
@@ -48,30 +56,41 @@ func runRemote(ctx context.Context, server string, job remoteJob, stdout, stderr
 		return err
 	}
 
-	f, err := os.Open(job.in)
-	if err != nil {
-		return err
+	var ds client.DatasetInfo
+	if job.dataset != "" {
+		// Attach to a feed the daemon already owns. It is not ours to
+		// delete, so no cleanup.
+		if ds, err = c.GetDataset(ctx, job.dataset); err != nil {
+			return fmt.Errorf("glovectl: -dataset %s: %w", job.dataset, err)
+		}
+		fmt.Fprintf(stderr, "glovectl: attached to %s (%d records, %d users, v%d)\n",
+			ds.ID, ds.Records, ds.Users, ds.Version)
+	} else {
+		f, err := os.Open(job.in)
+		if err != nil {
+			return err
+		}
+		ds, err = c.CreateDataset(ctx, f, client.IngestOptions{
+			Name: filepath.Base(job.in), Lat: job.lat, Lon: job.lon, Days: job.days,
+		})
+		// The HTTP transport closes request bodies that implement io.Closer;
+		// this close is only the fallback for paths that never built a
+		// request, so its error is meaningless.
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("glovectl: ingesting into %s: %w", server, err)
+		}
+		// One-shot CLI runs should not accumulate state on the daemon:
+		// delete the dataset on every exit path. Cleanup gets its own
+		// context so it still runs after a SIGINT cancelled ctx.
+		defer func() {
+			cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			c.DeleteDataset(cctx, ds.ID)
+		}()
+		fmt.Fprintf(stderr, "glovectl: ingested %s as %s (%d records, %d users)\n",
+			job.in, ds.ID, ds.Records, ds.Users)
 	}
-	ds, err := c.CreateDataset(ctx, f, client.IngestOptions{
-		Name: filepath.Base(job.in), Lat: job.lat, Lon: job.lon, Days: job.days,
-	})
-	// The HTTP transport closes request bodies that implement io.Closer;
-	// this close is only the fallback for paths that never built a
-	// request, so its error is meaningless.
-	f.Close()
-	if err != nil {
-		return fmt.Errorf("glovectl: ingesting into %s: %w", server, err)
-	}
-	// One-shot CLI runs should not accumulate state on the daemon:
-	// delete the dataset on every exit path. Cleanup gets its own
-	// context so it still runs after a SIGINT cancelled ctx.
-	defer func() {
-		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		c.DeleteDataset(cctx, ds.ID)
-	}()
-	fmt.Fprintf(stderr, "glovectl: ingested %s as %s (%d records, %d users)\n",
-		job.in, ds.ID, ds.Records, ds.Users)
 
 	spec := client.JobSpec{
 		DatasetID:   ds.ID,
@@ -92,6 +111,10 @@ func runRemote(ctx context.Context, server string, job remoteJob, stdout, stderr
 	}
 	if job.window > 0 {
 		spec.WindowHours = job.window
+	}
+	if job.follow {
+		spec.Follow = true
+		spec.FollowWindows = job.followWindows
 	}
 	st, err := c.SubmitJob(ctx, spec)
 	if err != nil {
@@ -114,9 +137,16 @@ func runRemote(ctx context.Context, server string, job remoteJob, stdout, stderr
 	}()
 
 	// Follow the event stream; progress is printed in coarse steps so a
-	// long run stays observable without drowning the terminal.
+	// long run stays observable without drowning the terminal. In
+	// streaming mode each committed window is downloaded the moment its
+	// done event arrives — the stream may never end, so releases cannot
+	// wait for a terminal state.
 	lastPct := -10
-	final, err := c.WatchJob(ctx, st.ID, func(e client.JobEvent) {
+	streamed := 0
+	var streamErr error
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	final, err := c.WatchJob(watchCtx, st.ID, func(e client.JobEvent) {
 		switch e.Type {
 		case api.EventState:
 			fmt.Fprintf(stderr, "glovectl: job %s\n", e.State)
@@ -129,13 +159,29 @@ func runRemote(ctx context.Context, server string, job remoteJob, stdout, stderr
 			switch e.Window.State {
 			case api.WindowDone:
 				fmt.Fprintf(stderr, "glovectl: window %d done (%d groups)\n", e.Window.Index, e.Window.Groups)
+				if job.follow && streamErr == nil {
+					if err := streamWindow(ctx, c, st.ID, e.Window.Index, job, stderr); err != nil {
+						streamErr = err
+						stopWatch()
+					} else {
+						streamed++
+					}
+				}
+			case api.WindowEmpty:
+				fmt.Fprintf(stderr, "glovectl: window %d empty (no records, no release)\n", e.Window.Index)
 			case api.WindowRunning:
 				fmt.Fprintf(stderr, "glovectl: window %d running\n", e.Window.Index)
 			}
 		}
 	})
+	if streamErr != nil {
+		return streamErr
+	}
 	if err != nil {
 		if ctx.Err() != nil {
+			if streamed > 0 {
+				return fmt.Errorf("interrupted, %d window release(s) already written", streamed)
+			}
 			return fmt.Errorf("interrupted, no output written")
 		}
 		return err
@@ -155,10 +201,38 @@ func runRemote(ctx context.Context, server string, job remoteJob, stdout, stderr
 		return fmt.Errorf("glovectl: job finished %s: %s", final.State, final.Error)
 	}
 
+	if job.follow {
+		// Every committed release was written as it streamed past.
+		printRemoteSummary(stderr, final, job.k)
+		fmt.Fprintf(stderr, "glovectl: %d window release(s) written\n", streamed)
+		return nil
+	}
 	if job.window > 0 {
 		return downloadWindows(ctx, c, final, job, stderr)
 	}
 	return downloadBatch(ctx, c, final, job, stdout, stderr)
+}
+
+// streamWindow downloads, validates, and writes one committed window
+// release of a follow job the moment its done event arrives.
+func streamWindow(ctx context.Context, c *client.Client, jobID string, index int, job remoteJob, stderr io.Writer) error {
+	raw, err := fetchCSV(func() (io.ReadCloser, error) { return c.WindowResult(ctx, jobID, index) })
+	if err != nil {
+		return fmt.Errorf("glovectl: window %d: %w", index, err)
+	}
+	rel, err := cdr.ReadAnonymizedCSV(bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("glovectl: window %d release unparseable: %w", index, err)
+	}
+	if err := validateRelease(rel, nil, job.k, index); err != nil {
+		return err
+	}
+	path := windowOutPath(job.out, index)
+	if err := writeBytesAtomic(path, raw); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "glovectl: window %d: %d groups -> %s\n", index, rel.Len(), path)
+	return nil
 }
 
 // downloadBatch fetches and validates the single release of a batch

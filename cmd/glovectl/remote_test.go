@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -150,5 +152,92 @@ func TestRemoteErrors(t *testing.T) {
 		[]string{"-in", in, "-days", "3", "-k", "1000", "-server", srv.URL}, &stdout, &stderr)
 	if err == nil || !strings.Contains(err.Error(), "invalid_spec") {
 		t.Errorf("oversized k: err = %v", err)
+	}
+}
+
+// TestRemoteFollow drives the streaming mode end to end: attach to a
+// resident feed with -dataset, follow it, and receive each window
+// release as the feed closes it.
+func TestRemoteFollow(t *testing.T) {
+	srv := startDaemon(t)
+	dir := t.TempDir()
+
+	csvWindow := func(w int, users ...string) string {
+		var b strings.Builder
+		b.WriteString("user,lat,lon,minute\n")
+		for i, u := range users {
+			fmt.Fprintf(&b, "%s,7.5,-5.5,%d\n", u, w*60+i)
+		}
+		return b.String()
+	}
+	post := func(url, body string) []byte {
+		t.Helper()
+		resp, err := srv.Client().Post(url, "text/csv", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		if resp.StatusCode >= 300 {
+			t.Fatalf("POST %s: %d %s", url, resp.StatusCode, buf.String())
+		}
+		return buf.Bytes()
+	}
+
+	// The feed is resident on the daemon: window 0 ingested, then
+	// window 1 appended — which closes window 0 for the follow job.
+	raw := post(srv.URL+"/v1/datasets?name=feed&lat=7.54&lon=-5.55&days=1", csvWindow(0, "a", "b", "c"))
+	var ds service.DatasetInfo
+	if err := json.Unmarshal(raw, &ds); err != nil {
+		t.Fatal(err)
+	}
+	post(srv.URL+"/v1/datasets/"+ds.ID+"/records", csvWindow(1, "a", "b"))
+
+	out := filepath.Join(dir, "stream.csv")
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(),
+		[]string{"-server", srv.URL, "-dataset", ds.ID, "-k", "2",
+			"-window", "1", "-follow", "-follow-windows", "1", "-out", out},
+		&stdout, &stderr); err != nil {
+		t.Fatalf("follow run: %v\n%s", err, stderr.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "stream.w0.csv")); err != nil {
+		t.Errorf("window 0 release not written: %v\n%s", err, stderr.String())
+	}
+	log := stderr.String()
+	for _, want := range []string{"attached to " + ds.ID, "window 0 done", "1 window release(s) written"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("follow run output missing %q:\n%s", want, log)
+		}
+	}
+	// Attach mode must leave the feed on the daemon — it is not ours.
+	resp, err := srv.Client().Get(srv.URL + "/v1/datasets/" + ds.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("attached dataset deleted after the run (status %d)", resp.StatusCode)
+	}
+}
+
+// Follow flag plumbing is rejected locally before any network traffic.
+func TestFollowFlagValidation(t *testing.T) {
+	in := writeTestCSV(t)
+	var stdout, stderr bytes.Buffer
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"follow without server", []string{"-in", in, "-follow", "-window", "1", "-out", "x.csv"}},
+		{"follow without window", []string{"-in", in, "-follow", "-server", "http://127.0.0.1:1"}},
+		{"follow-windows without follow", []string{"-in", in, "-follow-windows", "2", "-server", "http://127.0.0.1:1"}},
+		{"negative follow-windows", []string{"-in", in, "-follow", "-follow-windows", "-1", "-window", "1", "-out", "x.csv", "-server", "http://127.0.0.1:1"}},
+		{"dataset without server", []string{"-dataset", "ds-1"}},
+	} {
+		if err := run(context.Background(), tc.args, &stdout, &stderr); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
 	}
 }

@@ -40,6 +40,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		chunkSize   = fs.Int("chunk-size", 0, "fingerprints per chunked block (0 = core default)")
 		index       = fs.String("index", "", "pair-selection index: auto, dense or sparse (empty = auto)")
 		window      = fs.Float64("window", 0, "continuous release: anonymize per time window of this many hours (0 = one batch release; requires -out)")
+		follow      = fs.Bool("follow", false, "streaming mode: subscribe to the dataset's appends and download each window release as the feed closes it (requires -server and -window)")
+		followWin   = fs.Int("follow-windows", 0, "stop -follow after this many committed window releases (0 = run until interrupted)")
+		datasetID   = fs.String("dataset", "", "remote mode: run against this existing dataset on the daemon instead of ingesting -in (requires -server)")
 		server      = fs.String("server", "", "remote mode: drive a resident gloved at this base URL (e.g. http://localhost:8080) instead of anonymizing in-process")
 		trace       = fs.Bool("trace", false, "remote mode: print the job's span tree after it finishes (requires -server)")
 		showVersion = fs.Bool("version", false, "print version and exit")
@@ -51,7 +54,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, version.String("glovectl"))
 		return nil
 	}
-	if *in == "" {
+	if *in == "" && *datasetID == "" {
 		fs.Usage()
 		return fmt.Errorf("glovectl: -in is required")
 	}
@@ -65,12 +68,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *trace && *server == "" {
 		return fmt.Errorf("glovectl: -trace needs -server (the span tree is recorded by the daemon)")
 	}
+	if *datasetID != "" && *server == "" {
+		return fmt.Errorf("glovectl: -dataset needs -server (it names a dataset resident on the daemon)")
+	}
+	if *follow && *server == "" {
+		return fmt.Errorf("glovectl: -follow needs -server (only a resident daemon can watch a feed for appends)")
+	}
+	if *follow && *window <= 0 {
+		return fmt.Errorf("glovectl: -follow needs -window (the release cadence of the stream)")
+	}
+	if *followWin < 0 {
+		return fmt.Errorf("glovectl: -follow-windows %d is negative", *followWin)
+	}
+	if *followWin > 0 && !*follow {
+		return fmt.Errorf("glovectl: -follow-windows needs -follow")
+	}
 	if *server != "" {
 		return runRemote(ctx, *server, remoteJob{
 			in: *in, lat: *lat, lon: *lon, days: *days,
 			k: *k, suppressKm: *suppressKm, suppressMin: *suppressMin,
 			workers: *workers, strategy: *strategy, chunkSize: *chunkSize, index: *index,
 			window: *window, out: *out, trace: *trace,
+			follow: *follow, followWindows: *followWin, dataset: *datasetID,
 		}, stdout, stderr)
 	}
 

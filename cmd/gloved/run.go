@@ -37,6 +37,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		chunkSize   = fs.Int("chunk-size", 0, "default fingerprints per chunked block (0 = core default)")
 		index       = fs.String("index", "", "default pair-selection index: auto, dense or sparse (empty = auto)")
 		windowHours = fs.Float64("window-hours", 0, "default job release window in hours (0 = batch jobs)")
+		followMaxW  = fs.Int("follow-max-windows", 0, "daemon-wide cap on windows a follow job may commit (0 = unbounded)")
 		retainJobs  = fs.Int("retain-jobs", 64, "finished jobs retained in memory, oldest evicted first (0 = unlimited)")
 		retainAge   = fs.Duration("retain-age", 0, "evict finished jobs older than this (0 = no age bound)")
 		accessLog   = fs.Bool("access-log", true, "log one structured record per request to stderr")
@@ -65,6 +66,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *windowHours < 0 {
 		return fmt.Errorf("gloved: -window-hours %g is negative", *windowHours)
+	}
+	if *followMaxW < 0 {
+		return fmt.Errorf("gloved: -follow-max-windows %d is negative", *followMaxW)
 	}
 	if *retainAge < 0 {
 		return fmt.Errorf("gloved: -retain-age %v is negative", *retainAge)
@@ -113,6 +117,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		DefaultChunkSize:        *chunkSize,
 		DefaultIndex:            *index,
 		DefaultWindowHours:      *windowHours,
+		MaxFollowWindows:        *followMaxW,
 		Log:                     logger,
 	})
 	defer mgr.Close()

@@ -107,6 +107,20 @@ type JobSpec struct {
 	// to the manager explicitly forces a batch run even when the daemon
 	// defaults to windowed.
 	WindowHours float64 `json:"window_hours,omitempty"`
+
+	// Follow, when true, turns a windowed job into a streaming run: the
+	// job subscribes to the dataset's appends and commits each window the
+	// moment the feed moves past it (a record in a later window proves
+	// the earlier one closed), instead of splitting one frozen snapshot.
+	// Windows the feed skipped entirely are reported as explicit empty
+	// windows. Requires window_hours > 0. The job runs until cancelled
+	// unless follow_windows bounds it.
+	Follow bool `json:"follow,omitempty"`
+	// FollowWindows bounds how many non-empty windows a follow job
+	// commits before finishing on its own; 0 follows until cancelled (or
+	// until the daemon-wide cap, when one is configured). Empty windows
+	// do not count toward the bound.
+	FollowWindows int `json:"follow_windows,omitempty"`
 }
 
 // Validate checks the statically checkable parts of the spec. A
@@ -139,6 +153,15 @@ func (s JobSpec) Validate() error {
 	if s.WindowHours < 0 {
 		return Errorf(CodeInvalidSpec, "negative window_hours %g", s.WindowHours)
 	}
+	if s.Follow && s.WindowHours == 0 {
+		return Errorf(CodeInvalidSpec, "follow requires window_hours > 0")
+	}
+	if s.FollowWindows < 0 {
+		return Errorf(CodeInvalidSpec, "negative follow_windows %d", s.FollowWindows)
+	}
+	if s.FollowWindows > 0 && !s.Follow {
+		return Errorf(CodeInvalidSpec, "follow_windows %d set without follow", s.FollowWindows)
+	}
 	return nil
 }
 
@@ -159,6 +182,12 @@ const (
 	// WindowAborted marks windows that never completed because the job
 	// failed or was cancelled; they published nothing.
 	WindowAborted WindowState = "aborted"
+	// WindowEmpty marks a window of a follow job the feed skipped
+	// entirely: the gap is reported explicitly (with its own window
+	// event) so downstream consumers can distinguish "no data in this
+	// interval" from "release still pending". Empty windows publish
+	// nothing and have no downloadable result.
+	WindowEmpty WindowState = "empty"
 )
 
 // WindowStatus is the per-window progress and accounting of a windowed

@@ -2,6 +2,7 @@ package cdr
 
 import (
 	"encoding/csv"
+	"fmt"
 	"io"
 	"strconv"
 	"time"
@@ -47,6 +48,18 @@ type Source interface {
 	// of duration d, mirroring Table.SplitByWindow (empty windows
 	// omitted, input order preserved inside each window).
 	WindowSplit(d time.Duration) ([]SourceWindow, error)
+
+	// TailWindows is the window cursor of the streaming pipeline: it
+	// partitions only the records at positions [fromRecord, NumRecords())
+	// into windows of duration d, with the same index/interval semantics
+	// as WindowSplit. The returned slices are window *fragments* — a
+	// follow executor accumulates fragments per index across appends and
+	// concatenates them (in arrival order) when a window closes, which
+	// reproduces exactly the record order WindowSplit would assign that
+	// window over the full feed, because appends only ever extend the
+	// record sequence. Empty fragments are omitted; fragments are sorted
+	// by index.
+	TailWindows(fromRecord int, d time.Duration) ([]SourceWindow, error)
 
 	// UserShards partitions the source into at most n disjoint sources
 	// by the stable user hash of ShardOfUser, never splitting a
@@ -122,6 +135,56 @@ func (t *Table) WindowSplit(d time.Duration) ([]SourceWindow, error) {
 		}
 	}
 	return out, nil
+}
+
+// TailWindows implements the streaming window cursor over the in-memory
+// table: only Records[fromRecord:] are bucketed.
+func (t *Table) TailWindows(fromRecord int, d time.Duration) ([]SourceWindow, error) {
+	if fromRecord < 0 || fromRecord > len(t.Records) {
+		return nil, fmt.Errorf("cdr: tail cursor %d out of range [0, %d]", fromRecord, len(t.Records))
+	}
+	wins, err := splitWindows(t.Records[fromRecord:], t.Center, d)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SourceWindow, len(wins))
+	for i, w := range wins {
+		out[i] = SourceWindow{
+			Index:       w.Index,
+			StartMinute: w.StartMinute,
+			EndMinute:   w.EndMinute,
+			Source:      w.Table,
+		}
+	}
+	return out, nil
+}
+
+// MaterializeTable collects a source's records into a plain in-memory
+// table carrying the source's metadata — the step a follow executor uses
+// to fuse accumulated window fragments into one runnable window.
+func MaterializeTable(srcs ...Source) (*Table, error) {
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("cdr: materialize of zero sources")
+	}
+	meta := srcs[0].TableMeta()
+	total := 0
+	for _, s := range srcs {
+		total += s.NumRecords()
+	}
+	t := &Table{
+		Records:  make([]Record, 0, total),
+		Center:   meta.Center,
+		SpanDays: meta.SpanDays,
+	}
+	for _, s := range srcs {
+		if err := s.EachRecord(func(r Record) error {
+			t.Records = append(t.Records, r)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
 }
 
 // UserShards is ShardByUser lifted to the Source interface.

@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"repro/internal/geo"
 )
 
 // Continuous publication (the operator workflow the paper's Sec. 1
@@ -58,12 +60,20 @@ type Window struct {
 // byte-identity guarantee rests on. Empty windows are omitted; the
 // returned windows are sorted by index and partition the records.
 func (t *Table) SplitByWindow(d time.Duration) ([]Window, error) {
+	return splitWindows(t.Records, t.Center, d)
+}
+
+// splitWindows is the shared bucketing core of SplitByWindow and the
+// TailWindows cursor: it partitions one record run into windows. Both
+// callers go through the same index arithmetic and ordering, which is
+// what makes fragment concatenation reproduce a full split exactly.
+func splitWindows(records []Record, center geo.LatLon, d time.Duration) ([]Window, error) {
 	w := d.Minutes()
 	if w <= 0 {
 		return nil, fmt.Errorf("cdr: window duration %v, need > 0", d)
 	}
 	buckets := make(map[int][]Record)
-	for _, r := range t.Records {
+	for _, r := range records {
 		idx := int(r.Minute / w)
 		buckets[idx] = append(buckets[idx], r)
 	}
@@ -75,20 +85,27 @@ func (t *Table) SplitByWindow(d time.Duration) ([]Window, error) {
 
 	// A window's nominal span feeds rate-based screening
 	// (FilterMinRate); round the duration up to whole days.
-	spanDays := int(math.Ceil(w / MinutesPerDay))
-	if spanDays < 1 {
-		spanDays = 1
-	}
+	spanDays := windowSpanDays(w)
 	out := make([]Window, 0, len(idxs))
 	for _, i := range idxs {
-		wt := t.clone(buckets[i])
-		wt.SpanDays = spanDays
+		rs := make([]Record, len(buckets[i]))
+		copy(rs, buckets[i])
 		out = append(out, Window{
 			Index:       i,
 			StartMinute: float64(i) * w,
 			EndMinute:   float64(i+1) * w,
-			Table:       wt,
+			Table:       &Table{Records: rs, Center: center, SpanDays: spanDays},
 		})
 	}
 	return out, nil
+}
+
+// windowSpanDays converts a window width in minutes to the nominal
+// SpanDays stamped on every window table (rounded up, at least one day).
+func windowSpanDays(w float64) int {
+	spanDays := int(math.Ceil(w / MinutesPerDay))
+	if spanDays < 1 {
+		spanDays = 1
+	}
+	return spanDays
 }

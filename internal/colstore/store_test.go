@@ -328,3 +328,54 @@ func TestConcurrentReadersAndAppends(t *testing.T) {
 		t.Fatalf("Len = %d, want 600", got)
 	}
 }
+
+// TestTailWindowsEquivalence pins the columnar tail cursor to the
+// in-memory table's: identical fragments for every cursor position,
+// including cursors that land mid-chunk (the offset arithmetic of the
+// chunk-pinning row scan), for both resident and spilling stores.
+func TestTailWindowsEquivalence(t *testing.T) {
+	recs := testRecords(500, 23)
+	meta := testMeta()
+	table := &cdr.Table{Records: recs, Center: meta.Center, SpanDays: meta.SpanDays}
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"resident", Options{ChunkRecords: 64}},
+		{"spilling", Options{ChunkRecords: 64, ByteBudget: 2 * 64 * bytesPerRecord}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			view := newTestStore(t, recs, tc.opt).Snapshot()
+			const win = 12 * time.Hour
+			// 0 = full range; 37, 129, 200 land mid-chunk; 448 inside the
+			// last partial chunk; 500 = at end.
+			for _, from := range []int{0, 37, 64, 129, 200, 448, 500} {
+				vf, err := view.TailWindows(from, win)
+				if err != nil {
+					t.Fatalf("view tail from %d: %v", from, err)
+				}
+				tf, err := table.TailWindows(from, win)
+				if err != nil {
+					t.Fatalf("table tail from %d: %v", from, err)
+				}
+				if len(vf) != len(tf) {
+					t.Fatalf("tail from %d: %d fragments, want %d", from, len(vf), len(tf))
+				}
+				for i := range vf {
+					if vf[i].Index != tf[i].Index || vf[i].StartMinute != tf[i].StartMinute || vf[i].EndMinute != tf[i].EndMinute {
+						t.Fatalf("tail from %d fragment %d bounds differ: %+v vs %+v", from, i, vf[i], tf[i])
+					}
+					if got, want := sourceCSV(t, vf[i].Source), sourceCSV(t, tf[i].Source); !bytes.Equal(got, want) {
+						t.Fatalf("tail from %d fragment %d records differ", from, i)
+					}
+				}
+			}
+			if _, err := view.TailWindows(-1, win); err == nil {
+				t.Error("negative cursor accepted")
+			}
+			if _, err := view.TailWindows(len(recs)+1, win); err == nil {
+				t.Error("cursor past end accepted")
+			}
+		})
+	}
+}

@@ -63,12 +63,26 @@ func (v *View) NumUsers() int { return v.users }
 // eachRow streams the view's rows in order, handing fn the raw column
 // values. Chunks are pinned for the duration of their scan only.
 func (v *View) eachRow(fn func(lat, lon, minute float64, user uint32) error) error {
+	return v.eachRowFrom(0, fn)
+}
+
+// eachRowFrom streams the view's rows starting at view-relative position
+// `from` — the column-store analogue of slicing Records[from:]. In
+// prefix mode the scan starts inside the chunk holding row `from`
+// instead of walking (and pinning) every chunk before it, which is what
+// keeps a follow executor's per-append cost proportional to the appended
+// volume rather than the feed size.
+func (v *View) eachRowFrom(from int, fn func(lat, lon, minute float64, user uint32) error) error {
 	if v.fail != nil {
 		return v.fail
 	}
+	if from >= v.n {
+		return nil
+	}
 	k := v.s.opt.ChunkRecords
 	if v.rows == nil {
-		for start := 0; start < v.n; start += k {
+		off := from % k
+		for start := from - off; start < v.n; start += k {
 			end := start + k
 			if end > v.n {
 				end = v.n
@@ -77,20 +91,21 @@ func (v *View) eachRow(fn func(lat, lon, minute float64, user uint32) error) err
 			if err != nil {
 				return err
 			}
-			for i := 0; i < end-start; i++ {
+			for i := off; i < end-start; i++ {
 				if err := fn(c.lat[i], c.lon[i], c.minute[i], c.user[i]); err != nil {
 					release()
 					return err
 				}
 			}
 			release()
+			off = 0
 		}
 		return nil
 	}
 	cur := -1
 	var c cols
 	var release func()
-	for _, r := range v.rows {
+	for _, r := range v.rows[from:] {
 		ci := int(r) / k
 		if ci != cur {
 			if release != nil {
@@ -181,13 +196,29 @@ func (v *View) BuildDataset() (*core.Dataset, error) {
 // are omitted, and each window's nominal span rounds the duration up to
 // whole days.
 func (v *View) WindowSplit(d time.Duration) ([]cdr.SourceWindow, error) {
+	return v.tailWindows(0, d)
+}
+
+// TailWindows implements the streaming window cursor: only the view's
+// rows at positions [fromRecord, NumRecords()) are bucketed, mirroring
+// cdr.Table.TailWindows.
+func (v *View) TailWindows(fromRecord int, d time.Duration) ([]cdr.SourceWindow, error) {
+	if fromRecord < 0 || fromRecord > v.n {
+		return nil, fmt.Errorf("colstore: tail cursor %d out of range [0, %d]", fromRecord, v.n)
+	}
+	return v.tailWindows(fromRecord, d)
+}
+
+// tailWindows buckets the view's rows from view-relative position `from`
+// into time windows; from == 0 is a full WindowSplit.
+func (v *View) tailWindows(from int, d time.Duration) ([]cdr.SourceWindow, error) {
 	w := d.Minutes()
 	if w <= 0 {
 		return nil, fmt.Errorf("colstore: window duration %v, need > 0", d)
 	}
 	buckets := make(map[int][]int64)
-	row := int64(0)
-	err := v.eachRow(func(_, _, minute float64, _ uint32) error {
+	row := int64(from)
+	err := v.eachRowFrom(from, func(_, _, minute float64, _ uint32) error {
 		idx := int(minute / w)
 		buckets[idx] = append(buckets[idx], v.rowAt(row))
 		row++

@@ -87,18 +87,44 @@ func newSparseIndex(ws *workingSet, neighbors int) *sparseIndex {
 	}
 }
 
+// prepare sizes the per-slot structures for n slots. On a fresh index
+// everything is allocated; on one recycled through a WindowedSession
+// every slice — including each per-slot candidate list and each grid
+// cell — keeps its capacity, which is the bulk of the warm-build win.
+// Cross-run state that influences pruning (grid membership, envelope,
+// maxReach) is cleared; slot generations deliberately survive, because
+// entry validity only compares a stored generation against the current
+// one, so any consistent starting point is as good as zero. Everything
+// else stale (bounds, cutoffs, dead slots' lists) is either overwritten
+// for alive slots during Build or never read for dead ones.
+func (x *sparseIndex) prepare(n int) {
+	x.gen = growKeep(x.gen, n)
+	x.bounds = growKeep(x.bounds, n)
+	x.cellOf = growKeep(x.cellOf, n)
+	x.reach = growKeep(x.reach, n)
+	x.lists = growKeep(x.lists, n)
+	x.cutE = growKeep(x.cutE, n)
+	x.cutS = growKeep(x.cutS, n)
+	x.offers = growKeep(x.offers, n)
+	if x.grid == nil {
+		x.grid = make(map[[2]int32][]int32)
+	} else {
+		// Keep the keys (and so each cell's slice capacity); a truncated
+		// cell behaves exactly like a missing one for ring scans. The map
+		// retains the union of cells ever seen, which for a feed over one
+		// region is bounded and exactly the set about to be refilled.
+		for cell, slots := range x.grid {
+			x.grid[cell] = slots[:0]
+		}
+	}
+	x.gridMin, x.gridMax = [2]int32{}, [2]int32{}
+	x.maxReach = 0
+}
+
 func (x *sparseIndex) Build(ctx context.Context) error {
 	ws := x.ws
 	n := ws.n
-	x.gen = make([]uint32, n)
-	x.bounds = make([]FingerprintBounds, n)
-	x.cellOf = make([][2]int32, n)
-	x.reach = make([]float64, n)
-	x.lists = make([][]candidate, n)
-	x.cutE = make([]float64, n)
-	x.cutS = make([]int32, n)
-	x.grid = make(map[[2]int32][]int32)
-	x.offers = make([]float64, n)
+	x.prepare(n)
 
 	// Grid construction runs over contiguous slot stripes in parallel:
 	// each stripe builds a private sub-grid (plus its envelope and reach
@@ -147,7 +173,7 @@ func (x *sparseIndex) Build(ctx context.Context) error {
 			if x.reach[i] > sg.maxReach {
 				sg.maxReach = x.reach[i]
 			}
-			x.lists[i] = make([]candidate, 0, x.m+1)
+			x.lists[i] = emptyList(x.lists[i], x.m)
 		}
 	}); err != nil {
 		return err
@@ -462,23 +488,89 @@ func (x *sparseIndex) Remove(i int) {
 }
 
 func (x *sparseIndex) Reinsert(i int) {
-	ws := x.ws
-	p := ws.params
 	x.place(i)
 	x.expandEnvelope(x.cellOf[i])
 	// The merged fingerprint's own list comes from a fresh (pruned)
 	// grid scan.
 	x.rebuild(i)
+	x.offer(i, x.ws.n)
+}
 
-	// Offer the new slot to every other candidate list. The exact
-	// effort is computed in parallel, and only where the bounding-volume
-	// lower bound does not already prove the offer falls at or beyond
-	// the slot's cutoff (in which case skipping it preserves the list
-	// invariant: the excluded candidate is >= the cutoff by
-	// construction).
+// Extend incorporates freshly staged slots [from, ws.n) into a built
+// index — the incremental-append path of a staged window. New slots are
+// registered in the grid serially in ascending order (so per-cell slot
+// order matches a cold build's stripe concatenation over the same slot
+// sequence), their candidate lists then come from fresh ring scans run
+// in parallel — the grid already holds every new slot, so new-new pairs
+// are discovered there — and finally each new slot is offered to the
+// pre-existing slots' lists, exactly Reinsert's cutoff-bounded offer
+// pass. Every per-slot list invariant ("entries < cutoff <= every
+// excluded alive candidate") therefore holds over the extended slot
+// set, and MinPair stays exact: a subsequent Commit merges in exactly
+// the sequence a cold build over the concatenated input produces (the
+// "staged == cold" pin of TestSessionStagedEqualsCold).
+func (x *sparseIndex) Extend(ctx context.Context, from int) error {
+	ws := x.ws
+	n := ws.n
+	x.gen = growKeep(x.gen, n)
+	x.bounds = growKeep(x.bounds, n)
+	x.cellOf = growKeep(x.cellOf, n)
+	x.reach = growKeep(x.reach, n)
+	x.lists = growKeep(x.lists, n)
+	x.cutE = growKeep(x.cutE, n)
+	x.cutS = growKeep(x.cutS, n)
+	x.offers = growKeep(x.offers, n)
+	for i := from; i < n; i++ {
+		if ws.alive[i] {
+			x.place(i)
+			x.expandEnvelope(x.cellOf[i])
+			x.lists[i] = emptyList(x.lists[i], x.m)
+		}
+	}
+	if err := parallel.ForContext(ctx, n-from, ws.workers, func(k int) {
+		if i := from + k; ws.alive[i] {
+			x.rebuild(i)
+		}
+	}); err != nil {
+		return err
+	}
+	// Offers go only to slots below `from`: the new slots already hold
+	// each other through their ring scans above, and an ascending offer
+	// order keeps multiple insertions into one list deterministic.
+	for i := from; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if ws.alive[i] {
+			x.offer(i, from)
+		}
+	}
+	return nil
+}
+
+// emptyList resets a per-slot candidate list to empty, keeping its
+// backing when recycled and pre-sizing fresh ones to the m+1 overflow
+// capacity so insertCandidate never grows them.
+func emptyList(list []candidate, m int) []candidate {
+	if list == nil {
+		return make([]candidate, 0, m+1)
+	}
+	return list[:0]
+}
+
+// offer proposes slot i to the candidate lists of the alive slots in
+// [0, limit) — Reinsert's fan-out (limit == ws.n), reused by Extend with
+// the staged boundary as the limit. The exact effort is computed in
+// parallel, and only where the bounding-volume lower bound does not
+// already prove the offer falls at or beyond the target's cutoff (in
+// which case skipping it preserves the list invariant: the excluded
+// candidate is >= the cutoff by construction).
+func (x *sparseIndex) offer(i, limit int) {
+	ws := x.ws
+	p := ws.params
 	i32 := int32(i)
 	row := x.offers
-	parallel.For(ws.n, ws.workers, func(c int) {
+	parallel.For(limit, ws.workers, func(c int) {
 		if c == i || !ws.alive[c] {
 			row[c] = math.NaN()
 			return
@@ -498,7 +590,7 @@ func (x *sparseIndex) Reinsert(i int) {
 		}
 		row[c] = e
 	})
-	for c, e := range row {
+	for c, e := range row[:limit] {
 		if math.IsNaN(e) || !lexLess(e, i32, x.cutE[c], x.cutS[c]) {
 			continue
 		}

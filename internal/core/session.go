@@ -1,0 +1,245 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// WindowedSession carries warm engine state across the windows of a
+// continuous-release run. A cold GLOVE run allocates its working set,
+// its fpView column arena, and its pair-selection index from scratch;
+// consecutive windows of a feed tear all of that down and rebuild it
+// even though the structures are shaped almost identically. A session
+// recycles them — slices grow and are never shrunk, the sparse grid
+// keeps its cells and candidate-list capacities, the dense matrix keeps
+// its quadratic backing — so in steady state a window commit allocates
+// little beyond its own output.
+//
+// Warm state never changes output: every recycled structure is reset to
+// the observational equivalent of a cold build before use (pinned by
+// TestSessionWarmEqualsCold, byte-identical datasets). Sessions are not
+// safe for concurrent use; a pipeline running shards in parallel gives
+// each worker its own session via a SessionPool.
+//
+// Two modes:
+//
+//   - Anonymize runs one window at a time, like AnonymizeContext but
+//     against the recycled storage.
+//   - Push/Commit stage one window incrementally: each Push appends a
+//     batch of fingerprints to the open window and extends the index
+//     under the append (the sparse index inserts the new fingerprints
+//     into existing candidate lists instead of rebuilding); Commit runs
+//     the merge loop over everything staged. The committed output is
+//     byte-identical to a cold run over the concatenated batches
+//     (TestSessionStagedEqualsCold), because the per-slot list
+//     invariant the sparse index maintains is preserved by extension
+//     and MinPair is exact under it for any fixed slot order.
+type WindowedSession struct {
+	ws     *workingSet
+	sparse *sparseIndex
+	dense  *denseIndex
+
+	// offsets/arena are the bulk view-construction scratch recycled
+	// across windows; during a staged run each Push past the first gets
+	// a fresh arena instead (the earlier pushes' views still own theirs).
+	offsets []int
+	arena   []float64
+
+	// Staged-run state; nil when no window is open.
+	open      *gloveState
+	openStats *GloveStats
+}
+
+// NewWindowedSession returns an empty session; storage is grown lazily
+// by the first run.
+func NewWindowedSession() *WindowedSession { return &WindowedSession{} }
+
+// Anonymize runs one window against the session's warm storage,
+// byte-identical to AnonymizeContext over the same input. A nil session
+// degrades to the cold path, as does a chunked plan (chunked blocks own
+// their partitioning; warm reuse is a single-run optimization).
+func (s *WindowedSession) Anonymize(ctx context.Context, d *Dataset, opt AnonymizeOptions) (*Dataset, *GloveStats, error) {
+	if s != nil && s.open != nil {
+		return nil, nil, fmt.Errorf("core: session has an open staged window; Commit or Abort it first")
+	}
+	plan, err := PlanFor(d.Len(), opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s == nil || plan.Strategy == StrategyChunked {
+		return RunPlan(ctx, d, opt, plan)
+	}
+	return gloveRun(ctx, d, opt.Glove, s)
+}
+
+// Push stages a batch of fingerprints into the session's open window,
+// opening one if necessary. The first Push of a window fixes its
+// options; later pushes append their fingerprints as new slots and
+// extend the pair-selection index under the append. Options resolving
+// to IndexAuto use the sparse index — the one with an incremental
+// extension path (the dense matrix extends by warm rebuild, acceptable
+// only at its bounded scale, and must be requested explicitly).
+//
+// The slot order of the staged run is the push order; Commit's output
+// is byte-identical to a cold run over the batches concatenated in that
+// order. Batches are treated as disjoint fingerprint sets — a
+// subscriber split across batches is two fingerprints, exactly as it
+// would be in the concatenated dataset.
+func (s *WindowedSession) Push(ctx context.Context, d *Dataset, opt GloveOptions) error {
+	if s == nil {
+		return fmt.Errorf("core: Push on a nil session")
+	}
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if s.open == nil {
+		return s.openStaged(ctx, d, opt)
+	}
+	st := s.open
+	base := st.ws.n
+	start := time.Now()
+	st.ws.extend(base + d.Len())
+	s.offsets, _ = st.stage(d, base, s.offsets, nil)
+	if err := st.idx.(extendableIndex).Extend(ctx, base); err != nil {
+		s.Abort()
+		return err
+	}
+	s.openStats.InputFingerprints += d.Len()
+	s.openStats.InputUsers += d.Users()
+	s.openStats.InputSamples += totalWeight(d)
+	s.openStats.IndexBuildNanos += time.Since(start).Nanoseconds()
+	return nil
+}
+
+// openStaged begins a staged window with the first batch.
+func (s *WindowedSession) openStaged(ctx context.Context, d *Dataset, opt GloveOptions) error {
+	opt = opt.withDefaults()
+	if opt.K < 2 {
+		return fmt.Errorf("core: glove k = %d, need k >= 2", opt.K)
+	}
+	if err := opt.Params.Validate(); err != nil {
+		return err
+	}
+	if opt.Index == "" || opt.Index == IndexAuto {
+		opt.Index = IndexSparse
+	}
+	if _, err := opt.resolveIndex(d.Len()); err != nil {
+		return err
+	}
+	stats := &GloveStats{
+		InputFingerprints: d.Len(),
+		InputUsers:        d.Users(),
+		InputSamples:      totalWeight(d),
+	}
+	start := time.Now()
+	st, err := newGloveState(ctx, d, opt, s)
+	if err != nil {
+		return err
+	}
+	stats.IndexBuildNanos = time.Since(start).Nanoseconds()
+	s.open, s.openStats = st, stats
+	return nil
+}
+
+// Commit closes the open staged window: it runs the merge loop over
+// everything pushed and returns the anonymized window. The cumulative
+// user count must reach K — the same precondition the one-shot path
+// checks up front, deferred here because it is only known at close.
+// The session is ready for the next window afterwards, warm.
+func (s *WindowedSession) Commit(ctx context.Context) (*Dataset, *GloveStats, error) {
+	if s == nil || s.open == nil {
+		return nil, nil, fmt.Errorf("core: Commit without an open staged window")
+	}
+	st, stats := s.open, s.openStats
+	s.open, s.openStats = nil, nil
+	if stats.InputUsers < st.opt.K {
+		return nil, nil, fmt.Errorf("core: dataset hides %d users, cannot %d-anonymize", stats.InputUsers, st.opt.K)
+	}
+	return finishRun(ctx, st, stats)
+}
+
+// Abort discards the open staged window, if any, leaving the session
+// reusable (the next run's reset clears whatever the aborted window
+// staged).
+func (s *WindowedSession) Abort() {
+	if s != nil {
+		s.open, s.openStats = nil, nil
+	}
+}
+
+// extendableIndex is the incremental-append seam of EffortIndex: Extend
+// incorporates freshly staged slots [from, ws.n) into a built index.
+// Both implementations provide it.
+type extendableIndex interface {
+	Extend(ctx context.Context, from int) error
+}
+
+// sessionEffortIndex returns the index for a (possibly warm) run:
+// without a session it builds a fresh one; with a session it recycles
+// the matching implementation's storage, re-arming its tunables from
+// the current options.
+func sessionEffortIndex(sess *WindowedSession, ws *workingSet, opt GloveOptions) EffortIndex {
+	if sess == nil {
+		return newEffortIndex(ws, opt)
+	}
+	if opt.Index == IndexSparse {
+		if sess.sparse == nil {
+			sess.sparse = newSparseIndex(ws, opt.IndexNeighbors)
+		}
+		sess.sparse.ws = ws
+		sess.sparse.m = clampIndexNeighbors(opt.IndexNeighbors)
+		sess.sparse.cw = ws.params.MaxSpatial / 2
+		return sess.sparse
+	}
+	if sess.dense == nil {
+		sess.dense = newDenseIndex(ws, opt.NaiveMinPair)
+	}
+	sess.dense.ws = ws
+	sess.dense.naive = opt.NaiveMinPair
+	return sess.dense
+}
+
+// SessionPool recycles WindowedSessions across the shard runs of a
+// streaming pipeline: each shard worker of window w+1 picks up the warm
+// state a worker of window w left behind. A nil pool (and the nil
+// sessions it then vends) degrades every call to the cold path, so
+// callers thread one pointer through unconditionally.
+type SessionPool struct {
+	mu   sync.Mutex
+	free []*WindowedSession
+}
+
+// NewSessionPool returns an empty pool.
+func NewSessionPool() *SessionPool { return &SessionPool{} }
+
+// Get takes a warm session from the pool, creating a fresh one when the
+// pool is empty. Returns nil on a nil pool.
+func (p *SessionPool) Get() *WindowedSession {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return s
+	}
+	return NewWindowedSession()
+}
+
+// Put returns a session for reuse. Sessions with an open staged window
+// are aborted first — a cancelled mid-window run must not poison the
+// next borrower.
+func (p *SessionPool) Put(s *WindowedSession) {
+	if p == nil || s == nil {
+		return
+	}
+	s.Abort()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, s)
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// zeroTimings clears the wall-clock fields so otherwise-deterministic
+// stats compare exactly.
+func zeroTimings(s *GloveStats) *GloveStats {
+	s.IndexBuildNanos = 0
+	s.MergeNanos = 0
+	return s
+}
+
+// zeroCost additionally clears the kernel cost counters: an incremental
+// index build evaluates a different set of pairs than a cold build, so
+// staged-vs-cold comparisons pin every output-determining field but not
+// the pruning accounting.
+func zeroCost(s *GloveStats) *GloveStats {
+	zeroTimings(s)
+	s.EffortKernelCalls = 0
+	s.EffortKernelPruned = 0
+	return s
+}
+
+// A warm session run over every window of a feed must be byte-identical
+// to independent cold runs — recycled storage changes where slices
+// live, never what the merge loop observes. Windows vary in size (grow
+// and shrink) to exercise both the cap-reuse and the realloc paths of
+// growKeep, for both index implementations.
+func TestSessionWarmEqualsCold(t *testing.T) {
+	for _, kind := range []IndexKind{IndexDense, IndexSparse} {
+		t.Run(string(kind), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(500))
+			sizes := []int{30, 12, 45, 45, 8, 27}
+			windows := make([]*Dataset, len(sizes))
+			for i, n := range sizes {
+				windows[i] = randDataset(rng, n, 6)
+			}
+			opt := AnonymizeOptions{Glove: GloveOptions{
+				K: 3, Index: kind, IndexNeighbors: 3, Workers: 2,
+			}}
+
+			sess := NewWindowedSession()
+			for w, d := range windows {
+				cold, coldStats, err := AnonymizeContext(t.Context(), d, opt)
+				if err != nil {
+					t.Fatalf("window %d cold: %v", w, err)
+				}
+				warm, warmStats, err := sess.Anonymize(t.Context(), d, opt)
+				if err != nil {
+					t.Fatalf("window %d warm: %v", w, err)
+				}
+				datasetsEqual(t, fmt.Sprintf("window %d", w), cold, warm)
+				if *zeroTimings(coldStats) != *zeroTimings(warmStats) {
+					t.Fatalf("window %d stats differ:\ncold %+v\nwarm %+v", w, coldStats, warmStats)
+				}
+			}
+		})
+	}
+}
+
+// A nil session must behave exactly like the cold entry point — service
+// code threads one session pointer through unconditionally.
+func TestSessionNilDegradesToCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	d := randDataset(rng, 20, 5)
+	opt := AnonymizeOptions{Glove: GloveOptions{K: 2}}
+	cold, _, err := AnonymizeContext(t.Context(), d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess *WindowedSession
+	warm, _, err := sess.Anonymize(t.Context(), d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEqual(t, "nil session", cold, warm)
+}
+
+// A chunked plan through a session falls back to the cold chunked
+// executor rather than trying to keep warm state across blocks.
+func TestSessionChunkedFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(502))
+	d := randDataset(rng, 40, 4)
+	opt := AnonymizeOptions{
+		Strategy:  StrategyChunked,
+		ChunkSize: 10,
+		Glove:     GloveOptions{K: 2},
+	}
+	cold, _, err := AnonymizeContext(t.Context(), d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewWindowedSession()
+	warm, _, err := sess.Anonymize(t.Context(), d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEqual(t, "chunked", cold, warm)
+}
+
+// Staged Push/Commit must be byte-identical to a cold run over the
+// batches concatenated in push order — the sparse index's extension
+// path (and the dense warm rebuild) may not change the merge sequence.
+// Batch layouts cover single-batch, even splits, ragged splits, and a
+// degenerate 1-fingerprint tail.
+func TestSessionStagedEqualsCold(t *testing.T) {
+	for _, kind := range []IndexKind{IndexSparse, IndexDense} {
+		t.Run(string(kind), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(600))
+			d := randDataset(rng, 48, 6)
+			opt := GloveOptions{K: 3, Index: kind, IndexNeighbors: 3, Workers: 2}
+			cold, coldStats, err := Glove(d, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, cuts := range [][]int{
+				{48},
+				{24, 24},
+				{16, 16, 16},
+				{5, 30, 12, 1},
+				{47, 1},
+			} {
+				sess := NewWindowedSession()
+				// Two rounds through the same session: round 1 runs on
+				// fresh storage, round 2 on recycled storage left warm by
+				// round 1 — both must match the cold run.
+				for round := 0; round < 2; round++ {
+					at := 0
+					for _, c := range cuts {
+						batch := &Dataset{Fingerprints: d.Fingerprints[at : at+c]}
+						if err := sess.Push(t.Context(), batch, opt); err != nil {
+							t.Fatalf("cuts %v round %d push at %d: %v", cuts, round, at, err)
+						}
+						at += c
+					}
+					staged, stagedStats, err := sess.Commit(t.Context())
+					if err != nil {
+						t.Fatalf("cuts %v round %d commit: %v", cuts, round, err)
+					}
+					datasetsEqual(t, fmt.Sprintf("cuts %v round %d", cuts, round), cold, staged)
+					if *zeroCost(coldStats) != *zeroCost(stagedStats) {
+						t.Fatalf("cuts %v round %d stats differ:\ncold   %+v\nstaged %+v",
+							cuts, round, coldStats, stagedStats)
+					}
+				}
+			}
+		})
+	}
+}
+
+// IndexAuto staged runs resolve to the sparse index (the incremental
+// one) regardless of size, and still match cold output.
+func TestSessionStagedAutoUsesSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	d := randDataset(rng, 20, 4)
+	opt := GloveOptions{K: 2}
+	cold, _, err := Glove(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewWindowedSession()
+	if err := sess.Push(t.Context(), &Dataset{Fingerprints: d.Fingerprints[:10]}, opt); err != nil {
+		t.Fatal(err)
+	}
+	if sess.open.opt.Index != IndexSparse {
+		t.Fatalf("staged auto resolved to %q, want sparse", sess.open.opt.Index)
+	}
+	if err := sess.Push(t.Context(), &Dataset{Fingerprints: d.Fingerprints[10:]}, opt); err != nil {
+		t.Fatal(err)
+	}
+	staged, _, err := sess.Commit(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEqual(t, "auto staged", cold, staged)
+}
+
+func TestSessionStagedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(602))
+	d := randDataset(rng, 6, 4)
+	opt := GloveOptions{K: 4}
+
+	t.Run("commit without open window", func(t *testing.T) {
+		if _, _, err := NewWindowedSession().Commit(t.Context()); err == nil {
+			t.Fatal("no error")
+		}
+	})
+	t.Run("commit below k", func(t *testing.T) {
+		sess := NewWindowedSession()
+		if err := sess.Push(t.Context(), &Dataset{Fingerprints: d.Fingerprints[:2]}, opt); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := sess.Commit(t.Context()); err == nil {
+			t.Fatal("committed 2 users under k=4")
+		}
+	})
+	t.Run("anonymize with open window", func(t *testing.T) {
+		sess := NewWindowedSession()
+		if err := sess.Push(t.Context(), d, opt); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := sess.Anonymize(t.Context(), d, AnonymizeOptions{Glove: opt}); err == nil {
+			t.Fatal("no error")
+		}
+		sess.Abort()
+		if _, _, err := sess.Anonymize(t.Context(), d, AnonymizeOptions{Glove: opt}); err != nil {
+			t.Fatalf("after abort: %v", err)
+		}
+	})
+	t.Run("staged sparse rejects naive", func(t *testing.T) {
+		sess := NewWindowedSession()
+		err := sess.Push(t.Context(), d, GloveOptions{K: 2, Index: IndexSparse, NaiveMinPair: true})
+		if err == nil {
+			t.Fatal("no error")
+		}
+	})
+	t.Run("push on nil session", func(t *testing.T) {
+		var sess *WindowedSession
+		if err := sess.Push(t.Context(), d, opt); err == nil {
+			t.Fatal("no error")
+		}
+	})
+}
+
+// An abort mid-window leaves the session reusable, and a pool Put
+// aborts any open window so a cancelled shard cannot poison the next
+// borrower.
+func TestSessionPoolRecycles(t *testing.T) {
+	rng := rand.New(rand.NewSource(603))
+	d := randDataset(rng, 18, 4)
+	opt := AnonymizeOptions{Glove: GloveOptions{K: 2}}
+	cold, _, err := AnonymizeContext(t.Context(), d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewSessionPool()
+	s1 := pool.Get()
+	if s1 == nil {
+		t.Fatal("nil session from non-nil pool")
+	}
+	if err := s1.Push(t.Context(), d, opt.Glove); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(s1) // open window: Put must abort it
+	s2 := pool.Get()
+	if s2 != s1 {
+		t.Fatal("pool did not recycle the session")
+	}
+	out, _, err := s2.Anonymize(t.Context(), d, opt)
+	if err != nil {
+		t.Fatalf("recycled session: %v", err)
+	}
+	datasetsEqual(t, "recycled", cold, out)
+
+	var nilPool *SessionPool
+	if s := nilPool.Get(); s != nil {
+		t.Fatal("nil pool vended a session")
+	}
+	nilPool.Put(nil) // must not panic
+}

@@ -1,0 +1,214 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// maxFollowGap bounds how far ahead of the last committed window a new
+// record may land. Every skipped window in between is committed as an
+// explicit empty window (one jobWindow plus one event each), so a
+// corrupt timestamp millions of windows in the future must fail the job
+// instead of flooding its event log.
+const maxFollowGap = 4096
+
+// executeFollow drives a follow job: instead of freezing one snapshot
+// and splitting it, the run subscribes to the dataset's append wake
+// channel and advances a record cursor over the feed. Each batch of
+// appended records is bucketed into window fragments (TailWindows);
+// a record landing in window w proves every window before w is closed
+// — appends only move forward on the time axis of a feed — so those
+// windows are committed in order: fragments are fused into one window
+// table (reproducing exactly the record order a cold WindowSplit would
+// give that window) and run through the same sharded pipeline a
+// windowed job uses, warm across windows via a session pool. Windows
+// the feed skipped entirely are reported as explicit empty windows.
+//
+// The run ends when the effective window bound is reached (the spec's
+// follow_windows clamped by the daemon's MaxFollowWindows; empty
+// windows don't count), or when it is cancelled — committed releases
+// stay downloadable either way, and a cancellation mid-window publishes
+// nothing for that window.
+func (m *Manager) executeFollow(ctx context.Context, job *Job, spec JobSpec) (runOutcome, error) {
+	d := spec.WindowDuration()
+	wmin := d.Minutes()
+	limit := spec.FollowWindows
+	if max := m.opt.MaxFollowWindows; max > 0 && (limit <= 0 || limit > max) {
+		limit = max
+	}
+	root := job.traceRoot()
+
+	var (
+		cursor        int                      // feed records consumed so far
+		pending       = map[int][]cdr.Source{} // open windows: fragments in arrival order
+		lastCommitted = -1
+		maxSeen       = -1 // highest window index any record landed in
+		committed     int
+		total         = &core.GloveStats{}
+		releases      []*core.Dataset
+		lastSnap      cdr.Source
+		lag           float64
+		planned       bool
+	)
+	// The stream-lag gauge is shared across follow jobs, so this run
+	// only ever moves it by deltas and returns its remainder on exit.
+	setLag := func(n float64) {
+		m.tel.streamLagDelta(n - lag)
+		lag = n
+	}
+	defer setLag(0)
+
+	finish := func() (runOutcome, error) {
+		var fps []*core.Fingerprint
+		for _, rel := range releases {
+			fps = append(fps, rel.Fingerprints...)
+		}
+		measured := &core.Dataset{Fingerprints: fps}
+		total.OutputFingerprints = measured.Len()
+		total.OutputSamples = measured.TotalSamples()
+		outcome := runOutcome{
+			measured: measured,
+			stats:    total,
+			anonFrac: m.anonymizability(ctx, lastSnap, spec),
+		}
+		if len(releases) == 1 {
+			outcome.result = releases[0]
+		}
+		return outcome, nil
+	}
+
+	pool := core.NewSessionPool()
+	for {
+		// Watch before snapshot: an append racing the snapshot closes
+		// this (pre-append) channel, so blocking on it below can never
+		// miss records the snapshot didn't show.
+		wake, ok := m.reg.Watch(spec.DatasetID)
+		if !ok {
+			return runOutcome{}, fmt.Errorf("service: dataset %q disappeared", spec.DatasetID)
+		}
+		snap, info, ok := m.reg.SnapshotSource(spec.DatasetID)
+		if !ok {
+			return runOutcome{}, fmt.Errorf("service: dataset %q disappeared", spec.DatasetID)
+		}
+		lastSnap = snap
+		job.mu.Lock()
+		job.datasetVersion = info.Version
+		job.mu.Unlock()
+
+		closedAt := time.Now()
+		if n := snap.NumRecords(); n > cursor {
+			frags, err := snap.TailWindows(cursor, d)
+			if err != nil {
+				return runOutcome{}, err
+			}
+			cursor = n
+			for _, f := range frags {
+				if f.Index <= lastCommitted {
+					return runOutcome{}, fmt.Errorf(
+						"service: append delivered %d records for window %d (minutes [%g, %g)) after its release was committed; a follow feed must only move forward",
+						f.Source.NumRecords(), f.Index, f.StartMinute, f.EndMinute)
+				}
+				if f.Index > lastCommitted+maxFollowGap {
+					return runOutcome{}, fmt.Errorf(
+						"service: append jumped to window %d, %d windows past the last committed release — refusing to flood the job with empty windows",
+						f.Index, f.Index-lastCommitted)
+				}
+				pending[f.Index] = append(pending[f.Index], f.Source)
+				if f.Index > maxSeen {
+					maxSeen = f.Index
+				}
+			}
+		}
+		setLag(float64(maxSeen - 1 - lastCommitted))
+
+		// Every window strictly below maxSeen is closed; commit them in
+		// order. Window maxSeen itself stays open — the feed may still
+		// append into it.
+		for idx := lastCommitted + 1; idx < maxSeen; idx++ {
+			if err := ctx.Err(); err != nil {
+				return runOutcome{}, err
+			}
+			start, end := float64(idx)*wmin, float64(idx+1)*wmin
+			frags := pending[idx]
+			if len(frags) == 0 {
+				job.commitEmptyWindow(idx, start, end)
+				lastCommitted = idx
+				setLag(float64(maxSeen - 1 - lastCommitted))
+				continue
+			}
+			delete(pending, idx)
+			table, err := cdr.MaterializeTable(frags...)
+			if err != nil {
+				return runOutcome{}, err
+			}
+			users := table.NumUsers()
+			if users < spec.K {
+				return runOutcome{}, fmt.Errorf(
+					"service: window %d (minutes [%g, %g)) hides %d users, cannot %d-anonymize; use a longer window",
+					idx, start, end, users, spec.K)
+			}
+			wname := fmt.Sprintf("w%d", idx)
+			wspan := root.Child(obs.SpanWindow, wname)
+			wspan.SetAttr("records", table.NumRecords())
+			wspan.SetAttr("users", users)
+			shards := planShards(table, users, spec.K, spec.Shards, m.opt.ShardSeed)
+			if !planned {
+				// First runnable window: resolve and publish the plan its
+				// largest shard gets, the closest a feed-driven job comes
+				// to the upfront plan of a snapshot-driven one.
+				plan, perr := core.PlanFor(maxShardUsers(shards), anonymizeOptions(spec, spec.Workers, nil))
+				if perr != nil {
+					wspan.End()
+					return runOutcome{}, perr
+				}
+				m.tel.jobPlanned(&plan)
+				job.mu.Lock()
+				job.plan = &plan
+				job.mu.Unlock()
+				planned = true
+			}
+			wpos := job.appendWindow(idx, start, end, table.NumRecords(), users)
+			job.startWindow(wpos, len(shards))
+			out, stats, err := runShards(ctx, shards, spec, pool, m.tel, wspan, func(shard int, frac float64) {
+				job.setWindowShardProgress(wpos, shard, frac)
+			})
+			if err != nil {
+				wspan.End()
+				return runOutcome{}, fmt.Errorf("service: window %d: %w", idx, err)
+			}
+			vspan := wspan.Child(obs.SpanValidate, "")
+			verr := core.ValidateKAnonymity(out, spec.K)
+			vspan.End()
+			if verr != nil {
+				wspan.End()
+				return runOutcome{}, fmt.Errorf("service: window %d failed validation: %w", idx, verr)
+			}
+			wspan.SetAttr("groups", out.Len())
+			job.commitWindow(wpos, out, stats)
+			job.emitSpan(obs.SpanWindow, wname, wspan.End())
+			m.tel.windowCommitted(time.Since(closedAt))
+			m.agg.Lock()
+			m.agg.windowReleases++
+			m.agg.Unlock()
+			total.Add(stats)
+			releases = append(releases, out)
+			committed++
+			lastCommitted = idx
+			setLag(float64(maxSeen - 1 - lastCommitted))
+			if limit > 0 && committed >= limit {
+				return finish()
+			}
+		}
+
+		select {
+		case <-ctx.Done():
+			return runOutcome{}, ctx.Err()
+		case <-wake:
+		}
+	}
+}

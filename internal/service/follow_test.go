@@ -1,0 +1,376 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// windowCSV builds an append body whose records all land in 1 h window w
+// (minutes [w*60, (w+1)*60)), one record per user at distinct minutes.
+func windowCSV(w int, users ...string) string {
+	var b strings.Builder
+	b.WriteString("user,lat,lon,minute\n")
+	for i, u := range users {
+		fmt.Fprintf(&b, "%s,7.5,-5.5,%d\n", u, w*60+i)
+	}
+	return b.String()
+}
+
+// releaseCSV renders one window release for byte comparison.
+func releaseCSV(t *testing.T, mgr *Manager, jobID string, w int) []byte {
+	t.Helper()
+	ds, err := mgr.WindowResult(jobID, w)
+	if err != nil {
+		t.Fatalf("window %d of %s: %v", w, jobID, err)
+	}
+	var buf bytes.Buffer
+	if err := cdr.WriteAnonymizedCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// A follow job's committed releases must be byte-identical to the
+// corresponding windows of a cold windowed job over the final feed —
+// the streaming pipeline is a strict incrementalization of the batch
+// one, never a different algorithm. The feed grows concurrently with
+// the running job (exercising the append/snapshot race under -race),
+// window 1 stays empty, and the job finishes on its follow_windows
+// bound. Runs on both storage backends.
+func TestFollowEqualsColdWindows(t *testing.T) {
+	for _, columnar := range []bool{false, true} {
+		name := "table"
+		if columnar {
+			name = "columnar"
+		}
+		t.Run(name, func(t *testing.T) {
+			center := geo.LatLon{Lat: 7.54, Lon: -5.55}
+			reg := NewRegistry()
+			reg.Columnar = columnar
+			mgr := NewManager(reg, ManagerOptions{MaxConcurrentJobs: 2})
+			defer mgr.Close()
+
+			info, err := reg.Ingest(strings.NewReader(windowCSV(0, "a", "b", "c", "d")), "feed", center, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := mgr.Submit(JobSpec{DatasetID: info.ID, K: 2, Workers: 1, Shards: 1,
+				WindowHours: 1, Follow: true, FollowWindows: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Grow the feed from a separate goroutine while the job runs:
+			// more window-0 records, nothing in window 1, window 2, and
+			// finally window 3 (which closes window 2 and ends the job at
+			// its 2-release bound; empty window 1 must not count).
+			appendErr := make(chan error, 1)
+			go func() {
+				for _, body := range []string{
+					windowCSV(0, "e", "f"),
+					windowCSV(2, "a", "b", "e", "g"),
+					windowCSV(3, "c", "d"),
+				} {
+					if _, err := reg.Append(info.ID, strings.NewReader(body)); err != nil {
+						appendErr <- err
+						return
+					}
+				}
+				appendErr <- nil
+			}()
+			if err := <-appendErr; err != nil {
+				t.Fatal(err)
+			}
+
+			final := waitForState(t, mgr, st.ID, func(s JobStatus) bool { return s.State.Terminal() })
+			if final.State != JobDone {
+				t.Fatalf("follow job finished %s: %s", final.State, final.Error)
+			}
+			if len(final.Windows) != 3 {
+				t.Fatalf("follow windows: %+v", final.Windows)
+			}
+			wantStates := map[int]WindowState{0: WindowDone, 1: WindowEmpty, 2: WindowDone}
+			for _, w := range final.Windows {
+				if w.State != wantStates[w.Index] {
+					t.Errorf("window %d is %q, want %q", w.Index, w.State, wantStates[w.Index])
+				}
+				if w.Progress != 1 {
+					t.Errorf("terminal window %d progress %g, want 1", w.Index, w.Progress)
+				}
+			}
+			if final.Progress != 1 {
+				t.Errorf("done follow job progress %g, want 1", final.Progress)
+			}
+			// The explicit empty event reached the log, so a streaming
+			// consumer can distinguish "no data" from "release pending".
+			evs, _, ok := mgr.EventsSince(st.ID, 0)
+			if !ok {
+				t.Fatal("event log gone")
+			}
+			sawEmpty := false
+			for _, e := range evs {
+				if e.Window != nil && e.Window.Index == 1 && e.Window.State == WindowEmpty {
+					sawEmpty = true
+				}
+			}
+			if !sawEmpty {
+				t.Error("no empty-window event for the gap window")
+			}
+
+			// Cold reference: a windowed job over the finished feed. Its
+			// windows 0 and 2 must match the follow releases byte for byte.
+			cold, err := mgr.Submit(JobSpec{DatasetID: info.ID, K: 2, Workers: 1, Shards: 1, WindowHours: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfinal := waitForState(t, mgr, cold.ID, func(s JobStatus) bool { return s.State.Terminal() })
+			if cfinal.State != JobDone {
+				t.Fatalf("cold job finished %s: %s", cfinal.State, cfinal.Error)
+			}
+			for _, w := range []int{0, 2} {
+				if !bytes.Equal(releaseCSV(t, mgr, st.ID, w), releaseCSV(t, mgr, cold.ID, w)) {
+					t.Errorf("follow release for window %d differs from the cold windowed release", w)
+				}
+			}
+			// The empty window has no downloadable release.
+			if _, err := mgr.WindowResult(st.ID, 1); err == nil {
+				t.Error("empty window served a release")
+			}
+		})
+	}
+}
+
+// Cancelling a follow job keeps every committed release downloadable
+// and publishes nothing for the window still open at the cancel.
+func TestFollowCancellationKeepsCommittedReleases(t *testing.T) {
+	center := geo.LatLon{Lat: 7.54, Lon: -5.55}
+	reg := NewRegistry()
+	mgr := NewManager(reg, ManagerOptions{})
+	defer mgr.Close()
+
+	info, err := reg.Ingest(strings.NewReader(windowCSV(0, "a", "b", "c")), "feed", center, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mgr.Submit(JobSpec{DatasetID: info.ID, K: 2, Workers: 1, Shards: 1,
+		WindowHours: 1, Follow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closing window 0 commits it; window 1 stays open forever.
+	if _, err := reg.Append(info.ID, strings.NewReader(windowCSV(1, "a", "b"))); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, mgr, st.ID, func(s JobStatus) bool {
+		return s.State.Terminal() || (len(s.Windows) > 0 && s.Windows[0].State == WindowDone)
+	})
+	if _, err := mgr.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitForState(t, mgr, st.ID, func(s JobStatus) bool { return s.State.Terminal() })
+	if final.State != JobCancelled {
+		t.Fatalf("follow job finished %s (%s), want cancelled", final.State, final.Error)
+	}
+	ds, err := mgr.WindowResult(st.ID, 0)
+	if err != nil {
+		t.Fatalf("committed window lost after cancel: %v", err)
+	}
+	if err := core.ValidateKAnonymity(ds, 2); err != nil {
+		t.Errorf("committed window release: %v", err)
+	}
+	// Nothing partial for the open window, and no batch result.
+	for _, w := range final.Windows {
+		if w.Index == 0 {
+			continue
+		}
+		if _, err := mgr.WindowResult(st.ID, w.Index); err == nil {
+			t.Errorf("uncommitted window %d served a release", w.Index)
+		}
+	}
+	if _, err := mgr.Result(st.ID); err == nil {
+		t.Error("cancelled follow job served a batch result")
+	}
+}
+
+// Records arriving for a window whose release is already committed must
+// fail the job: republishing or silently dropping them would both break
+// the release contract.
+func TestFollowLateRecordsFailTheJob(t *testing.T) {
+	center := geo.LatLon{Lat: 7.54, Lon: -5.55}
+	reg := NewRegistry()
+	mgr := NewManager(reg, ManagerOptions{})
+	defer mgr.Close()
+
+	info, err := reg.Ingest(strings.NewReader(windowCSV(0, "a", "b", "c")), "feed", center, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mgr.Submit(JobSpec{DatasetID: info.ID, K: 2, Workers: 1, Shards: 1,
+		WindowHours: 1, Follow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Append(info.ID, strings.NewReader(windowCSV(1, "a", "b"))); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, mgr, st.ID, func(s JobStatus) bool {
+		return s.State.Terminal() || (len(s.Windows) > 0 && s.Windows[0].State == WindowDone)
+	})
+	// A straggler lands in the already-released window 0.
+	if _, err := reg.Append(info.ID, strings.NewReader(windowCSV(0, "late"))); err != nil {
+		t.Fatal(err)
+	}
+	final := waitForState(t, mgr, st.ID, func(s JobStatus) bool { return s.State.Terminal() })
+	if final.State != JobFailed {
+		t.Fatalf("follow job finished %s, want failed on late records", final.State)
+	}
+	if !strings.Contains(final.Error, "after its release was committed") {
+		t.Errorf("unexpected failure: %s", final.Error)
+	}
+	// The release committed before the failure survives.
+	if _, err := mgr.WindowResult(st.ID, 0); err != nil {
+		t.Errorf("committed window lost after failure: %v", err)
+	}
+}
+
+// Deleting the dataset under a blocked follow job wakes and fails it
+// instead of leaving it asleep on a feed that no longer exists.
+func TestFollowDatasetDeletionFailsTheJob(t *testing.T) {
+	center := geo.LatLon{Lat: 7.54, Lon: -5.55}
+	reg := NewRegistry()
+	mgr := NewManager(reg, ManagerOptions{})
+	defer mgr.Close()
+
+	info, err := reg.Ingest(strings.NewReader(windowCSV(0, "a", "b")), "feed", center, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mgr.Submit(JobSpec{DatasetID: info.ID, K: 2, Workers: 1, Shards: 1,
+		WindowHours: 1, Follow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, mgr, st.ID, func(s JobStatus) bool { return s.State == JobRunning })
+	if !reg.Delete(info.ID) {
+		t.Fatal("delete failed")
+	}
+	final := waitForState(t, mgr, st.ID, func(s JobStatus) bool { return s.State.Terminal() })
+	if final.State != JobFailed || !strings.Contains(final.Error, "disappeared") {
+		t.Errorf("follow job finished %s (%s), want failed on deletion", final.State, final.Error)
+	}
+}
+
+// The daemon-wide MaxFollowWindows clamps an unbounded follow job.
+func TestFollowDaemonWindowCap(t *testing.T) {
+	center := geo.LatLon{Lat: 7.54, Lon: -5.55}
+	reg := NewRegistry()
+	mgr := NewManager(reg, ManagerOptions{MaxFollowWindows: 1})
+	defer mgr.Close()
+
+	info, err := reg.Ingest(strings.NewReader(windowCSV(0, "a", "b", "c")), "feed", center, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mgr.Submit(JobSpec{DatasetID: info.ID, K: 2, Workers: 1, Shards: 1,
+		WindowHours: 1, Follow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Append(info.ID, strings.NewReader(windowCSV(1, "a", "b"))); err != nil {
+		t.Fatal(err)
+	}
+	final := waitForState(t, mgr, st.ID, func(s JobStatus) bool { return s.State.Terminal() })
+	if final.State != JobDone {
+		t.Fatalf("capped follow job finished %s: %s", final.State, final.Error)
+	}
+	if len(final.Windows) != 1 || final.Windows[0].State != WindowDone {
+		t.Errorf("capped follow windows: %+v", final.Windows)
+	}
+	// Exactly one release: the batch result endpoint serves it, like a
+	// one-window windowed job.
+	if _, err := mgr.Result(st.ID); err != nil {
+		t.Errorf("single-release follow job has no result: %v", err)
+	}
+}
+
+// Follow spec validation: the mode needs explicit windows, and a window
+// bound without the mode is a contradiction.
+func TestFollowSpecValidation(t *testing.T) {
+	if err := (JobSpec{DatasetID: "d", K: 2, Follow: true}).Validate(); err == nil {
+		t.Error("follow without window_hours accepted")
+	}
+	if err := (JobSpec{DatasetID: "d", K: 2, FollowWindows: 3}).Validate(); err == nil {
+		t.Error("follow_windows without follow accepted")
+	}
+	if err := (JobSpec{DatasetID: "d", K: 2, WindowHours: 1, Follow: true, FollowWindows: -1}).Validate(); err == nil {
+		t.Error("negative follow_windows accepted")
+	}
+	if err := (JobSpec{DatasetID: "d", K: 2, WindowHours: 1, Follow: true, FollowWindows: 3}).Validate(); err != nil {
+		t.Errorf("valid follow spec rejected: %v", err)
+	}
+
+	// A follow submission on a feed currently below k is accepted — the
+	// feed grows; each window is checked when it closes.
+	center := geo.LatLon{Lat: 7.54, Lon: -5.55}
+	reg := NewRegistry()
+	mgr := NewManager(reg, ManagerOptions{MaxFollowWindows: 1})
+	defer mgr.Close()
+	info, err := reg.Ingest(strings.NewReader(windowCSV(0, "only-one")), "feed", center, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Submit(JobSpec{DatasetID: info.ID, K: 2, WindowHours: 1, Follow: true}); err != nil {
+		t.Errorf("follow on a below-k feed rejected at submission: %v", err)
+	}
+	if _, err := mgr.Submit(JobSpec{DatasetID: info.ID, K: 2}); err == nil {
+		t.Error("batch job on a below-k dataset accepted")
+	}
+}
+
+// sizeShards must predict planShards exactly — same effective shard
+// count, same largest-shard size — across sizes, k, requested counts,
+// and seeds; the windowed dry plan relies on the equivalence.
+func TestSizeShardsMatchesPlanShards(t *testing.T) {
+	tables := []*cdr.Table{
+		synthTable(t, 10, 1),
+		synthTable(t, 40, 2),
+		synthTable(t, 120, 3),
+	}
+	for ti, table := range tables {
+		users := table.Users()
+		for _, k := range []int{2, 3, 5} {
+			for _, requested := range []int{0, 1, 2, 4, 16} {
+				for _, seed := range []uint64{1, 7} {
+					shards := planShards(table, users, k, requested, seed)
+					wantN, wantMax := len(shards), maxShardUsers(shards)
+					gotN, gotMax := sizeShards(table, users, k, requested, seed)
+					if gotN != wantN || gotMax != wantMax {
+						t.Errorf("table %d k=%d req=%d seed=%d: sizeShards = (%d, %d), planShards = (%d, %d)",
+							ti, k, requested, seed, gotN, gotMax, wantN, wantMax)
+					}
+				}
+			}
+		}
+	}
+	// Window slices too: the dry plan sizes window sources, not tables.
+	wins, err := tables[2].WindowSplit(24 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, win := range wins {
+		users := win.Source.NumUsers()
+		shards := planShards(win.Source, users, 2, 4, 1)
+		gotN, gotMax := sizeShards(win.Source, users, 2, 4, 1)
+		if gotN != len(shards) || gotMax != maxShardUsers(shards) {
+			t.Errorf("window %d: sizeShards = (%d, %d), planShards = (%d, %d)",
+				win.Index, gotN, gotMax, len(shards), maxShardUsers(shards))
+		}
+	}
+}

@@ -214,6 +214,41 @@ func (j *Job) initWindows(wins []cdr.SourceWindow) {
 	}
 }
 
+// appendWindow adds one window discovered at runtime — follow jobs
+// learn their windows from the feed instead of an upfront split — and
+// returns its position in j.windows (the index the per-window mutators
+// take, distinct from the window's feed index).
+func (j *Job) appendWindow(index int, startMinute, endMinute float64, records, users int) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.windows = append(j.windows, &jobWindow{
+		index:       index,
+		startMinute: startMinute,
+		endMinute:   endMinute,
+		records:     records,
+		users:       users,
+		state:       WindowPending,
+	})
+	return len(j.windows) - 1
+}
+
+// commitEmptyWindow records a window the feed skipped entirely: the
+// follow run emits an explicit empty event so a consumer can
+// distinguish "no data in this window" from "release still pending",
+// and the window is terminal with no release to download.
+func (j *Job) commitEmptyWindow(index int, startMinute, endMinute float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.windows = append(j.windows, &jobWindow{
+		index:       index,
+		startMinute: startMinute,
+		endMinute:   endMinute,
+		state:       WindowEmpty,
+	})
+	j.appendEventLocked(api.JobEvent{Type: api.EventWindow,
+		Window: &api.WindowEvent{Index: index, State: WindowEmpty}})
+}
+
 // startWindow marks a window running with the given shard count.
 func (j *Job) startWindow(w, shards int) {
 	j.mu.Lock()
@@ -241,7 +276,7 @@ func (j *Job) setWindowShardProgress(w, shard int, frac float64) {
 // in-flight forever. Caller holds j.mu.
 func (j *Job) abortOpenWindowsLocked() {
 	for _, w := range j.windows {
-		if w.state != WindowDone {
+		if w.state != WindowDone && w.state != WindowEmpty {
 			w.state = WindowAborted
 			j.appendEventLocked(api.JobEvent{Type: api.EventWindow,
 				Window: &api.WindowEvent{Index: w.index, State: WindowAborted}})
@@ -367,7 +402,7 @@ func (j *Job) progressLocked() float64 {
 // progressLocked is the window's mean shard fraction; the caller holds
 // the owning job's mutex.
 func (w *jobWindow) progressLocked() float64 {
-	if w.state == WindowDone {
+	if w.state == WindowDone || w.state == WindowEmpty {
 		return 1
 	}
 	if len(w.shardProgress) == 0 {

@@ -68,6 +68,12 @@ type ManagerOptions struct {
 	// leaves it 0 (gloved -window-hours flag), turning every job into a
 	// windowed continuous release by default.
 	DefaultWindowHours float64
+	// MaxFollowWindows caps how many windows a follow job may commit
+	// before finishing, daemon-wide (gloved -follow-max-windows flag):
+	// the effective bound is the smaller of this and the spec's
+	// follow_windows when both are set. <= 0 leaves follow jobs
+	// unbounded — they run until cancelled or their spec bound.
+	MaxFollowWindows int
 
 	// Telemetry receives the manager's metrics; nil creates a fresh one
 	// (NewManager also attaches it to the registry), so callers of the
@@ -225,7 +231,10 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, api.Errorf(api.CodeDatasetNotFound, "unknown dataset %q", spec.DatasetID).
 			With("dataset_id", spec.DatasetID)
 	}
-	if info.Users < spec.K {
+	// A follow job's feed grows after submission, so its current user
+	// count proves nothing; each window is checked against k when it
+	// closes instead.
+	if !spec.Follow && info.Users < spec.K {
 		return JobStatus{}, api.Errorf(api.CodeInvalidSpec, "dataset %s hides %d users, cannot %d-anonymize",
 			info.ID, info.Users, spec.K)
 	}
@@ -657,6 +666,11 @@ type runOutcome struct {
 // frozen snapshot of the dataset: appends racing the run bump the
 // registry version but never change what this job anonymizes.
 func (m *Manager) execute(ctx context.Context, job *Job, spec JobSpec) (runOutcome, error) {
+	if spec.Follow {
+		// Follow jobs are not frozen at submission: the run re-snapshots
+		// the feed on every append wake-up inside its own loop.
+		return m.executeFollow(ctx, job, spec)
+	}
 	table, info, ok := m.reg.SnapshotSource(spec.DatasetID)
 	if !ok {
 		return runOutcome{}, fmt.Errorf("service: dataset %q disappeared", spec.DatasetID)
@@ -689,7 +703,7 @@ func (m *Manager) execute(ctx context.Context, job *Job, spec JobSpec) (runOutco
 	job.plan = &plan
 	job.mu.Unlock()
 
-	result, stats, err := runShards(ctx, shards, spec, m.tel, root, job.setShardProgress)
+	result, stats, err := runShards(ctx, shards, spec, nil, m.tel, root, job.setShardProgress)
 	if err != nil {
 		return runOutcome{}, err
 	}
@@ -721,11 +735,12 @@ func (m *Manager) executeWindowed(ctx context.Context, job *Job, spec JobSpec, t
 
 	// Dry-plan every window up front: publishes the plan of the largest
 	// run before work starts and rejects a window too sparse to
-	// k-anonymize before burning any quadratic time. The shard tables
-	// (full record clones) are not retained — each window re-plans
-	// lazily when its turn comes, so the job never holds more than one
-	// window's shards beyond the snapshot itself. planShards is
-	// deterministic, so the dry run and the real run agree.
+	// k-anonymize before burning any quadratic time. sizeShards walks
+	// only distinct-user counts — no window's records are cloned into
+	// shard tables just to be measured and thrown away; each window
+	// materializes its shards lazily when its turn comes. The sizing
+	// replays planShards' clamp and back-off exactly, so the dry run and
+	// the real run agree (TestSizeShardsMatchesPlanShards).
 	userCounts := make([]int, len(wins))
 	maxUsers := 0
 	for wi, win := range wins {
@@ -736,8 +751,7 @@ func (m *Manager) executeWindowed(ctx context.Context, job *Job, spec JobSpec, t
 				win.Index, win.StartMinute, win.EndMinute, users, spec.K)
 		}
 		userCounts[wi] = users
-		shards := planShards(win.Source, users, spec.K, spec.Shards, m.opt.ShardSeed)
-		if u := maxShardUsers(shards); u > maxUsers {
+		if _, u := sizeShards(win.Source, users, spec.K, spec.Shards, m.opt.ShardSeed); u > maxUsers {
 			maxUsers = u
 		}
 	}
@@ -756,6 +770,9 @@ func (m *Manager) executeWindowed(ctx context.Context, job *Job, spec JobSpec, t
 
 	total := &core.GloveStats{}
 	releases := make([]*core.Dataset, 0, len(wins))
+	// Consecutive windows reuse warm engine sessions: the pool recycles
+	// each shard worker's index storage into the next window.
+	pool := core.NewSessionPool()
 	for wi, win := range wins {
 		if err := ctx.Err(); err != nil {
 			return runOutcome{}, err
@@ -766,7 +783,7 @@ func (m *Manager) executeWindowed(ctx context.Context, job *Job, spec JobSpec, t
 		wspan.SetAttr("users", userCounts[wi])
 		shards := planShards(win.Source, userCounts[wi], spec.K, spec.Shards, m.opt.ShardSeed)
 		job.startWindow(wi, len(shards))
-		out, stats, err := runShards(ctx, shards, spec, m.tel, wspan, func(shard int, frac float64) {
+		out, stats, err := runShards(ctx, shards, spec, pool, m.tel, wspan, func(shard int, frac float64) {
 			job.setWindowShardProgress(wi, shard, frac)
 		})
 		if err != nil {

@@ -52,6 +52,11 @@ type Registry struct {
 	order  []string
 	tel    *Telemetry
 
+	// watch holds one broadcast channel per dataset with subscribers,
+	// closed and replaced on every append (and on delete) — the wake
+	// primitive behind follow jobs. Lazily created by Watch.
+	watch map[string]chan struct{}
+
 	// colCounters accumulates spill-path activity across every columnar
 	// store ever owned by this registry; shared so the exported fault and
 	// spill counters stay monotone as datasets come and go.
@@ -156,6 +161,36 @@ func NewRegistry() *Registry {
 		data:   make(map[string]*cdr.Table),
 		stores: make(map[string]*colstore.Store),
 		users:  make(map[string]map[string]struct{}),
+		watch:  make(map[string]chan struct{}),
+	}
+}
+
+// Watch returns a channel closed the next time the dataset changes (an
+// append lands or the dataset is deleted), plus whether the dataset
+// exists. Follow jobs take the channel BEFORE snapshotting: any append
+// racing the snapshot closes this channel, so the subscriber can sleep
+// on it without ever missing records. Each wake consumes the channel —
+// call Watch again for the next cycle.
+func (g *Registry) Watch(id string) (<-chan struct{}, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.infos[id]; !ok {
+		return nil, false
+	}
+	ch, ok := g.watch[id]
+	if !ok {
+		ch = make(chan struct{})
+		g.watch[id] = ch
+	}
+	return ch, true
+}
+
+// wakeLocked broadcasts a dataset change to its watchers (close and
+// replace on the next Watch). Caller holds g.mu.
+func (g *Registry) wakeLocked(id string) {
+	if ch, ok := g.watch[id]; ok {
+		close(ch)
+		delete(g.watch, id)
 	}
 }
 
@@ -353,6 +388,7 @@ func (g *Registry) appendColumnar(id string, store *colstore.Store, r io.Reader)
 	g.infos[id] = info
 	g.tel.ingested(added, cr.n)
 	g.publishTotalsLocked()
+	g.wakeLocked(id)
 	return info, nil
 }
 
@@ -424,6 +460,7 @@ func (g *Registry) Append(id string, r io.Reader) (DatasetInfo, error) {
 	g.infos[id] = info
 	g.tel.ingested(len(recs), cr.n)
 	g.publishTotalsLocked()
+	g.wakeLocked(id)
 	return info, nil
 }
 
@@ -476,6 +513,9 @@ func (g *Registry) Delete(id string) bool {
 		}
 	}
 	g.publishTotalsLocked()
+	// Wake watchers so follow jobs notice the deletion instead of
+	// sleeping forever on a dataset that no longer exists.
+	g.wakeLocked(id)
 	return true
 }
 

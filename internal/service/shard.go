@@ -50,6 +50,64 @@ func planShards(t cdr.Source, users, k, requested int, seed uint64) []cdr.Source
 	return t.UserShards(1, seed)
 }
 
+// sizeShards predicts planShards' outcome without materializing any
+// shard: the same clamp and geometric back-off, evaluated over per-shard
+// distinct-user COUNTS (one pass collecting user names, then
+// cdr.ShardOfUser per candidate count) instead of full record-cloned
+// shard tables. The windowed dry-plan loop uses it to size every window
+// up front — previously that loop cloned each window's records once per
+// halving attempt and threw all of it away. Returns the effective shard
+// count (empty shards dropped, as planShards drops them) and the
+// subscriber count of the largest shard (the planner's sizing input).
+// sizeShards(t, ...) == (len(s), maxShardUsers(s)) for s := planShards(t, ...)
+// — pinned by TestSizeShardsMatchesPlanShards.
+func sizeShards(t cdr.Source, users, k, requested int, seed uint64) (shards, maxUsers int) {
+	max := users / (2 * k)
+	if max < 1 {
+		max = 1
+	}
+	n := requested
+	if n <= 0 {
+		n = parallel.DefaultWorkers()
+	}
+	if n > max {
+		n = max
+	}
+	if n <= 1 {
+		return 1, users
+	}
+	names := make(map[string]struct{}, users)
+	_ = t.EachRecord(func(r cdr.Record) error {
+		names[r.User] = struct{}{}
+		return nil
+	})
+	for ; n > 1; n /= 2 {
+		counts := make([]int, n)
+		for u := range names {
+			counts[cdr.ShardOfUser(u, n, seed)]++
+		}
+		ok := true
+		nonEmpty, largest := 0, 0
+		for _, c := range counts {
+			if c == 0 {
+				continue
+			}
+			nonEmpty++
+			if c > largest {
+				largest = c
+			}
+			if c < k {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nonEmpty, largest
+		}
+	}
+	return 1, users
+}
+
 // shardResult is the outcome of anonymizing one shard.
 type shardResult struct {
 	out   *core.Dataset
@@ -67,7 +125,11 @@ type shardResult struct {
 // and merge phases grafted in from GloveStats — no locks in the hot
 // loop) and moves the shard-pool telemetry gauges; tel may be nil and
 // parent may be the zero ActiveSpan.
-func runShards(ctx context.Context, shards []cdr.Source, spec JobSpec, tel *Telemetry, parent obs.ActiveSpan, onProgress func(shard int, frac float64)) (*core.Dataset, *core.GloveStats, error) {
+//
+// pool, when non-nil, lends warm engine sessions to the shard runs so
+// repeated windows reuse index storage instead of reallocating it; a
+// nil pool degrades every shard to a cold run (batch jobs pass nil).
+func runShards(ctx context.Context, shards []cdr.Source, spec JobSpec, pool *core.SessionPool, tel *Telemetry, parent obs.ActiveSpan, onProgress func(shard int, frac float64)) (*core.Dataset, *core.GloveStats, error) {
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = parallel.DefaultWorkers()
@@ -94,7 +156,7 @@ func runShards(ctx context.Context, shards []cdr.Source, spec JobSpec, tel *Tele
 		span := parent.Child(obs.SpanShard, fmt.Sprintf("shard %d", i))
 		tel.shardStarted()
 		start := time.Now()
-		results[i] = runShard(runCtx, shards[i], spec, innerWorkers, func(done, total int) {
+		results[i] = runShard(runCtx, shards[i], spec, pool, innerWorkers, func(done, total int) {
 			if onProgress != nil && total > 0 {
 				onProgress(i, float64(done)/float64(total))
 			}
@@ -154,13 +216,18 @@ func annotateShardSpan(span obs.ActiveSpan, start time.Time, r shardResult) {
 
 // runShard converts one shard source into a fingerprint dataset and
 // anonymizes it through the core planner, which resolves the spec's
-// strategy/index (or the auto rules) for this shard's size.
-func runShard(ctx context.Context, t cdr.Source, spec JobSpec, workers int, progress func(done, total int)) shardResult {
+// strategy/index (or the auto rules) for this shard's size. With a
+// warm pool the run borrows a session (recycled index storage; output
+// pinned byte-identical to cold by the engine's warm==cold tests) and
+// returns it for the next window's shards.
+func runShard(ctx context.Context, t cdr.Source, spec JobSpec, pool *core.SessionPool, workers int, progress func(done, total int)) shardResult {
 	ds, err := t.BuildDataset()
 	if err != nil {
 		return shardResult{err: err}
 	}
-	out, stats, err := core.AnonymizeContext(ctx, ds, anonymizeOptions(spec, workers, progress))
+	sess := pool.Get()
+	out, stats, err := sess.Anonymize(ctx, ds, anonymizeOptions(spec, workers, progress))
+	pool.Put(sess)
 	if err != nil {
 		return shardResult{err: err}
 	}

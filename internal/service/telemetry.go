@@ -41,6 +41,8 @@ type Telemetry struct {
 	jobDuration    *obs.Histogram
 	windowDuration *obs.Histogram
 	windowReleases *obs.Counter
+	windowCommit   *obs.Histogram
+	streamLag      *obs.Gauge
 	shardsRunning  *obs.Gauge
 	shardsTotal    *obs.Counter
 
@@ -99,6 +101,10 @@ func NewTelemetry() *Telemetry {
 		"Wall-clock duration of committed windows of windowed jobs.", nil)
 	t.windowReleases = r.Counter("glove_window_releases_total",
 		"Committed per-window releases across windowed jobs.")
+	t.windowCommit = r.Histogram("glove_window_commit_seconds",
+		"Wall-clock seconds from a window becoming committable to its release being committed (follow and windowed jobs).", nil)
+	t.streamLag = r.Gauge("glove_stream_lag_windows",
+		"Windows closed by the feed but not yet committed, across running follow jobs.")
 	t.shardsRunning = r.Gauge("glove_shards_running",
 		"Shard anonymization runs currently executing (pool utilization).")
 	t.shardsTotal = r.Counter("glove_shards_total",
@@ -263,6 +269,17 @@ func (t *Telemetry) windowCommitted(d time.Duration) {
 	if t != nil {
 		t.windowReleases.Inc()
 		t.windowDuration.Observe(d.Seconds())
+		t.windowCommit.Observe(d.Seconds())
+	}
+}
+
+// streamLagDelta moves the shared stream-lag gauge by a delta: each
+// follow job adds newly closed windows as it discovers them and
+// subtracts what it commits (and its remainder on exit), so concurrent
+// follow jobs aggregate correctly without a last-writer-wins Set.
+func (t *Telemetry) streamLagDelta(d float64) {
+	if t != nil && d != 0 {
+		t.streamLag.Add(d)
 	}
 }
 

@@ -27,4 +27,5 @@ const (
 	WindowRunning = api.WindowRunning
 	WindowDone    = api.WindowDone
 	WindowAborted = api.WindowAborted
+	WindowEmpty   = api.WindowEmpty
 )
