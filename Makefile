@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt depcheck test race bench bench-json profile profile-1m expolint check
+.PHONY: all build vet fmt depcheck test race crash-e2e bench bench-json profile profile-1m expolint check
 
 all: check
 
@@ -25,7 +25,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/service/ ./internal/parallel/ ./internal/core/ ./internal/obs/ ./internal/colstore/ ./internal/cdr/ ./pkg/client/ ./cmd/glovectl/
+	$(GO) test -race ./internal/service/ ./internal/parallel/ ./internal/core/ ./internal/obs/ ./internal/colstore/ ./internal/cdr/ ./internal/wal/ ./internal/faultinject/ ./pkg/client/ ./cmd/glovectl/
+
+# crash-e2e runs the kill/restart fault-injection matrix against a real
+# gloved binary built with the faultinject tag: torn WAL writes,
+# durable-but-unacked appends, a crash between journaling and publishing
+# a follow window, and the SIGTERM drain/checkpoint path.
+crash-e2e:
+	$(GO) test -tags faultinject -race ./internal/faultinject/
 
 # expolint pins the Prometheus text-exposition contract: the strict
 # parser round-trips over rendered registries and a live /metrics
@@ -44,9 +51,11 @@ bench:
 # performance trajectory is tracked across PRs. BenchmarkWindowCommit
 # pins the streaming pipeline: per-window commit latency must track the
 # window's new-data volume, not the total feed size (DESIGN.md Sec. 12).
+# BenchmarkWALAppend pins the durability tax: the per-record journal
+# append/commit cost every mutation now pays (DESIGN.md Sec. 13).
 bench-json:
-	$(GO) test -run=^$$ -bench='BenchmarkAblation|BenchmarkFingerprintEffortKernel|BenchmarkEffortKernel|BenchmarkScaling|BenchmarkWindowCommit' \
-		-benchtime=1x -timeout=30m -json . ./internal/core > BENCH_glove.json
+	$(GO) test -run=^$$ -bench='BenchmarkAblation|BenchmarkFingerprintEffortKernel|BenchmarkEffortKernel|BenchmarkScaling|BenchmarkWindowCommit|BenchmarkWAL' \
+		-benchtime=1x -timeout=30m -json . ./internal/core ./internal/wal > BENCH_glove.json
 
 # profile writes a CPU pprof of the k=2 civ GLOVE run (the
 # BenchmarkAblationNearestCache/cached workload, which is dominated by

@@ -10,6 +10,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
@@ -44,6 +46,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		logFormat   = fs.String("log-format", "text", "structured log encoding: text or json")
 		pprofAddr   = fs.String("pprof", "", "mount net/http/pprof on this private listen address (empty = disabled)")
 		routeTO     = fs.Duration("route-timeout", service.DefaultRouteTimeout, "processing budget of the quick JSON routes (0 = unlimited; streaming routes are never bounded)")
+		dataDir     = fs.String("data-dir", "", "directory for the write-ahead journal; datasets, jobs, and committed releases survive restarts (empty = fully in-memory)")
+		fsync       = fs.Bool("fsync", true, "fsync journal commits before acknowledging mutations (with -data-dir)")
+		drainTO     = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs before they are cancelled")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +84,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *colBudget < 0 {
 		return fmt.Errorf("gloved: -columnar-budget-mb %d is negative", *colBudget)
 	}
+	if *drainTO < 0 {
+		return fmt.Errorf("gloved: -drain-timeout %v is negative", *drainTO)
+	}
 	// In ManagerOptions, 0 finished jobs means "use the default"; the
 	// operator-facing spelling for unlimited is 0 (or below).
 	maxFinished := *retainJobs
@@ -99,13 +107,41 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("gloved: -log-format %q, need text or json", *logFormat)
 	}
 
+	// The journal is opened (and replayed) before anything else exists:
+	// its recovered state seeds the registry and the manager below.
+	tel := service.NewTelemetry()
+	var jrnl *service.Journal
+	var recovered *service.RecoveredState
+	spillDir := *colSpillDir
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			return fmt.Errorf("gloved: -data-dir: %w", err)
+		}
+		var err error
+		jrnl, recovered, err = service.OpenJournal(*dataDir, *fsync, tel)
+		if err != nil {
+			return fmt.Errorf("gloved: opening journal: %w", err)
+		}
+		defer jrnl.Close()
+		if spillDir == "" {
+			// Keep columnar spill next to the journal instead of the
+			// system temp dir, so one -data-dir owns all daemon state.
+			spillDir = filepath.Join(*dataDir, "spill")
+		}
+	}
+
 	reg := service.NewRegistry()
 	reg.MaxRecords = *maxRecords
 	reg.Columnar = *columnar
 	reg.ColumnarByteBudget = *colBudget << 20
-	reg.ColumnarSpillDir = *colSpillDir
+	reg.ColumnarSpillDir = spillDir
 	// Deferred before mgr.Close so the spill files outlive job shutdown.
 	defer reg.Close()
+	if recovered != nil {
+		if err := reg.Restore(recovered); err != nil {
+			return fmt.Errorf("gloved: %w", err)
+		}
+	}
 	mgr := service.NewManager(reg, service.ManagerOptions{
 		MaxConcurrentJobs:       *maxJobs,
 		QueueLimit:              *queueLimit,
@@ -118,9 +154,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		DefaultIndex:            *index,
 		DefaultWindowHours:      *windowHours,
 		MaxFollowWindows:        *followMaxW,
+		Telemetry:               tel,
 		Log:                     logger,
+		Journal:                 jrnl,
 	})
 	defer mgr.Close()
+	if recovered != nil {
+		// Requeued jobs may start executing the moment they are enqueued.
+		if err := mgr.Restore(recovered); err != nil {
+			return fmt.Errorf("gloved: %w", err)
+		}
+	}
+	// Attach last: the restore above replays journaled CSV through the
+	// normal ingest paths, which must not re-journal it.
+	reg.AttachJournal(jrnl)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -169,9 +216,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	case <-ctx.Done():
 	}
 
-	// Graceful drain: stop accepting connections, let in-flight
-	// requests finish, then cancel whatever jobs are still running via
-	// mgr.Close (deferred).
+	// Graceful drain, in dependency order: stop accepting connections
+	// and let in-flight requests finish; stop admitting jobs and give
+	// running ones the drain budget; then checkpoint the journal and
+	// append the clean-shutdown marker. The deferred mgr.Close cancels
+	// whatever outlived the budget (suppressed from the journal, so the
+	// next boot requeues it).
 	fmt.Fprintln(stderr, "gloved: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -179,5 +229,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	<-errc // Serve has returned http.ErrServerClosed
+	mgr.Drain(*drainTO)
+	if jrnl != nil {
+		if err := jrnl.Checkpoint(reg, mgr); err != nil {
+			fmt.Fprintf(stderr, "gloved: journal checkpoint failed: %v\n", err)
+		} else {
+			fmt.Fprintln(stderr, "gloved: journal checkpointed, shutdown clean")
+		}
+	}
 	return nil
 }

@@ -302,6 +302,9 @@ type MetricsReport struct {
 	// Colstore snapshots the memory-bounded columnar storage tier;
 	// omitted entirely on daemons running the in-memory table backend.
 	Colstore *ColstoreInfo `json:"colstore,omitempty"`
+	// Durability snapshots the write-ahead journal behind gloved
+	// -data-dir; omitted entirely on daemons running without one.
+	Durability *DurabilityInfo `json:"durability,omitempty"`
 }
 
 // ColstoreInfo snapshots the columnar storage tier of the dataset
@@ -321,4 +324,32 @@ type ColstoreInfo struct {
 	// spill file since boot (monotone, deletion-proof).
 	ChunkFaults int64 `json:"chunk_faults"`
 	ChunkSpills int64 `json:"chunk_spills"`
+}
+
+// DurabilityInfo snapshots the write-ahead journal of a durable daemon
+// (gloved -data-dir): the live journal footprint, what the last boot
+// recovered, and whether the previous shutdown was clean.
+type DurabilityInfo struct {
+	// JournalDir is the directory holding the journal segments.
+	JournalDir string `json:"journal_dir"`
+	// Fsync reports whether commits fsync (gloved -fsync).
+	Fsync bool `json:"fsync"`
+	// JournalSegments / JournalBytes are the live journal footprint.
+	JournalSegments int   `json:"journal_segments"`
+	JournalBytes    int64 `json:"journal_bytes"`
+	// LastCompaction is when the journal was last compacted to a
+	// snapshot (every boot compacts, so this is at least the boot time).
+	LastCompaction *time.Time `json:"last_compaction,omitempty"`
+	// LastShutdownClean reports whether the previous run ended with the
+	// clean-shutdown marker (graceful drain) rather than a crash.
+	LastShutdownClean bool `json:"last_shutdown_clean"`
+	// TornTailRecovered reports that this boot truncated a partially
+	// written frame off the journal tail — the signature of a crash
+	// mid-append; everything before the tear was recovered.
+	TornTailRecovered bool `json:"torn_tail_recovered,omitempty"`
+	// RecoveredDatasets counts datasets rebuilt from the journal at
+	// boot; RecoveredJobs counts rebuilt jobs by outcome (restored /
+	// requeued / resumed).
+	RecoveredDatasets int            `json:"recovered_datasets"`
+	RecoveredJobs     map[string]int `json:"recovered_jobs,omitempty"`
 }

@@ -423,6 +423,13 @@ func (s *Store) spillLocked(c *chunk) error {
 		return nil
 	}
 	if s.spill == nil {
+		// The configured spill directory may not exist yet (e.g. a fresh
+		// gloved -data-dir whose spill/ subdirectory is created lazily).
+		if s.opt.SpillDir != "" {
+			if err := os.MkdirAll(s.opt.SpillDir, 0o755); err != nil {
+				return fmt.Errorf("colstore: creating spill dir: %w", err)
+			}
+		}
 		f, err := os.CreateTemp(s.opt.SpillDir, "colstore-*.spill")
 		if err != nil {
 			return fmt.Errorf("colstore: creating spill file: %w", err)

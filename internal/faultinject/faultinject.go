@@ -1,0 +1,57 @@
+//go:build faultinject
+
+// Package faultinject provides named crash points for the kill/restart
+// recovery test matrix. In default builds (no `faultinject` build tag)
+// every function is a no-op compiled to nothing; under `-tags
+// faultinject` a process started with GLOVE_CRASH=<point> exits with
+// status 137 — the kill -9 exit code — at the matching crash point,
+// after GLOVE_CRASH_SKIP earlier hits of that same point have been let
+// through.
+package faultinject
+
+import (
+	"os"
+	"strconv"
+	"sync/atomic"
+)
+
+// Enabled reports whether crash points are compiled into this binary.
+const Enabled = true
+
+var (
+	point = os.Getenv("GLOVE_CRASH")
+	skip  = envInt("GLOVE_CRASH_SKIP")
+	count atomic.Int64
+)
+
+func envInt(key string) int64 {
+	n, err := strconv.Atoi(os.Getenv(key))
+	if err != nil {
+		return 0
+	}
+	return int64(n)
+}
+
+// Armed reports whether this hit of the named crash point should crash
+// the process: name matches GLOVE_CRASH and GLOVE_CRASH_SKIP earlier
+// hits of this point have already been let through. Callers that need
+// to do damage (e.g. a deliberate partial write) before dying check
+// Armed, act, then call Kill; everyone else uses Crash.
+func Armed(name string) bool {
+	if point == "" || name != point {
+		return false
+	}
+	return count.Add(1) == skip+1
+}
+
+// Kill terminates the process immediately with the kill -9 exit code.
+func Kill() {
+	os.Exit(137)
+}
+
+// Crash kills the process if the named point is armed for this hit.
+func Crash(name string) {
+	if Armed(name) {
+		Kill()
+	}
+}

@@ -1,0 +1,17 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether crash points are compiled into this binary.
+// Without the `faultinject` build tag every crash point is a no-op the
+// compiler can erase.
+const Enabled = false
+
+// Armed always reports false in default builds.
+func Armed(string) bool { return false }
+
+// Kill is a no-op in default builds (unreachable: Armed is never true).
+func Kill() {}
+
+// Crash is a no-op in default builds.
+func Crash(string) {}

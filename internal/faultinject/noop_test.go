@@ -1,0 +1,20 @@
+//go:build !faultinject
+
+package faultinject
+
+import "testing"
+
+// In default builds the crash points must be inert no matter what the
+// environment says — a production gloved with GLOVE_CRASH set by
+// accident must not die.
+func TestNoopBuildIsInert(t *testing.T) {
+	t.Setenv("GLOVE_CRASH", "wal.append.partial")
+	if Enabled {
+		t.Fatal("Enabled must be false without the faultinject build tag")
+	}
+	if Armed("wal.append.partial") {
+		t.Fatal("Armed must be false without the faultinject build tag")
+	}
+	Crash("wal.append.partial") // must not exit
+	Kill()                      // must not exit
+}

@@ -7,8 +7,27 @@ import (
 
 	"repro/internal/cdr"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
+
+// followResume is the committed prefix of a recovered follow job,
+// rebuilt from journaled releases: executeFollow seeds its loop with it
+// so the continuation matches an uninterrupted run — same releases,
+// same budget accounting, same aggregate stats.
+type followResume struct {
+	// floor is the highest committed window index (empty windows
+	// included); the feed re-scan silently walks past everything at or
+	// below it.
+	floor int
+	// committed counts recovered non-empty releases against the window
+	// budget.
+	committed int
+	// releases are the recovered releases in window order.
+	releases []*core.Dataset
+	// stats aggregates the recovered windows' run statistics.
+	stats *core.GloveStats
+}
 
 // maxFollowGap bounds how far ahead of the last committed window a new
 // record may land. Every skipped window in between is committed as an
@@ -54,10 +73,27 @@ func (m *Manager) executeFollow(ctx context.Context, job *Job, spec JobSpec) (ru
 		lastSnap      cdr.Source
 		lag           float64
 		planned       bool
+		resumeFloor   = -1
 	)
+	if resume := job.takeResume(); resume != nil {
+		// Restarted after a crash or drain: the journal already holds
+		// committed releases. The feed is re-scanned from record zero,
+		// but everything at or below the floor is skipped — committed
+		// windows are never re-opened, re-run, or re-published.
+		resumeFloor = resume.floor
+		lastCommitted = resume.floor
+		committed = resume.committed
+		releases = append(releases, resume.releases...)
+		if resume.stats != nil {
+			total = resume.stats
+		}
+	}
 	// The stream-lag gauge is shared across follow jobs, so this run
 	// only ever moves it by deltas and returns its remainder on exit.
 	setLag := func(n float64) {
+		if n < 0 {
+			n = 0
+		}
 		m.tel.streamLagDelta(n - lag)
 		lag = n
 	}
@@ -80,6 +116,13 @@ func (m *Manager) executeFollow(ctx context.Context, job *Job, spec JobSpec) (ru
 			outcome.result = releases[0]
 		}
 		return outcome, nil
+	}
+
+	if limit > 0 && committed >= limit {
+		// The recovered prefix already meets the window budget: finish
+		// without touching the feed, exactly where the pre-crash run
+		// would have stopped.
+		return finish()
 	}
 
 	pool := core.NewSessionPool()
@@ -108,6 +151,12 @@ func (m *Manager) executeFollow(ctx context.Context, job *Job, spec JobSpec) (ru
 			}
 			cursor = n
 			for _, f := range frags {
+				if f.Index <= resumeFloor {
+					// Pre-crash records re-delivered by the post-restart
+					// re-scan; their windows' journaled releases are
+					// authoritative.
+					continue
+				}
 				if f.Index <= lastCommitted {
 					return runOutcome{}, fmt.Errorf(
 						"service: append delivered %d records for window %d (minutes [%g, %g)) after its release was committed; a follow feed must only move forward",
@@ -136,6 +185,14 @@ func (m *Manager) executeFollow(ctx context.Context, job *Job, spec JobSpec) (ru
 			start, end := float64(idx)*wmin, float64(idx+1)*wmin
 			frags := pending[idx]
 			if len(frags) == 0 {
+				// Journal the empty window as a (release-less) result so
+				// the resume floor advances over it: skipped intervals are
+				// as immutable across restarts as published ones.
+				if err := m.jrnl.jobResult(job.id, journalWindow{
+					Index: idx, StartMinute: start, EndMinute: end, Empty: true,
+				}, nil); err != nil {
+					return runOutcome{}, err
+				}
 				job.commitEmptyWindow(idx, start, end)
 				lastCommitted = idx
 				setLag(float64(maxSeen - 1 - lastCommitted))
@@ -189,6 +246,25 @@ func (m *Manager) executeFollow(ctx context.Context, job *Job, spec JobSpec) (ru
 				return runOutcome{}, fmt.Errorf("service: window %d failed validation: %w", idx, verr)
 			}
 			wspan.SetAttr("groups", out.Len())
+			// THE commit point of the streaming pipeline: the release is
+			// journaled and fsynced BEFORE it is published. A crash before
+			// this returns re-runs the window (nothing was published); a
+			// crash after it republishes exactly these bytes from the
+			// journal. There is no separate cursor to tear — the resume
+			// floor IS the highest journaled result.
+			if err := m.jrnl.jobResult(job.id, journalWindow{
+				Index:       idx,
+				StartMinute: start,
+				EndMinute:   end,
+				Records:     table.NumRecords(),
+				Users:       users,
+				Groups:      out.Len(),
+				Stats:       stats,
+			}, out); err != nil {
+				wspan.End()
+				return runOutcome{}, fmt.Errorf("service: window %d: journaling release: %w", idx, err)
+			}
+			faultinject.Crash("follow.window.committed")
 			job.commitWindow(wpos, out, stats)
 			job.emitSpan(obs.SpanWindow, wname, wspan.End())
 			m.tel.windowCommitted(time.Since(closedAt))

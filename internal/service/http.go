@@ -191,6 +191,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		reqID = fmt.Sprintf("%s-%06d", s.bootID, s.reqSeq.Add(1))
 	}
 	w.Header().Set("X-Request-ID", reqID)
+	// The boot ID lets clients detect a daemon restart on reconnect: a
+	// changed value means in-memory event sequence numbers reset, so a
+	// resumed SSE stream must replay from scratch instead of trusting a
+	// pre-restart Last-Event-ID.
+	w.Header().Set("X-Glove-Boot-ID", s.bootID)
 	r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, reqID))
 
 	rec := &responseRecorder{ResponseWriter: w}

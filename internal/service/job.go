@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sync"
@@ -88,6 +89,18 @@ type Job struct {
 	eventCh     chan struct{}
 	progressPct int
 
+	// onEvent, when set, journals every event-log append (attached at
+	// submission on durable daemons). suppressJournal silences it — set
+	// when a graceful drain cancels a running job, so the journal keeps
+	// saying "running" and the next boot requeues the job instead of
+	// restoring a cancellation the user never asked for.
+	onEvent         func(api.JobEvent)
+	suppressJournal bool
+
+	// resume carries a recovered follow job's committed prefix into
+	// executeFollow; consumed once by takeResume.
+	resume *followResume
+
 	// trace is the job's span recorder, created when the run starts;
 	// nil for jobs that never ran (the trace_not_found condition).
 	trace *obs.Trace
@@ -142,10 +155,22 @@ func (j *Job) appendEventLocked(e api.JobEvent) {
 	e.Seq = len(j.events) + 1
 	e.JobID = j.id
 	j.events = append(j.events, e)
+	if j.onEvent != nil && !j.suppressJournal {
+		j.onEvent(e)
+	}
 	if j.eventCh != nil {
 		close(j.eventCh)
 	}
 	j.eventCh = make(chan struct{})
+}
+
+// takeResume hands the run its recovered follow prefix, at most once.
+func (j *Job) takeResume() *followResume {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r := j.resume
+	j.resume = nil
+	return r
 }
 
 // eventsSince returns the events after sequence number `after` (0 = from
@@ -325,6 +350,13 @@ func (j *Job) transition(to JobState) error {
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// statusLocked builds the status snapshot; caller holds j.mu (the
+// journal's terminal record and checkpoint capture reuse it under a
+// lock they already hold).
+func (j *Job) statusLocked() JobStatus {
 	st := JobStatus{
 		ID:                j.id,
 		Spec:              j.spec,
@@ -413,6 +445,92 @@ func (w *jobWindow) progressLocked() float64 {
 		sum += p
 	}
 	return sum / float64(len(w.shardProgress))
+}
+
+// encodeRelease serializes a published dataset through the canonical
+// anonymized-CSV writer; the decode/re-encode round trip is
+// byte-identical, so journaled releases survive any number of restarts
+// unchanged.
+func encodeRelease(out *core.Dataset) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := cdr.WriteAnonymizedCSV(&buf, out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// captureWindowLocked journals one committed window for checkpoints.
+// Caller holds j.mu; only done and empty windows are capturable.
+func (j *Job) captureWindowLocked(w *jobWindow) (RecoveredResult, error) {
+	jw := journalWindow{
+		Index:       w.index,
+		StartMinute: w.startMinute,
+		EndMinute:   w.endMinute,
+		Records:     w.records,
+		Users:       w.users,
+	}
+	if w.state == WindowEmpty {
+		jw.Empty = true
+		return RecoveredResult{Window: jw}, nil
+	}
+	jw.Groups = w.groups
+	jw.Stats = w.stats
+	csv, err := encodeRelease(w.result)
+	if err != nil {
+		return RecoveredResult{}, err
+	}
+	return RecoveredResult{Window: jw, CSV: csv}, nil
+}
+
+// capture converts the job into its checkpoint form. Terminal jobs
+// (except drain-cancelled ones, whose cancellation the journal
+// deliberately never saw) are captured verbatim — status, full event
+// log, every release. Interrupted jobs are captured as submissions plus
+// (for follow jobs) their committed windows, exactly the shape a
+// journal replay produces for them, so restarting from a checkpoint and
+// restarting from a raw journal converge to the same state.
+func (j *Job) capture() (*RecoveredJob, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rj := &RecoveredJob{ID: j.id, Spec: j.spec, CreatedAt: j.created}
+	if j.state.Terminal() && !j.suppressJournal {
+		st := j.statusLocked()
+		rj.Status = &st
+		rj.Events = append([]api.JobEvent(nil), j.events...)
+		for _, w := range j.windows {
+			if w.state != WindowDone && w.state != WindowEmpty {
+				continue
+			}
+			r, err := j.captureWindowLocked(w)
+			if err != nil {
+				return nil, err
+			}
+			rj.Results = append(rj.Results, r)
+		}
+		if j.result != nil {
+			csv, err := encodeRelease(j.result)
+			if err != nil {
+				return nil, err
+			}
+			rj.Results = append(rj.Results, RecoveredResult{
+				Window: journalWindow{Batch: true, Stats: j.stats}, CSV: csv,
+			})
+		}
+		return rj, nil
+	}
+	if j.spec.Follow {
+		for _, w := range j.windows {
+			if w.state != WindowDone && w.state != WindowEmpty {
+				continue
+			}
+			r, err := j.captureWindowLocked(w)
+			if err != nil {
+				return nil, err
+			}
+			rj.Results = append(rj.Results, r)
+		}
+	}
+	return rj, nil
 }
 
 // setShardProgress records the completion fraction of one shard.

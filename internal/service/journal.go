@@ -1,0 +1,556 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/wal"
+)
+
+// Journal entry kinds. The payload of every WAL record is one
+// JSON-encoded journalEntry; the set is append-only vocabulary like the
+// error-code registry — replay of an old journal must keep working.
+const (
+	jeDatasetCreate = "ds_create"
+	jeDatasetAppend = "ds_append"
+	jeDatasetDelete = "ds_delete"
+	jeJobSubmit     = "job_submit"
+	jeJobEvent      = "job_event"
+	jeJobResult     = "job_result"
+	jeJobStatus     = "job_status"
+	jeJobEvict      = "job_evict"
+	jeCleanShutdown = "clean_shutdown"
+)
+
+// journalEntry is the union of every journaled mutation; Kind selects
+// which fields are meaningful.
+type journalEntry struct {
+	Kind string `json:"kind"`
+	// ID is the dataset or job the entry belongs to.
+	ID   string    `json:"id,omitempty"`
+	At   time.Time `json:"at,omitempty"`
+	Name string    `json:"name,omitempty"`
+	// Center/SpanDays carry the creation metadata the record CSV format
+	// does not (ds_create).
+	Center   *geo.LatLon `json:"center,omitempty"`
+	SpanDays int         `json:"span_days,omitempty"`
+	// CSV holds the raw record CSV of a dataset mutation, or the
+	// anonymized release CSV of a job_result.
+	CSV    []byte         `json:"csv,omitempty"`
+	Spec   *api.JobSpec   `json:"spec,omitempty"`
+	Event  *api.JobEvent  `json:"event,omitempty"`
+	Window *journalWindow `json:"window,omitempty"`
+	Status *api.JobStatus `json:"status,omitempty"`
+}
+
+// journalWindow is the window metadata persisted with a committed
+// release — enough to rebuild the jobWindow across a restart without
+// replaying the window's computation.
+type journalWindow struct {
+	Index       int              `json:"index"`
+	StartMinute float64          `json:"start_minute"`
+	EndMinute   float64          `json:"end_minute"`
+	Records     int              `json:"records,omitempty"`
+	Users       int              `json:"users,omitempty"`
+	Groups      int              `json:"groups,omitempty"`
+	Stats       *core.GloveStats `json:"stats,omitempty"`
+	// Empty marks a window the feed skipped (committed with no release);
+	// Batch marks the merged result of a non-windowed job.
+	Empty bool `json:"empty,omitempty"`
+	Batch bool `json:"batch,omitempty"`
+}
+
+// RecoveredResult is one persisted release (or empty-window marker) of
+// a recovered job.
+type RecoveredResult struct {
+	Window journalWindow `json:"window"`
+	CSV    []byte        `json:"csv,omitempty"`
+}
+
+// RecoveredDataset is a dataset rebuilt from the journal: its creation
+// metadata plus the raw CSV of the create and every append, replayed
+// through the normal ingest paths at restore.
+type RecoveredDataset struct {
+	ID        string     `json:"id"`
+	Name      string     `json:"name,omitempty"`
+	Center    geo.LatLon `json:"center"`
+	SpanDays  int        `json:"span_days"`
+	CreatedAt time.Time  `json:"created_at"`
+	UpdatedAt time.Time  `json:"updated_at"`
+	Ops       [][]byte   `json:"ops"`
+}
+
+// RecoveredJob is a job rebuilt from the journal. Status non-nil means
+// the job reached a terminal state and is restored verbatim; otherwise
+// the job died queued/running and normalizeRecovered rewrote it into
+// requeue-ready form (Requeue true, fresh event log, committed follow
+// releases kept in Results).
+type RecoveredJob struct {
+	ID        string            `json:"id"`
+	Spec      api.JobSpec       `json:"spec"`
+	CreatedAt time.Time         `json:"created_at"`
+	Events    []api.JobEvent    `json:"events,omitempty"`
+	Status    *api.JobStatus    `json:"status,omitempty"`
+	Results   []RecoveredResult `json:"results,omitempty"`
+	Requeue   bool              `json:"requeue,omitempty"`
+}
+
+// RecoveredState is everything a journal replay reconstructs — and,
+// marshalled, the snapshot payload a compaction writes. Replay is a
+// pure function of the journal bytes, which makes it idempotent:
+// replaying the compaction of a replay yields the same state
+// (TestJournalReplayIdempotent).
+type RecoveredState struct {
+	DatasetSeq int                 `json:"dataset_seq"`
+	JobSeq     int                 `json:"job_seq"`
+	Datasets   []*RecoveredDataset `json:"datasets,omitempty"`
+	Jobs       []*RecoveredJob     `json:"jobs,omitempty"`
+
+	// CleanShutdown / TornTail describe how the previous run ended; not
+	// part of the snapshot (they are per-boot observations).
+	CleanShutdown bool `json:"-"`
+	TornTail      bool `json:"-"`
+}
+
+// Journal threads every service mutation through a wal.Log. A nil
+// *Journal is an inert sink (non-durable daemons), mirroring the
+// nil-*Telemetry convention.
+type Journal struct {
+	log   *wal.Log
+	dir   string
+	fsync bool
+	tel   *Telemetry
+
+	mu                sync.Mutex
+	lastCompaction    time.Time
+	cleanStart        bool
+	tornTail          bool
+	recoveredDatasets int
+	recoveredJobs     map[string]int
+}
+
+// OpenJournal opens the journal under dir, replays it into a
+// RecoveredState, normalizes interrupted jobs into requeue-ready form,
+// and compacts the journal down to that state (the boot checkpoint —
+// it also consumes the previous clean-shutdown marker, so a later
+// crash is detectable). The caller restores the returned state into
+// the registry and manager before attaching the journal.
+func OpenJournal(dir string, fsync bool, tel *Telemetry) (*Journal, *RecoveredState, error) {
+	l, rec, err := wal.Open(dir, wal.Options{
+		Fsync:    fsync,
+		OnSync:   tel.walSynced,
+		OnAppend: tel.walAppended,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := replayJournal(rec)
+	if err != nil {
+		l.Close()
+		return nil, nil, err
+	}
+	normalizeRecovered(st)
+	jl := &Journal{
+		log: l, dir: dir, fsync: fsync, tel: tel,
+		cleanStart:        st.CleanShutdown,
+		tornTail:          st.TornTail,
+		recoveredDatasets: len(st.Datasets),
+		recoveredJobs:     make(map[string]int),
+	}
+	if err := jl.compactTo(st); err != nil {
+		l.Close()
+		return nil, nil, err
+	}
+	return jl, st, nil
+}
+
+// Close releases the journal.
+func (jl *Journal) Close() error {
+	if jl == nil {
+		return nil
+	}
+	return jl.log.Close()
+}
+
+func idNum(format, id string) int {
+	var n int
+	fmt.Sscanf(id, format, &n)
+	return n
+}
+
+// replayJournal folds the snapshot and every record of a recovered WAL
+// into a RecoveredState.
+func replayJournal(rec *wal.Recovery) (*RecoveredState, error) {
+	st := &RecoveredState{TornTail: rec.TornTail}
+	ds := make(map[string]*RecoveredDataset)
+	jobs := make(map[string]*RecoveredJob)
+	var dsOrder, jobOrder []string
+	if rec.Snapshot != nil {
+		if err := json.Unmarshal(rec.Snapshot, st); err != nil {
+			return nil, fmt.Errorf("service: journal snapshot: %w", err)
+		}
+		for _, d := range st.Datasets {
+			ds[d.ID] = d
+			dsOrder = append(dsOrder, d.ID)
+		}
+		for _, j := range st.Jobs {
+			jobs[j.ID] = j
+			jobOrder = append(jobOrder, j.ID)
+		}
+	}
+	for i, payload := range rec.Records {
+		var e journalEntry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return nil, fmt.Errorf("service: journal record %d: %w", i, err)
+		}
+		switch e.Kind {
+		case jeDatasetCreate:
+			if e.Center == nil {
+				return nil, fmt.Errorf("service: journal: ds_create %s without center", e.ID)
+			}
+			d := &RecoveredDataset{
+				ID: e.ID, Name: e.Name, Center: *e.Center, SpanDays: e.SpanDays,
+				CreatedAt: e.At, UpdatedAt: e.At, Ops: [][]byte{e.CSV},
+			}
+			ds[e.ID] = d
+			dsOrder = append(dsOrder, e.ID)
+			if n := idNum("ds-%06d", e.ID); n > st.DatasetSeq {
+				st.DatasetSeq = n
+			}
+		case jeDatasetAppend:
+			d, ok := ds[e.ID]
+			if !ok {
+				return nil, fmt.Errorf("service: journal: append to unknown dataset %s", e.ID)
+			}
+			d.Ops = append(d.Ops, e.CSV)
+			d.UpdatedAt = e.At
+		case jeDatasetDelete:
+			delete(ds, e.ID)
+			dsOrder = removeID(dsOrder, e.ID)
+		case jeJobSubmit:
+			if e.Spec == nil {
+				return nil, fmt.Errorf("service: journal: job_submit %s without spec", e.ID)
+			}
+			j := &RecoveredJob{
+				ID: e.ID, Spec: *e.Spec, CreatedAt: e.At,
+				// Mirror newJob: the queued event is seeded at creation,
+				// never journaled individually.
+				Events: []api.JobEvent{{Seq: 1, Type: api.EventState, JobID: e.ID, State: api.JobQueued}},
+			}
+			jobs[e.ID] = j
+			jobOrder = append(jobOrder, e.ID)
+			if n := idNum("job-%06d", e.ID); n > st.JobSeq {
+				st.JobSeq = n
+			}
+		case jeJobEvent:
+			if j, ok := jobs[e.ID]; ok && e.Event != nil {
+				j.Events = append(j.Events, *e.Event)
+			}
+		case jeJobResult:
+			j, ok := jobs[e.ID]
+			if !ok || e.Window == nil {
+				continue
+			}
+			r := RecoveredResult{Window: *e.Window, CSV: e.CSV}
+			replaced := false
+			for k := range j.Results {
+				if j.Results[k].Window.Batch == r.Window.Batch && j.Results[k].Window.Index == r.Window.Index {
+					j.Results[k] = r
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				j.Results = append(j.Results, r)
+			}
+		case jeJobStatus:
+			if j, ok := jobs[e.ID]; ok && e.Status != nil {
+				j.Status = e.Status
+			}
+		case jeJobEvict:
+			delete(jobs, e.ID)
+			jobOrder = removeID(jobOrder, e.ID)
+		case jeCleanShutdown:
+			// Only a marker that is the journal's last word proves a
+			// clean shutdown; anything after it means the daemon came
+			// back up and died again.
+			st.CleanShutdown = i == len(rec.Records)-1
+		default:
+			// Unknown kinds are skipped, not fatal: an older daemon
+			// replaying a newer journal should recover what it can.
+		}
+	}
+	st.Datasets = st.Datasets[:0]
+	for _, id := range dsOrder {
+		st.Datasets = append(st.Datasets, ds[id])
+	}
+	st.Jobs = st.Jobs[:0]
+	for _, id := range jobOrder {
+		st.Jobs = append(st.Jobs, jobs[id])
+	}
+	return st, nil
+}
+
+func removeID(order []string, id string) []string {
+	for i, v := range order {
+		if v == id {
+			return append(order[:i], order[i+1:]...)
+		}
+	}
+	return order
+}
+
+// normalizeRecovered rewrites every interrupted (non-terminal) job into
+// the exact shape the restarted daemon will install and serve: a fresh
+// queued event log — clients reconnecting after a restart get a fresh
+// replay, not a continuation of a log whose run died — plus, for follow
+// jobs, one window event per recovered committed window. Batch and
+// windowed jobs restart from scratch, so their partial results are
+// dropped. Running the normalization before the boot compaction keeps
+// the snapshot and the in-memory restore identical, which is what makes
+// a crash-after-boot replay converge to the same state.
+func normalizeRecovered(st *RecoveredState) {
+	for _, j := range st.Jobs {
+		if j.Status != nil {
+			j.Requeue = false
+			continue
+		}
+		j.Requeue = true
+		if !j.Spec.Follow {
+			j.Results = nil
+		}
+		sort.Slice(j.Results, func(a, b int) bool {
+			return j.Results[a].Window.Index < j.Results[b].Window.Index
+		})
+		evs := []api.JobEvent{{Seq: 1, Type: api.EventState, JobID: j.ID, State: api.JobQueued}}
+		for _, r := range j.Results {
+			we := &api.WindowEvent{Index: r.Window.Index, State: api.WindowEmpty}
+			if !r.Window.Empty {
+				we.State = api.WindowDone
+				we.Groups = r.Window.Groups
+			}
+			evs = append(evs, api.JobEvent{Seq: len(evs) + 1, Type: api.EventWindow, JobID: j.ID, Window: we})
+		}
+		j.Events = evs
+	}
+}
+
+// --- append-side hooks (all tolerate a nil *Journal) ---
+
+func (jl *Journal) append(e journalEntry) error {
+	if jl == nil {
+		return nil
+	}
+	p, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	return jl.log.Append(p)
+}
+
+// commit makes everything appended so far durable (group-commit fsync).
+func (jl *Journal) commit() error {
+	if jl == nil {
+		return nil
+	}
+	return jl.log.Commit()
+}
+
+// datasetCreated journals a new dataset with the raw CSV that built it.
+// Called under the registry mutex so journal order matches ID
+// assignment order; the caller fsyncs before acknowledging.
+func (jl *Journal) datasetCreated(info DatasetInfo, csv []byte) error {
+	center := info.Center
+	return jl.append(journalEntry{
+		Kind: jeDatasetCreate, ID: info.ID, Name: info.Name, At: info.CreatedAt,
+		Center: &center, SpanDays: info.SpanDays, CSV: csv,
+	})
+}
+
+func (jl *Journal) datasetAppended(id string, csv []byte, at time.Time) error {
+	return jl.append(journalEntry{Kind: jeDatasetAppend, ID: id, CSV: csv, At: at})
+}
+
+func (jl *Journal) datasetDeleted(id string) error {
+	return jl.append(journalEntry{Kind: jeDatasetDelete, ID: id})
+}
+
+func (jl *Journal) jobSubmitted(id string, spec JobSpec, at time.Time) error {
+	return jl.append(journalEntry{Kind: jeJobSubmit, ID: id, Spec: &spec, At: at})
+}
+
+// jobEvent journals one event-log append. Events ride the next fsync
+// (result commits, terminal transitions) rather than forcing their own:
+// progress and span events are reconstructible noise, and the state
+// machine is re-derived at replay anyway.
+func (jl *Journal) jobEvent(id string, e api.JobEvent) {
+	jl.append(e2entry(id, e))
+}
+
+func e2entry(id string, e api.JobEvent) journalEntry {
+	ev := e
+	return journalEntry{Kind: jeJobEvent, ID: id, Event: &ev}
+}
+
+// jobResult journals a committed release (or empty-window marker) and
+// fsyncs: this is THE commit point of the streaming pipeline. A window
+// whose result frame is durable is committed — replay derives the
+// follow resume floor from the highest journaled result — and a crash
+// any time after this call re-publishes exactly these bytes.
+func (jl *Journal) jobResult(id string, w journalWindow, out *core.Dataset) error {
+	if jl == nil {
+		return nil
+	}
+	var csv []byte
+	if out != nil {
+		var buf bytes.Buffer
+		if err := cdr.WriteAnonymizedCSV(&buf, out); err != nil {
+			return err
+		}
+		csv = buf.Bytes()
+	}
+	if err := jl.append(journalEntry{Kind: jeJobResult, ID: id, Window: &w, CSV: csv}); err != nil {
+		return err
+	}
+	return jl.commit()
+}
+
+func (jl *Journal) jobTerminalStatus(id string, status JobStatus) error {
+	if jl == nil {
+		return nil
+	}
+	if err := jl.append(journalEntry{Kind: jeJobStatus, ID: id, Status: &status}); err != nil {
+		return err
+	}
+	return jl.commit()
+}
+
+func (jl *Journal) jobEvicted(id string) {
+	jl.append(journalEntry{Kind: jeJobEvict, ID: id})
+}
+
+// compactTo collapses the journal to a snapshot of the given state.
+func (jl *Journal) compactTo(st *RecoveredState) error {
+	if jl == nil {
+		return nil
+	}
+	p, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	if err := jl.log.Compact(p); err != nil {
+		return err
+	}
+	jl.mu.Lock()
+	jl.lastCompaction = time.Now().UTC()
+	jl.mu.Unlock()
+	return nil
+}
+
+// Checkpoint serializes the live registry and manager state, compacts
+// the journal down to it, and appends the durable clean-shutdown
+// marker — the final act of a graceful drain. Callers must have
+// stopped all mutation first (drain complete, HTTP server down).
+func (jl *Journal) Checkpoint(reg *Registry, m *Manager) error {
+	if jl == nil {
+		return nil
+	}
+	st, err := captureState(reg, m)
+	if err != nil {
+		return err
+	}
+	if err := jl.compactTo(st); err != nil {
+		return err
+	}
+	if err := jl.append(journalEntry{Kind: jeCleanShutdown}); err != nil {
+		return err
+	}
+	return jl.commit()
+}
+
+// jobRecovered records a recovery outcome for the durability report and
+// the glove_recovered_jobs_total counter.
+func (jl *Journal) jobRecovered(outcome string) {
+	if jl == nil {
+		return
+	}
+	jl.tel.jobRecovered(outcome)
+	jl.mu.Lock()
+	jl.recoveredJobs[outcome]++
+	jl.mu.Unlock()
+}
+
+// Report snapshots the journal for the /v1/metrics durability block.
+func (jl *Journal) Report() *api.DurabilityInfo {
+	if jl == nil {
+		return nil
+	}
+	segs, size := jl.log.Size()
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	info := &api.DurabilityInfo{
+		JournalDir:        jl.dir,
+		Fsync:             jl.fsync,
+		JournalSegments:   segs,
+		JournalBytes:      size,
+		LastShutdownClean: jl.cleanStart,
+		TornTailRecovered: jl.tornTail,
+		RecoveredDatasets: jl.recoveredDatasets,
+	}
+	if !jl.lastCompaction.IsZero() {
+		t := jl.lastCompaction
+		info.LastCompaction = &t
+	}
+	if len(jl.recoveredJobs) > 0 {
+		info.RecoveredJobs = make(map[string]int, len(jl.recoveredJobs))
+		for k, v := range jl.recoveredJobs {
+			info.RecoveredJobs[k] = v
+		}
+	}
+	return info
+}
+
+// captureState converts the live registry + manager into the same
+// RecoveredState shape a replay produces, re-encoding datasets and
+// releases through the canonical CSV writers (both round-trip
+// byte-identically).
+func captureState(reg *Registry, m *Manager) (*RecoveredState, error) {
+	st := &RecoveredState{}
+	if reg != nil {
+		for _, info := range reg.List() {
+			src, cur, ok := reg.SnapshotSource(info.ID)
+			if !ok {
+				continue
+			}
+			var buf bytes.Buffer
+			if err := cdr.WriteSourceCSV(&buf, src); err != nil {
+				return nil, err
+			}
+			st.Datasets = append(st.Datasets, &RecoveredDataset{
+				ID: cur.ID, Name: cur.Name, Center: cur.Center, SpanDays: cur.SpanDays,
+				CreatedAt: cur.CreatedAt, UpdatedAt: cur.UpdatedAt,
+				Ops: [][]byte{buf.Bytes()},
+			})
+		}
+		st.DatasetSeq = reg.seqNum()
+	}
+	if m != nil {
+		for _, job := range m.jobList() {
+			rj, err := job.capture()
+			if err != nil {
+				return nil, err
+			}
+			st.Jobs = append(st.Jobs, rj)
+		}
+		st.JobSeq = m.seqNum()
+	}
+	return st, nil
+}

@@ -1,0 +1,416 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/geo"
+)
+
+// bootService wires one daemon "life" against dir, in the exact order
+// cmd/gloved does: open+replay the journal, restore the registry,
+// construct the manager (journal attached at construction), restore
+// jobs, then attach the registry journal. setup configures the registry
+// before the restore (storage backend flags).
+func bootService(t *testing.T, dir string, mopt ManagerOptions, setup func(*Registry)) (*Journal, *Registry, *Manager, *RecoveredState) {
+	t.Helper()
+	jrnl, rec, err := OpenJournal(dir, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	if setup != nil {
+		setup(reg)
+	}
+	if err := reg.Restore(rec); err != nil {
+		t.Fatal(err)
+	}
+	mopt.Journal = jrnl
+	mgr := NewManager(reg, mopt)
+	if err := mgr.Restore(rec); err != nil {
+		t.Fatal(err)
+	}
+	reg.AttachJournal(jrnl)
+	return jrnl, reg, mgr, rec
+}
+
+// crashClose ends a boot the unclean way: executors reaped, journal
+// closed, no checkpoint — what a kill -9 leaves on disk (minus the torn
+// tail, which internal/wal covers separately).
+func crashClose(mgr *Manager, reg *Registry, jrnl *Journal) {
+	mgr.Close()
+	reg.Close()
+	jrnl.Close()
+}
+
+// sourceCSV renders a dataset snapshot through the canonical writer for
+// byte comparison across restarts.
+func sourceCSV(t *testing.T, reg *Registry, id string) []byte {
+	t.Helper()
+	src, _, ok := reg.SnapshotSource(id)
+	if !ok {
+		t.Fatalf("dataset %s gone", id)
+	}
+	var buf bytes.Buffer
+	if err := cdr.WriteSourceCSV(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestJournalDatasetRoundTrip pins the registry half of recovery:
+// create + append + delete survive an unclean shutdown byte-for-byte,
+// on both storage backends, and the ID sequence never reissues a dead
+// dataset's ID.
+func TestJournalDatasetRoundTrip(t *testing.T) {
+	for _, columnar := range []bool{false, true} {
+		name := "table"
+		if columnar {
+			name = "columnar"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			center := geo.LatLon{Lat: 7.54, Lon: -5.55}
+			setup := func(g *Registry) { g.Columnar = columnar }
+
+			jrnl, reg, mgr, _ := bootService(t, dir, ManagerOptions{}, setup)
+			info, err := reg.Ingest(strings.NewReader(windowCSV(0, "a", "b", "c")), "feed", center, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := reg.Append(info.ID, strings.NewReader(windowCSV(1, "a", "d"))); err != nil {
+				t.Fatal(err)
+			}
+			doomed, err := reg.Ingest(strings.NewReader(windowCSV(0, "x", "y")), "doomed", center, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reg.Delete(doomed.ID) {
+				t.Fatal("delete failed")
+			}
+			want := sourceCSV(t, reg, info.ID)
+			wantInfo, _ := reg.Get(info.ID)
+			crashClose(mgr, reg, jrnl)
+
+			jrnl2, reg2, mgr2, rec := bootService(t, dir, ManagerOptions{}, setup)
+			defer crashClose(mgr2, reg2, jrnl2)
+			if rec.CleanShutdown {
+				t.Error("unclean shutdown reported as clean")
+			}
+			list := reg2.List()
+			if len(list) != 1 || list[0].ID != info.ID {
+				t.Fatalf("recovered datasets: %+v", list)
+			}
+			got, _ := reg2.Get(info.ID)
+			if got.Name != wantInfo.Name || got.Records != wantInfo.Records ||
+				got.Users != wantInfo.Users || got.SpanDays != wantInfo.SpanDays {
+				t.Errorf("recovered dataset %+v, want %+v", got, wantInfo)
+			}
+			if !bytes.Equal(sourceCSV(t, reg2, info.ID), want) {
+				t.Error("recovered dataset records differ from the originals")
+			}
+			// The deleted dataset stays dead, and its ID is never reissued.
+			if _, ok := reg2.Get(doomed.ID); ok {
+				t.Error("deleted dataset came back")
+			}
+			next, err := reg2.Ingest(strings.NewReader(windowCSV(0, "p", "q")), "next", center, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if next.ID <= doomed.ID {
+				t.Errorf("post-recovery ingest got ID %s, must be past %s", next.ID, doomed.ID)
+			}
+		})
+	}
+}
+
+// TestJournalTerminalJobRestored pins the verbatim half of job
+// recovery: a finished batch job comes back with an identical status,
+// an identical event log, and a byte-identical downloadable release.
+func TestJournalTerminalJobRestored(t *testing.T) {
+	dir := t.TempDir()
+	jrnl, reg, mgr, _ := bootService(t, dir, ManagerOptions{}, nil)
+
+	table := synthTable(t, 30, 2)
+	var csv bytes.Buffer
+	if err := cdr.WriteCSV(&csv, table); err != nil {
+		t.Fatal(err)
+	}
+	info, err := reg.Ingest(&csv, "batch", table.Center, table.SpanDays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mgr.Submit(JobSpec{DatasetID: info.ID, K: 2, Workers: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitForState(t, mgr, st.ID, func(s JobStatus) bool { return s.State.Terminal() })
+	if final.State != JobDone {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+	wantStatus, _ := json.Marshal(final)
+	wantEvents, _, _ := mgr.EventsSince(st.ID, 0)
+	rel, err := mgr.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantRel bytes.Buffer
+	if err := cdr.WriteAnonymizedCSV(&wantRel, rel); err != nil {
+		t.Fatal(err)
+	}
+	crashClose(mgr, reg, jrnl)
+
+	jrnl2, reg2, mgr2, _ := bootService(t, dir, ManagerOptions{}, nil)
+	defer crashClose(mgr2, reg2, jrnl2)
+	got, ok := mgr2.Get(st.ID)
+	if !ok {
+		t.Fatal("terminal job gone after restart")
+	}
+	gotStatus, _ := json.Marshal(got)
+	if !bytes.Equal(gotStatus, wantStatus) {
+		t.Errorf("restored status differs:\n got %s\nwant %s", gotStatus, wantStatus)
+	}
+	gotEvents, _, ok := mgr2.EventsSince(st.ID, 0)
+	if !ok {
+		t.Fatal("restored event log gone")
+	}
+	ge, _ := json.Marshal(gotEvents)
+	we, _ := json.Marshal(wantEvents)
+	if !bytes.Equal(ge, we) {
+		t.Errorf("restored event log differs:\n got %s\nwant %s", ge, we)
+	}
+	rel2, err := mgr2.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotRel bytes.Buffer
+	if err := cdr.WriteAnonymizedCSV(&gotRel, rel2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotRel.Bytes(), wantRel.Bytes()) {
+		t.Error("restored release differs from the original bytes")
+	}
+	if r := jrnl2.Report(); r.RecoveredJobs["restored"] != 1 {
+		t.Errorf("durability report: %+v", r.RecoveredJobs)
+	}
+}
+
+// TestJournalFollowResumeByteIdentity is the streaming crash-recovery
+// acceptance test: a follow job is killed between windows, the restart
+// resumes it at the last committed window, the committed release is
+// never re-run or re-published, the in-flight window published nothing
+// partial, and the continuation's output is byte-identical to a cold
+// windowed run over the final feed.
+func TestJournalFollowResumeByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	center := geo.LatLon{Lat: 7.54, Lon: -5.55}
+	jrnl, reg, mgr, _ := bootService(t, dir, ManagerOptions{}, nil)
+
+	info, err := reg.Ingest(strings.NewReader(windowCSV(0, "a", "b", "c", "d")), "feed", center, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mgr.Submit(JobSpec{DatasetID: info.ID, K: 2, Workers: 1, Shards: 1,
+		WindowHours: 1, Follow: true, FollowWindows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window-1 records close window 0; the job commits it and then
+	// blocks waiting for window 1 to close.
+	if _, err := reg.Append(info.ID, strings.NewReader(windowCSV(1, "a", "b"))); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, mgr, st.ID, func(s JobStatus) bool {
+		return len(s.Windows) > 0 && s.Windows[0].State == WindowDone
+	})
+	want0 := releaseCSV(t, mgr, st.ID, 0)
+	// Kill the daemon mid-run: drain with a zero budget cancels the
+	// running job suppressed from the journal (crash-equivalent), and no
+	// checkpoint is written.
+	mgr.Drain(0)
+	// The open window published nothing partial.
+	if _, err := mgr.WindowResult(st.ID, 1); err == nil {
+		t.Fatal("uncommitted window served a release before the crash")
+	}
+	crashClose(mgr, reg, jrnl)
+
+	jrnl2, reg2, mgr2, rec := bootService(t, dir, ManagerOptions{MaxConcurrentJobs: 2}, nil)
+	defer crashClose(mgr2, reg2, jrnl2)
+	if len(rec.Jobs) != 1 || !rec.Jobs[0].Requeue || len(rec.Jobs[0].Results) != 1 {
+		t.Fatalf("recovered jobs: %+v", rec.Jobs)
+	}
+	// The committed release is downloadable before the resumed run does
+	// anything, and is exactly the pre-crash bytes.
+	if got := releaseCSV(t, mgr2, st.ID, 0); !bytes.Equal(got, want0) {
+		t.Error("recovered window-0 release differs from the committed bytes")
+	}
+	if r := jrnl2.Report(); r.RecoveredJobs["resumed"] != 1 {
+		t.Errorf("durability report: %+v", r.RecoveredJobs)
+	}
+
+	// Window-2 records close window 1 (whose records were re-ingested by
+	// the dataset restore); that second commit meets the 2-window budget.
+	if _, err := reg2.Append(info.ID, strings.NewReader(windowCSV(2, "c", "d"))); err != nil {
+		t.Fatal(err)
+	}
+	final := waitForState(t, mgr2, st.ID, func(s JobStatus) bool { return s.State.Terminal() })
+	if final.State != JobDone {
+		t.Fatalf("resumed job finished %s: %s", final.State, final.Error)
+	}
+	if len(final.Windows) != 2 {
+		t.Fatalf("resumed job windows: %+v", final.Windows)
+	}
+	if got := releaseCSV(t, mgr2, st.ID, 0); !bytes.Equal(got, want0) {
+		t.Error("window-0 release changed after the resumed run finished")
+	}
+	// Exactly one done event per window across both lives of the job.
+	evs, _, _ := mgr2.EventsSince(st.ID, 0)
+	doneEvents := map[int]int{}
+	for _, e := range evs {
+		if e.Window != nil && e.Window.State == WindowDone {
+			doneEvents[e.Window.Index]++
+		}
+	}
+	if doneEvents[0] != 1 || doneEvents[1] != 1 {
+		t.Errorf("window done events: %v, want exactly one per window", doneEvents)
+	}
+
+	// Cold reference over the final feed: both releases must match byte
+	// for byte — a crash plus resume is invisible in the output.
+	cold, err := mgr2.Submit(JobSpec{DatasetID: info.ID, K: 2, Workers: 1, Shards: 1, WindowHours: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfinal := waitForState(t, mgr2, cold.ID, func(s JobStatus) bool { return s.State.Terminal() })
+	if cfinal.State != JobDone {
+		t.Fatalf("cold job finished %s: %s", cfinal.State, cfinal.Error)
+	}
+	for _, w := range []int{0, 1} {
+		if !bytes.Equal(releaseCSV(t, mgr2, st.ID, w), releaseCSV(t, mgr2, cold.ID, w)) {
+			t.Errorf("resumed release for window %d differs from the cold windowed release", w)
+		}
+	}
+}
+
+// TestJournalDrainKeepsQueuedJobs pins the drain contract for work that
+// never started: a job still queued at shutdown is not journaled as
+// cancelled — the next boot requeues it and runs it to completion.
+func TestJournalDrainKeepsQueuedJobs(t *testing.T) {
+	dir := t.TempDir()
+	center := geo.LatLon{Lat: 7.54, Lon: -5.55}
+	jrnl, reg, mgr, _ := bootService(t, dir, ManagerOptions{MaxConcurrentJobs: 1}, nil)
+
+	feed, err := reg.Ingest(strings.NewReader(windowCSV(0, "a", "b", "c")), "feed", center, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The follow job occupies the only executor forever; the batch job
+	// behind it stays queued.
+	blocker, err := mgr.Submit(JobSpec{DatasetID: feed.ID, K: 2, Workers: 1, Shards: 1,
+		WindowHours: 1, Follow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, mgr, blocker.ID, func(s JobStatus) bool { return s.State == JobRunning })
+	queued, err := mgr.Submit(JobSpec{DatasetID: feed.ID, K: 2, Workers: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Drain(0)
+	crashClose(mgr, reg, jrnl)
+
+	jrnl2, reg2, mgr2, _ := bootService(t, dir, ManagerOptions{MaxConcurrentJobs: 2}, nil)
+	defer crashClose(mgr2, reg2, jrnl2)
+	final := waitForState(t, mgr2, queued.ID, func(s JobStatus) bool { return s.State.Terminal() })
+	if final.State != JobDone {
+		t.Fatalf("requeued job finished %s: %s", final.State, final.Error)
+	}
+	if st, ok := mgr2.Get(blocker.ID); !ok || st.State.Terminal() {
+		t.Errorf("interrupted follow job is %+v, want requeued and live", st)
+	}
+}
+
+// TestJournalCheckpointCleanShutdown pins the clean-shutdown marker: a
+// checkpointed boot is reported clean by the next one, and the marker
+// is consumed — a crash after that reports unclean again.
+func TestJournalCheckpointCleanShutdown(t *testing.T) {
+	dir := t.TempDir()
+	center := geo.LatLon{Lat: 7.54, Lon: -5.55}
+	jrnl, reg, mgr, _ := bootService(t, dir, ManagerOptions{}, nil)
+	if _, err := reg.Ingest(strings.NewReader(windowCSV(0, "a", "b")), "feed", center, 1); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Drain(time.Second)
+	if err := jrnl.Checkpoint(reg, mgr); err != nil {
+		t.Fatal(err)
+	}
+	crashClose(mgr, reg, jrnl)
+
+	jrnl2, reg2, mgr2, rec := bootService(t, dir, ManagerOptions{}, nil)
+	if !rec.CleanShutdown {
+		t.Error("checkpointed shutdown not reported clean")
+	}
+	if r := jrnl2.Report(); !r.LastShutdownClean || r.RecoveredDatasets != 1 {
+		t.Errorf("durability report: %+v", r)
+	}
+	if len(reg2.List()) != 1 {
+		t.Error("checkpointed dataset lost")
+	}
+	// No checkpoint this time: the marker must not linger.
+	crashClose(mgr2, reg2, jrnl2)
+	jrnl3, reg3, mgr3, rec3 := bootService(t, dir, ManagerOptions{}, nil)
+	defer crashClose(mgr3, reg3, jrnl3)
+	if rec3.CleanShutdown {
+		t.Error("stale clean-shutdown marker survived an unclean boot")
+	}
+}
+
+// TestJournalReplayIdempotent pins the convergence property the boot
+// compaction relies on: replaying the compaction of a replay yields the
+// same state, so repeated crash/restart cycles with no new mutations
+// never drift.
+func TestJournalReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	center := geo.LatLon{Lat: 7.54, Lon: -5.55}
+	jrnl, reg, mgr, _ := bootService(t, dir, ManagerOptions{}, nil)
+	info, err := reg.Ingest(strings.NewReader(windowCSV(0, "a", "b", "c", "d")), "feed", center, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mgr.Submit(JobSpec{DatasetID: info.ID, K: 2, Workers: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, mgr, st.ID, func(s JobStatus) bool { return s.State.Terminal() })
+	// A second, interrupted job exercises the normalized (requeue) shape.
+	if _, err := mgr.Submit(JobSpec{DatasetID: info.ID, K: 2, Workers: 1, Shards: 1,
+		WindowHours: 1, Follow: true}); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Drain(0)
+	crashClose(mgr, reg, jrnl)
+
+	// Boots 2 and 3 open the journal without restoring into a manager —
+	// a requeued job starting to run would append fresh records and make
+	// the comparison about scheduling, not replay.
+	jrnl2, rec2, err := OpenJournal(dir, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, _ := json.Marshal(rec2)
+	// Close without running anything: boot 3 replays boot 2's compaction.
+	jrnl2.Close()
+	jrnl3, rec3, err := OpenJournal(dir, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jrnl3.Close()
+	snap3, _ := json.Marshal(rec3)
+	if !bytes.Equal(snap2, snap3) {
+		t.Errorf("replay not idempotent:\nboot2 %s\nboot3 %s", snap2, snap3)
+	}
+}

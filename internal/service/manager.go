@@ -7,12 +7,14 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log/slog"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
@@ -83,6 +85,11 @@ type ManagerOptions struct {
 	// Log, when non-nil, receives structured job-lifecycle records
 	// correlated by job_id.
 	Log *slog.Logger
+	// Journal, when non-nil, makes the job lifecycle durable: every
+	// submission, event, committed release, and terminal status is
+	// journaled, and Restore rebuilds jobs from a replay at boot. nil
+	// runs the manager fully in memory (the non-durable default).
+	Journal *Journal
 }
 
 func (o ManagerOptions) withDefaults() ManagerOptions {
@@ -104,15 +111,23 @@ func (o ManagerOptions) withDefaults() ManagerOptions {
 // Manager owns the job lifecycle: submission, queueing, execution on a
 // fixed pool of executor goroutines, cancellation, and result retention.
 type Manager struct {
-	reg *Registry
-	opt ManagerOptions
-	tel *Telemetry
-	log *slog.Logger
+	reg  *Registry
+	opt  ManagerOptions
+	tel  *Telemetry
+	log  *slog.Logger
+	jrnl *Journal
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	queue      chan *Job
 	wg         sync.WaitGroup
+
+	// draining flips during a graceful drain: executors leave queued
+	// jobs queued (requeued next boot) and jobs the drain deadline kills
+	// suppress their journal cancellation so the journal keeps calling
+	// them running. Atomic because runJob reads it while holding job.mu,
+	// where taking m.mu would invert the eviction lock order.
+	draining atomic.Bool
 
 	mu     sync.Mutex
 	seq    int
@@ -149,6 +164,7 @@ func NewManager(reg *Registry, opt ManagerOptions) *Manager {
 		opt:        opt,
 		tel:        opt.Telemetry,
 		log:        opt.Log,
+		jrnl:       opt.Journal,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *Job, opt.QueueLimit),
@@ -167,15 +183,14 @@ func NewManager(reg *Registry, opt ManagerOptions) *Manager {
 
 // Close stops accepting jobs, cancels any running ones, and waits for
 // the executors to exit. Queued jobs that never started are moved to
-// cancelled.
+// cancelled. Safe to call after Drain: it then only cancels whatever
+// the drain deadline left behind.
 func (m *Manager) Close() {
 	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
 	}
-	m.closed = true
-	close(m.queue)
 	m.mu.Unlock()
 
 	m.baseCancel()
@@ -184,16 +199,59 @@ func (m *Manager) Close() {
 	// Anything still sitting in the (now drained) queue map as queued
 	// was never picked up: mark it cancelled so clients see a terminal
 	// state.
+	draining := m.draining.Load()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, j := range m.jobs {
 		j.mu.Lock()
 		if j.state == JobQueued {
+			if draining {
+				// The checkpoint captured this job as still queued; the
+				// in-memory cancellation is cosmetic and must not reach
+				// the journal, or the next boot would not requeue it.
+				j.suppressJournal = true
+			}
 			j.err = "service shut down before the job started"
 			j.transition(JobCancelled)
 			m.tel.jobNeverStarted()
 		}
 		j.mu.Unlock()
+	}
+}
+
+// Drain is the graceful half of shutdown: stop admitting work, let
+// running jobs finish for up to timeout, then cancel whatever remains.
+// Queued jobs are deliberately left queued — the journal records them
+// as submitted, so the next boot requeues them — and jobs the deadline
+// kills suppress their journal cancellation for the same reason. Call
+// Close afterwards to reap the executors, and Journal.Checkpoint
+// between the two to write the clean-shutdown snapshot.
+func (m *Manager) Drain(timeout time.Duration) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.draining.Store(true)
+	close(m.queue)
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-done:
+	case <-t.C:
+		if m.log != nil {
+			m.log.Warn("drain deadline exceeded, cancelling running jobs", "timeout", timeout)
+		}
+		m.baseCancel()
+		<-done
 	}
 }
 
@@ -249,18 +307,35 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	m.seq++
 	job := newJob(fmt.Sprintf("job-%06d", m.seq), spec)
+	// Journal the submission (and attach the event hook) BEFORE the
+	// enqueue: an executor may pick the job up and start journaling its
+	// events the moment it hits the channel, and those must replay after
+	// the submission. Still under m.mu, so journal order matches ID
+	// order.
+	if err := m.jrnl.jobSubmitted(job.id, spec, job.created); err != nil {
+		m.seq--
+		m.mu.Unlock()
+		return JobStatus{}, err
+	}
+	m.attachJobJournal(job)
 	// The enqueue happens under m.mu so Close (which also takes m.mu)
 	// cannot close the channel between the closed check and the send.
 	// The send is non-blocking: a full queue rejects the submission.
 	select {
 	case m.queue <- job:
 	default:
+		// Cancel the already-journaled submission out of the log.
+		m.jrnl.jobEvicted(job.id)
 		m.mu.Unlock()
 		return JobStatus{}, fmt.Errorf("%w (limit %d)", ErrQueueFull, m.opt.QueueLimit)
 	}
 	m.jobs[job.id] = job
 	m.order = append(m.order, job.id)
 	m.mu.Unlock()
+	// Make the accepted submission durable before acknowledging it.
+	if err := m.jrnl.commit(); err != nil {
+		return JobStatus{}, err
+	}
 
 	m.tel.jobSubmitted()
 	if spec.WindowHours > 0 {
@@ -481,6 +556,18 @@ func (m *Manager) EventsSince(id string, after int) (evs []api.JobEvent, wake <-
 	return evs, wake, true
 }
 
+// attachJobJournal wires a job's event log into the journal; no-op on
+// non-durable managers.
+func (m *Manager) attachJobJournal(job *Job) {
+	if m.jrnl == nil {
+		return
+	}
+	jl := m.jrnl
+	job.onEvent = func(e api.JobEvent) {
+		jl.jobEvent(job.id, e)
+	}
+}
+
 // executor pops jobs off the queue until the queue closes.
 func (m *Manager) executor() {
 	defer m.wg.Done()
@@ -491,6 +578,12 @@ func (m *Manager) executor() {
 
 // runJob drives one job from queued to a terminal state.
 func (m *Manager) runJob(job *Job) {
+	if m.draining.Load() {
+		// Graceful drain: leave the job queued instead of starting (or
+		// cancelling) it. The journal records only the submission, so the
+		// next boot requeues it.
+		return
+	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	defer cancel()
 
@@ -542,6 +635,12 @@ func (m *Manager) runJob(job *Job) {
 	// terminal state event.
 	switch {
 	case job.cancelRequested || ctx.Err() != nil:
+		if m.draining.Load() && !job.cancelRequested {
+			// Killed by the drain deadline, not by the user: keep the
+			// cancellation out of the journal so the job is requeued at
+			// the next boot instead of restored as cancelled.
+			job.suppressJournal = true
+		}
 		job.err = "cancelled"
 		job.abortOpenWindowsLocked()
 		job.transition(JobCancelled)
@@ -562,6 +661,8 @@ func (m *Manager) runJob(job *Job) {
 	stats := job.stats
 	finished := job.finished
 	job.mu.Unlock()
+
+	m.journalTerminal(job)
 
 	m.tel.jobFinished(state, finished.Sub(started), stats)
 	m.agg.Lock()
@@ -591,6 +692,63 @@ func (m *Manager) runJob(job *Job) {
 	m.mu.Lock()
 	m.evictFinishedLocked()
 	m.mu.Unlock()
+}
+
+// journalTerminal makes a job's terminal state durable: for non-follow
+// jobs every committed release (follow jobs journaled theirs at each
+// window commit), then the full terminal status — the record that turns
+// a replayed job from "interrupted, requeue" into "finished, restore
+// verbatim". Drain-cancelled jobs are skipped on purpose.
+func (m *Manager) journalTerminal(job *Job) {
+	if m.jrnl == nil {
+		return
+	}
+	job.mu.Lock()
+	if job.suppressJournal {
+		job.mu.Unlock()
+		return
+	}
+	st := job.statusLocked()
+	type rel struct {
+		w   journalWindow
+		out *core.Dataset
+	}
+	var rels []rel
+	if !job.spec.Follow {
+		for _, w := range job.windows {
+			if w.state != WindowDone {
+				continue
+			}
+			rels = append(rels, rel{
+				w: journalWindow{
+					Index:       w.index,
+					StartMinute: w.startMinute,
+					EndMinute:   w.endMinute,
+					Records:     w.records,
+					Users:       w.users,
+					Groups:      w.groups,
+					Stats:       w.stats,
+				},
+				out: w.result,
+			})
+		}
+		if job.result != nil {
+			rels = append(rels, rel{w: journalWindow{Batch: true, Stats: job.stats}, out: job.result})
+		}
+	}
+	job.mu.Unlock()
+
+	for _, r := range rels {
+		if err := m.jrnl.jobResult(job.id, r.w, r.out); err != nil {
+			if m.log != nil {
+				m.log.Error("journaling job result failed", "job_id", job.id, "error", err.Error())
+			}
+			return
+		}
+	}
+	if err := m.jrnl.jobTerminalStatus(job.id, st); err != nil && m.log != nil {
+		m.log.Error("journaling terminal status failed", "job_id", job.id, "error", err.Error())
+	}
 }
 
 // evictFinishedLocked enforces the terminal-job retention policy,
@@ -638,6 +796,9 @@ func (m *Manager) evictFinishedLocked() {
 	}
 	for id := range evict {
 		delete(m.jobs, id)
+		// Journal the eviction (riding the next fsync) so a replay does
+		// not resurrect jobs the retention policy already shed.
+		m.jrnl.jobEvicted(id)
 	}
 	kept := m.order[:0]
 	for _, id := range m.order {
@@ -646,6 +807,227 @@ func (m *Manager) evictFinishedLocked() {
 		}
 	}
 	m.order = kept
+}
+
+// jobList snapshots the retained jobs in submission order for the
+// journal checkpoint.
+func (m *Manager) jobList() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	jobs := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		jobs = append(jobs, m.jobs[id])
+	}
+	return jobs
+}
+
+// seqNum exposes the job ID counter for journal checkpoints, so a
+// restore never reissues the ID of an evicted job.
+func (m *Manager) seqNum() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seq
+}
+
+// Restore rebuilds the manager's jobs from a journal replay. Terminal
+// jobs come back verbatim — status, event log, downloadable releases.
+// Interrupted jobs are re-enqueued: batch and windowed jobs restart
+// from scratch (their runs are deterministic, so the rerun publishes
+// the same bytes), and follow jobs resume at their last committed
+// window, with every already-committed release immutable. Call before
+// the daemon serves traffic; requeued jobs may start executing
+// immediately.
+func (m *Manager) Restore(st *RecoveredState) error {
+	m.mu.Lock()
+	if st.JobSeq > m.seq {
+		m.seq = st.JobSeq
+	}
+	m.mu.Unlock()
+	for _, rj := range st.Jobs {
+		if rj.Status != nil {
+			job, err := restoreTerminalJob(rj)
+			if err != nil {
+				return fmt.Errorf("service: restore job %s: %w", rj.ID, err)
+			}
+			m.adoptRestored(job)
+			m.jrnl.jobRecovered("restored")
+			continue
+		}
+		if err := m.requeueRecovered(rj); err != nil {
+			return fmt.Errorf("service: requeue job %s: %w", rj.ID, err)
+		}
+	}
+	return nil
+}
+
+// adoptRestored registers a rebuilt job without journaling anything —
+// everything about it is already in the journal.
+func (m *Manager) adoptRestored(job *Job) {
+	m.mu.Lock()
+	m.jobs[job.id] = job
+	m.order = append(m.order, job.id)
+	m.mu.Unlock()
+}
+
+// requeueRecovered re-enqueues an interrupted job under its original ID.
+// The submission is already journaled, so nothing is re-journaled here;
+// the event hook is re-attached so the new run's events land in the
+// journal like any other.
+func (m *Manager) requeueRecovered(rj *RecoveredJob) error {
+	job := newJob(rj.ID, rj.Spec)
+	job.created = rj.CreatedAt
+	if len(rj.Events) > 0 {
+		job.events = append([]api.JobEvent(nil), rj.Events...)
+	}
+	outcome := "requeued"
+	if rj.Spec.Follow {
+		resume, err := buildFollowResume(job, rj)
+		if err != nil {
+			return err
+		}
+		if resume != nil {
+			job.resume = resume
+			outcome = "resumed"
+		}
+	}
+	m.attachJobJournal(job)
+
+	m.mu.Lock()
+	select {
+	case m.queue <- job:
+	default:
+		// The recovered backlog exceeds the queue; surface the loss as a
+		// cancellation instead of silently dropping the job.
+		job.mu.Lock()
+		job.err = "job queue full after recovery"
+		job.transition(JobCancelled)
+		job.mu.Unlock()
+	}
+	m.jobs[job.id] = job
+	m.order = append(m.order, job.id)
+	m.mu.Unlock()
+	m.jrnl.jobRecovered(outcome)
+	if m.log != nil {
+		m.log.Info("job recovered", "job_id", job.id, "outcome", outcome)
+	}
+	return nil
+}
+
+// buildFollowResume reconstructs a follow job's committed prefix: the
+// jobWindow entries (so recovered releases stay downloadable), and the
+// resume state executeFollow seeds its loop with — floor, committed
+// count, releases, aggregate stats — so the continuation is
+// byte-identical to a run that never crashed. nil when nothing was
+// committed (the job simply restarts).
+func buildFollowResume(job *Job, rj *RecoveredJob) (*followResume, error) {
+	if len(rj.Results) == 0 {
+		return nil, nil
+	}
+	resume := &followResume{floor: -1, stats: &core.GloveStats{}}
+	for _, r := range rj.Results {
+		w := r.Window
+		if w.Batch {
+			continue
+		}
+		if w.Index > resume.floor {
+			resume.floor = w.Index
+		}
+		jw := &jobWindow{
+			index:       w.Index,
+			startMinute: w.StartMinute,
+			endMinute:   w.EndMinute,
+			records:     w.Records,
+			users:       w.Users,
+			state:       WindowEmpty,
+		}
+		if !w.Empty {
+			out, err := cdr.ReadAnonymizedCSV(bytes.NewReader(r.CSV))
+			if err != nil {
+				return nil, fmt.Errorf("window %d release: %w", w.Index, err)
+			}
+			jw.state = WindowDone
+			jw.result = out
+			jw.groups = w.Groups
+			jw.stats = w.Stats
+			resume.releases = append(resume.releases, out)
+			resume.committed++
+			resume.stats.Add(w.Stats)
+		}
+		job.windows = append(job.windows, jw)
+	}
+	if resume.floor < 0 {
+		return nil, nil
+	}
+	return resume, nil
+}
+
+// restoreTerminalJob rebuilds a finished job verbatim from its journaled
+// terminal status, event log, and releases.
+func restoreTerminalJob(rj *RecoveredJob) (*Job, error) {
+	st := rj.Status
+	job := &Job{
+		id:                rj.ID,
+		spec:              st.Spec,
+		state:             st.State,
+		err:               st.Error,
+		created:           st.CreatedAt,
+		eventCh:           make(chan struct{}),
+		plan:              st.Plan,
+		datasetVersion:    st.DatasetVersion,
+		stats:             st.Stats,
+		accuracy:          st.Accuracy,
+		anonymousFraction: st.AnonymousFraction,
+		linkage:           st.Linkage,
+	}
+	if st.StartedAt != nil {
+		job.started = *st.StartedAt
+	}
+	if st.FinishedAt != nil {
+		job.finished = *st.FinishedAt
+	}
+	job.events = append([]api.JobEvent(nil), rj.Events...)
+	// Shards and Progress have no per-shard breakdown in the status;
+	// seeding every slot with the overall fraction preserves both
+	// aggregates exactly (Status reports len() and the mean).
+	if st.Shards > 0 {
+		job.shardProgress = make([]float64, st.Shards)
+		for i := range job.shardProgress {
+			job.shardProgress[i] = st.Progress
+		}
+	}
+	results := make(map[int]*core.Dataset, len(rj.Results))
+	for _, r := range rj.Results {
+		if r.Window.Batch {
+			out, err := cdr.ReadAnonymizedCSV(bytes.NewReader(r.CSV))
+			if err != nil {
+				return nil, fmt.Errorf("batch release: %w", err)
+			}
+			job.result = out
+			continue
+		}
+		if r.Window.Empty {
+			continue
+		}
+		out, err := cdr.ReadAnonymizedCSV(bytes.NewReader(r.CSV))
+		if err != nil {
+			return nil, fmt.Errorf("window %d release: %w", r.Window.Index, err)
+		}
+		results[r.Window.Index] = out
+	}
+	for _, ws := range st.Windows {
+		job.windows = append(job.windows, &jobWindow{
+			index:       ws.Index,
+			startMinute: ws.StartMinute,
+			endMinute:   ws.EndMinute,
+			records:     ws.Records,
+			users:       ws.Users,
+			state:       ws.State,
+			groups:      ws.Groups,
+			stats:       ws.Stats,
+			result:      results[ws.Index],
+		})
+	}
+	return job, nil
 }
 
 // runOutcome carries everything a finished run hands back to runJob.
@@ -903,6 +1285,7 @@ func (m *Manager) Report() MetricsReport {
 		JobsByIndex:    make(map[core.IndexKind]int),
 		Runtime:        m.tel.Runtime(),
 		Colstore:       m.reg.ColstoreReport(),
+		Durability:     m.jrnl.Report(),
 	}
 	var done []JobStatus
 	for _, st := range m.List() {
@@ -965,7 +1348,9 @@ func (m *Manager) Trace(id string) (api.JobTrace, error) {
 // GLOVE ran. The pass is quadratic, so it is skipped (nil) for inputs
 // above the configured cap or when the analysis fails.
 func (m *Manager) anonymizability(ctx context.Context, table cdr.Source, spec JobSpec) *float64 {
-	if ctx.Err() != nil {
+	// table is nil when a recovered follow job finishes before taking a
+	// fresh snapshot (its window budget was already met at restore).
+	if table == nil || ctx.Err() != nil {
 		return nil
 	}
 	ds, err := table.BuildDataset()

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/cdr"
 	"repro/internal/colstore"
+	"repro/internal/faultinject"
 	"repro/internal/geo"
 )
 
@@ -51,6 +53,7 @@ type Registry struct {
 	users  map[string]map[string]struct{}
 	order  []string
 	tel    *Telemetry
+	jrnl   *Journal
 
 	// watch holds one broadcast channel per dataset with subscribers,
 	// closed and replaced on every append (and on delete) — the wake
@@ -82,6 +85,65 @@ func (g *Registry) attachTelemetry(tel *Telemetry) {
 		func() float64 { return float64(g.colCounters.Spills.Load()) },
 	)
 	g.publishTotalsLocked()
+}
+
+// AttachJournal starts journaling every registry mutation. Call it
+// AFTER Restore: the restore replays journaled CSV through the normal
+// ingest paths, and those must not re-journal what they are replaying.
+func (g *Registry) AttachJournal(jl *Journal) {
+	g.mu.Lock()
+	g.jrnl = jl
+	g.mu.Unlock()
+}
+
+// seqNum exposes the dataset ID counter for journal checkpoints, so a
+// restore never reissues the ID of a deleted dataset.
+func (g *Registry) seqNum() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.seq
+}
+
+// Restore rebuilds the registry from a journal replay by streaming each
+// recovered dataset's CSV ops through the normal ingest and append
+// paths (so columnar/table dispatch, span extension, and validation all
+// behave exactly as they did when the bytes first arrived). Must run
+// before AttachJournal and before the daemon serves traffic.
+func (g *Registry) Restore(st *RecoveredState) error {
+	for _, d := range st.Datasets {
+		if err := g.restoreDataset(d); err != nil {
+			return fmt.Errorf("service: restore dataset %s: %w", d.ID, err)
+		}
+	}
+	g.mu.Lock()
+	if st.DatasetSeq > g.seq {
+		g.seq = st.DatasetSeq
+	}
+	g.publishTotalsLocked()
+	g.mu.Unlock()
+	return nil
+}
+
+func (g *Registry) restoreDataset(d *RecoveredDataset) error {
+	if len(d.Ops) == 0 {
+		return fmt.Errorf("journal entry without record CSV")
+	}
+	if _, err := g.ingest(bytes.NewReader(d.Ops[0]), d.Name, d.Center, d.SpanDays, d.ID); err != nil {
+		return err
+	}
+	for _, op := range d.Ops[1:] {
+		if _, err := g.Append(d.ID, bytes.NewReader(op)); err != nil {
+			return err
+		}
+	}
+	g.mu.Lock()
+	if info, ok := g.infos[d.ID]; ok {
+		info.CreatedAt = d.CreatedAt
+		info.UpdatedAt = d.UpdatedAt
+		g.infos[d.ID] = info
+	}
+	g.mu.Unlock()
+	return nil
 }
 
 // colstoreStats sums the live columnar stores' footprints for the
@@ -234,6 +296,26 @@ func (g *Registry) readRecords(r io.Reader, room int) ([]cdr.Record, map[string]
 // Ingest streams a raw record CSV into a new registered dataset. center
 // and spanDays are the table metadata the CSV format does not carry.
 func (g *Registry) Ingest(r io.Reader, name string, center geo.LatLon, spanDays int) (DatasetInfo, error) {
+	return g.ingest(r, name, center, spanDays, "")
+}
+
+// journalTee wraps an ingestion body so the raw CSV is retained for the
+// journal; when no journal is attached the body streams through
+// untouched and nothing is buffered.
+func (g *Registry) journalTee(r io.Reader) (io.Reader, *bytes.Buffer) {
+	g.mu.Lock()
+	jl := g.jrnl
+	g.mu.Unlock()
+	if jl == nil {
+		return r, nil
+	}
+	var raw bytes.Buffer
+	return io.TeeReader(r, &raw), &raw
+}
+
+// ingest is Ingest plus an optional forced ID, used by Restore to
+// reissue the exact IDs the journal recorded.
+func (g *Registry) ingest(r io.Reader, name string, center geo.LatLon, spanDays int, forcedID string) (DatasetInfo, error) {
 	if !center.Valid() {
 		return DatasetInfo{}, fmt.Errorf("service: invalid dataset center %v", center)
 	}
@@ -241,8 +323,9 @@ func (g *Registry) Ingest(r io.Reader, name string, center geo.LatLon, spanDays 
 		return DatasetInfo{}, fmt.Errorf("service: span_days = %d, need > 0", spanDays)
 	}
 	if g.Columnar {
-		return g.ingestColumnar(r, name, center, spanDays)
+		return g.ingestColumnar(r, name, center, spanDays, forcedID)
 	}
+	r, raw := g.journalTee(r)
 	cr := &countingReader{r: r}
 	recs, users, err := g.readRecords(cr, g.MaxRecords)
 	if err != nil {
@@ -254,11 +337,9 @@ func (g *Registry) Ingest(r io.Reader, name string, center geo.LatLon, spanDays 
 	table := &cdr.Table{Records: recs, Center: center, SpanDays: spanDays}
 
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.seq++
 	now := time.Now().UTC()
 	info := DatasetInfo{
-		ID:        fmt.Sprintf("ds-%06d", g.seq),
+		ID:        g.nextIDLocked(forcedID),
 		Name:      name,
 		Records:   len(table.Records),
 		Users:     len(users),
@@ -272,9 +353,45 @@ func (g *Registry) Ingest(r io.Reader, name string, center geo.LatLon, spanDays 
 	g.data[info.ID] = table
 	g.users[info.ID] = users
 	g.order = append(g.order, info.ID)
+	if err := g.journalCreateLocked(info, raw); err != nil {
+		delete(g.infos, info.ID)
+		delete(g.data, info.ID)
+		delete(g.users, info.ID)
+		g.order = g.order[:len(g.order)-1]
+		g.mu.Unlock()
+		return DatasetInfo{}, err
+	}
 	g.tel.ingested(len(recs), cr.n)
 	g.publishTotalsLocked()
+	jl := g.jrnl
+	g.mu.Unlock()
+	if err := jl.commit(); err != nil {
+		return DatasetInfo{}, err
+	}
 	return info, nil
+}
+
+// nextIDLocked issues the next dataset ID, or adopts a forced one
+// (journal restore) while keeping the counter ahead of it.
+func (g *Registry) nextIDLocked(forced string) string {
+	if forced == "" {
+		g.seq++
+		return fmt.Sprintf("ds-%06d", g.seq)
+	}
+	if n := idNum("ds-%06d", forced); n > g.seq {
+		g.seq = n
+	}
+	return forced
+}
+
+// journalCreateLocked journals a dataset creation inside the registry
+// critical section, so journal order always matches ID issue order even
+// under concurrent ingests. Caller holds g.mu and fsyncs after release.
+func (g *Registry) journalCreateLocked(info DatasetInfo, raw *bytes.Buffer) error {
+	if g.jrnl == nil || raw == nil {
+		return nil
+	}
+	return g.jrnl.datasetCreated(info, raw.Bytes())
 }
 
 // colstoreOptions assembles the per-store options of a new columnar
@@ -301,7 +418,8 @@ func (g *Registry) capErr(err error) error {
 // store's resident budget plus one CSV row. The store enforces the
 // record cap against its own committed count and rolls back on any
 // decode error.
-func (g *Registry) ingestColumnar(r io.Reader, name string, center geo.LatLon, spanDays int) (DatasetInfo, error) {
+func (g *Registry) ingestColumnar(r io.Reader, name string, center geo.LatLon, spanDays int, forcedID string) (DatasetInfo, error) {
+	r, raw := g.journalTee(r)
 	cr := &countingReader{r: r}
 	rr := cdr.NewRecordReader(cr)
 	store := colstore.New(cdr.Meta{Center: center, SpanDays: spanDays}, g.colstoreOptions())
@@ -318,11 +436,9 @@ func (g *Registry) ingestColumnar(r io.Reader, name string, center geo.LatLon, s
 	}
 
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.seq++
 	now := time.Now().UTC()
 	info := DatasetInfo{
-		ID:        fmt.Sprintf("ds-%06d", g.seq),
+		ID:        g.nextIDLocked(forcedID),
 		Name:      name,
 		Records:   store.Len(),
 		Users:     store.Users(),
@@ -335,8 +451,20 @@ func (g *Registry) ingestColumnar(r io.Reader, name string, center geo.LatLon, s
 	g.infos[info.ID] = info
 	g.stores[info.ID] = store
 	g.order = append(g.order, info.ID)
+	if err := g.journalCreateLocked(info, raw); err != nil {
+		delete(g.infos, info.ID)
+		delete(g.stores, info.ID)
+		g.order = g.order[:len(g.order)-1]
+		g.mu.Unlock()
+		return DatasetInfo{}, err
+	}
 	g.tel.ingested(added, cr.n)
 	g.publishTotalsLocked()
+	jl := g.jrnl
+	g.mu.Unlock()
+	if err := jl.commit(); err != nil {
+		return DatasetInfo{}, err
+	}
 	return info, nil
 }
 
@@ -345,6 +473,7 @@ func (g *Registry) ingestColumnar(r io.Reader, name string, center geo.LatLon, s
 // critical section; the registry only refreshes the metadata afterwards
 // from the store's authoritative counts.
 func (g *Registry) appendColumnar(id string, store *colstore.Store, r io.Reader) (DatasetInfo, error) {
+	r, raw := g.journalTee(r)
 	cr := &countingReader{r: r}
 	rr := cdr.NewRecordReader(cr)
 	maxMinute := 0.0
@@ -386,10 +515,45 @@ func (g *Registry) appendColumnar(id string, store *colstore.Store, r io.Reader)
 	info.Version++
 	info.UpdatedAt = time.Now().UTC()
 	g.infos[id] = info
+	if err := g.journalAppendLocked(id, raw, info.UpdatedAt); err != nil {
+		return DatasetInfo{}, err
+	}
 	g.tel.ingested(added, cr.n)
 	g.publishTotalsLocked()
 	g.wakeLocked(id)
+	jl := g.jrnl
+	g.mu.Unlock()
+	err = g.commitAppend(jl)
+	g.mu.Lock() // re-acquire for the deferred unlock
+	if err != nil {
+		return DatasetInfo{}, err
+	}
 	return info, nil
+}
+
+// journalAppendLocked journals an append inside the registry critical
+// section so journal order matches the dataset's version order. Caller
+// holds g.mu.
+func (g *Registry) journalAppendLocked(id string, raw *bytes.Buffer, at time.Time) error {
+	if g.jrnl == nil || raw == nil {
+		return nil
+	}
+	return g.jrnl.datasetAppended(id, raw.Bytes(), at)
+}
+
+// commitAppend fsyncs a journaled append before it is acknowledged. The
+// registry.append.committed crash point fires after the fsync: the
+// mutation is durable but the client never saw the 200 — re-sending it
+// after recovery would double-apply, which is exactly what the crash
+// e2e matrix pins down.
+func (g *Registry) commitAppend(jl *Journal) error {
+	if err := jl.commit(); err != nil {
+		return err
+	}
+	if jl != nil {
+		faultinject.Crash("registry.append.committed")
+	}
+	return nil
 }
 
 // Append streams additional records onto a registered dataset and bumps
@@ -414,6 +578,7 @@ func (g *Registry) Append(id string, r io.Reader) (DatasetInfo, error) {
 	if room < 0 {
 		room = 0
 	}
+	r, raw := g.journalTee(r)
 	cr := &countingReader{r: r}
 	recs, newUsers, err := g.readRecords(cr, room)
 	if err != nil {
@@ -458,9 +623,19 @@ func (g *Registry) Append(id string, r io.Reader) (DatasetInfo, error) {
 	info.Version++
 	info.UpdatedAt = time.Now().UTC()
 	g.infos[id] = info
+	if err := g.journalAppendLocked(id, raw, info.UpdatedAt); err != nil {
+		return DatasetInfo{}, err
+	}
 	g.tel.ingested(len(recs), cr.n)
 	g.publishTotalsLocked()
 	g.wakeLocked(id)
+	jl := g.jrnl
+	g.mu.Unlock()
+	err = g.commitAppend(jl)
+	g.mu.Lock() // re-acquire for the deferred unlock
+	if err != nil {
+		return DatasetInfo{}, err
+	}
 	return info, nil
 }
 
@@ -516,6 +691,11 @@ func (g *Registry) Delete(id string) bool {
 	// Wake watchers so follow jobs notice the deletion instead of
 	// sleeping forever on a dataset that no longer exists.
 	g.wakeLocked(id)
+	g.jrnl.datasetDeleted(id)
+	jl := g.jrnl
+	g.mu.Unlock()
+	jl.commit()
+	g.mu.Lock() // re-acquire for the deferred unlock
 	return true
 }
 

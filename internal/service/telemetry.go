@@ -53,6 +53,10 @@ type Telemetry struct {
 	mergeSeconds      *obs.Counter
 	suppressedSamples *obs.Counter
 
+	walFsync      *obs.Histogram
+	walBytes      *obs.Counter
+	recoveredJobs *obs.CounterVec // {outcome}
+
 	queueOnce    sync.Once
 	bootOnce     sync.Once
 	colstoreOnce sync.Once
@@ -122,6 +126,13 @@ func NewTelemetry() *Telemetry {
 		"Wall-clock seconds spent in GLOVE merge loops.")
 	t.suppressedSamples = r.Counter("glove_suppressed_samples_total",
 		"Original samples removed by suppression across finished jobs.")
+
+	t.walFsync = r.Histogram("glove_wal_fsync_seconds",
+		"Write-ahead journal fsync latency (group commits, rotations, compactions).", nil)
+	t.walBytes = r.Counter("glove_wal_bytes_total",
+		"Framed bytes appended to the write-ahead journal.")
+	t.recoveredJobs = r.CounterVec("glove_recovered_jobs_total",
+		"Jobs rebuilt from the journal at boot, by recovery outcome.", "outcome")
 	return t
 }
 
@@ -280,6 +291,32 @@ func (t *Telemetry) windowCommitted(d time.Duration) {
 func (t *Telemetry) streamLagDelta(d float64) {
 	if t != nil && d != 0 {
 		t.streamLag.Add(d)
+	}
+}
+
+// --- durability hooks ---
+
+// walSynced and walAppended are handed to wal.Options as method values;
+// both tolerate a nil receiver like every other hook.
+func (t *Telemetry) walSynced(d time.Duration) {
+	if t != nil {
+		t.walFsync.Observe(d.Seconds())
+	}
+}
+
+func (t *Telemetry) walAppended(n int) {
+	if t != nil {
+		t.walBytes.Add(float64(n))
+	}
+}
+
+// jobRecovered counts one job rebuilt at boot: outcome "restored"
+// (terminal job served verbatim), "requeued" (interrupted batch or
+// windowed job restarted from scratch), or "resumed" (follow job
+// continuing at its last committed window).
+func (t *Telemetry) jobRecovered(outcome string) {
+	if t != nil {
+		t.recoveredJobs.With(outcome).Inc()
 	}
 }
 

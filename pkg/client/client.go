@@ -409,11 +409,19 @@ func (c *Client) doUpload(ctx context.Context, path string, query url.Values, bo
 // download GETs a streaming response, retrying transient failures that
 // happen before any body bytes are handed to the caller.
 func (c *Client) download(ctx context.Context, path string) (io.ReadCloser, error) {
+	body, _, err := c.downloadHeader(ctx, path)
+	return body, err
+}
+
+// downloadHeader is download plus the response header, for callers that
+// need response metadata — the event stream reads X-Glove-Boot-ID from
+// it to detect daemon restarts across reconnects.
+func (c *Client) downloadHeader(ctx context.Context, path string) (io.ReadCloser, http.Header, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		req, err := c.newRequest(ctx, http.MethodGet, path, nil, nil)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		resp, err := c.httpc.Do(req)
 		if err != nil {
@@ -421,10 +429,10 @@ func (c *Client) download(ctx context.Context, path string) (io.ReadCloser, erro
 			if attempt < c.maxRetries && c.sleep(ctx, attempt, "") {
 				continue
 			}
-			return nil, lastErr
+			return nil, nil, lastErr
 		}
 		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-			return resp.Body, nil
+			return resp.Body, resp.Header, nil
 		}
 		apiErr := decodeError(resp)
 		resp.Body.Close()
@@ -433,7 +441,7 @@ func (c *Client) download(ctx context.Context, path string) (io.ReadCloser, erro
 			c.sleep(ctx, attempt, resp.Header.Get("Retry-After")) {
 			continue
 		}
-		return nil, lastErr
+		return nil, nil, lastErr
 	}
 }
 

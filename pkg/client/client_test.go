@@ -6,10 +6,13 @@ import (
 	"encoding/json"
 	"errors"
 
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -345,6 +348,116 @@ func TestClientWaitJobPollFallback(t *testing.T) {
 	}
 	if polls < 3 {
 		t.Errorf("only %d polls", polls)
+	}
+}
+
+// TestClientWatchJobDaemonRestart pins the restart-detection fallback:
+// when the daemon restarts mid-watch (a new X-Glove-Boot-ID on
+// reconnect), the recovered event log numbers from 1 again, so resuming
+// with the old cursor would skip the whole recovered history. The
+// client must drop the stale cursor and replay fresh.
+func TestClientWatchJobDaemonRestart(t *testing.T) {
+	var (
+		mu          sync.Mutex
+		boot        = "boot-1"
+		finished    bool
+		boot2Afters []string
+	)
+	sse := func(w http.ResponseWriter, events []api.JobEvent) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		for _, e := range events {
+			raw, err := json.Marshal(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(w, "data: %s\n\n", raw)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/job-1/events", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		b := boot
+		mu.Unlock()
+		w.Header().Set("X-Glove-Boot-ID", b)
+		if b == "boot-1" {
+			// First boot: three events, stream ends without a terminal
+			// one (the daemon "crashed" mid-job) — then the boot flips.
+			sse(w, []api.JobEvent{
+				{Seq: 1, Type: api.EventState, JobID: "job-1", State: api.JobQueued},
+				{Seq: 2, Type: api.EventState, JobID: "job-1", State: api.JobRunning},
+				{Seq: 3, Type: api.EventProgress, JobID: "job-1", Progress: 0.5},
+			})
+			mu.Lock()
+			boot = "boot-2"
+			mu.Unlock()
+			return
+		}
+		// Second boot: the recovered log restarts at seq 1. A stale
+		// after=3 cursor selects nothing; only a fresh replay reaches
+		// the terminal event.
+		mu.Lock()
+		boot2Afters = append(boot2Afters, r.URL.Query().Get("after"))
+		mu.Unlock()
+		after, _ := strconv.Atoi(r.URL.Query().Get("after"))
+		full := []api.JobEvent{
+			{Seq: 1, Type: api.EventState, JobID: "job-1", State: api.JobQueued},
+			{Seq: 2, Type: api.EventState, JobID: "job-1", State: api.JobRunning},
+			{Seq: 3, Type: api.EventState, JobID: "job-1", State: api.JobDone},
+		}
+		var out []api.JobEvent
+		for _, e := range full {
+			if e.Seq > after {
+				out = append(out, e)
+			}
+		}
+		sse(w, out)
+		if len(out) > 0 && out[len(out)-1].Terminal() {
+			mu.Lock()
+			finished = true
+			mu.Unlock()
+		}
+	})
+	mux.HandleFunc("GET /v1/jobs/job-1", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		st := api.JobStatus{ID: "job-1", State: api.JobRunning}
+		if finished {
+			st.State = api.JobDone
+			st.Progress = 1
+		}
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c, _ := client.New(srv.URL, client.WithBackoff(time.Millisecond, 2*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var seen []int
+	st, err := c.WatchJob(ctx, "job-1", func(e client.JobEvent) { seen = append(seen, e.Seq) })
+	if err != nil || st.State != api.JobDone {
+		t.Fatalf("WatchJob = %+v, %v", st, err)
+	}
+	// The stale-cursor probe reaches boot-2 first (that is how the boot
+	// change is discovered), but it must be abandoned unread and
+	// followed by a fresh from-the-beginning replay.
+	mu.Lock()
+	afters := append([]string(nil), boot2Afters...)
+	mu.Unlock()
+	if len(afters) < 2 || afters[0] != "3" || afters[len(afters)-1] != "" {
+		t.Fatalf("boot-2 saw after cursors %q, want a stale probe then a fresh replay", afters)
+	}
+	// The callback saw both boots' logs: seqs restarting at 1 mark the
+	// post-restart replay.
+	want := []int{1, 2, 3, 1, 2, 3}
+	if len(seen) != len(want) {
+		t.Fatalf("callback saw seqs %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("callback saw seqs %v, want %v", seen, want)
+		}
 	}
 }
 

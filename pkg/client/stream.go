@@ -21,6 +21,7 @@ type EventStream struct {
 	body    io.ReadCloser
 	scanner *bufio.Scanner
 	lastSeq int
+	bootID  string
 }
 
 // JobEvents opens the job's Server-Sent-Events stream, replaying
@@ -31,13 +32,13 @@ func (c *Client) JobEvents(ctx context.Context, jobID string, after int) (*Event
 	if after > 0 {
 		path += "?after=" + strconv.Itoa(after)
 	}
-	body, err := c.download(ctx, path)
+	body, hdr, err := c.downloadHeader(ctx, path)
 	if err != nil {
 		return nil, err
 	}
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
-	return &EventStream{body: body, scanner: sc, lastSeq: after}, nil
+	return &EventStream{body: body, scanner: sc, lastSeq: after, bootID: hdr.Get("X-Glove-Boot-ID")}, nil
 }
 
 // Next blocks for the next event. io.EOF reports a cleanly closed
@@ -75,6 +76,14 @@ func (s *EventStream) Next() (JobEvent, error) {
 // resume cursor for a reconnect.
 func (s *EventStream) LastSeq() int { return s.lastSeq }
 
+// BootID identifies the server boot this stream is attached to (the
+// X-Glove-Boot-ID response header; empty against servers that predate
+// it). A different boot id on reconnect means the daemon restarted and
+// recovered its state: event sequence numbers restarted with it, so a
+// cursor from the previous boot must not be used to resume — reconnect
+// with after=0 for a fresh replay instead.
+func (s *EventStream) BootID() string { return s.bootID }
+
 // Close releases the connection.
 func (s *EventStream) Close() error { return s.body.Close() }
 
@@ -91,9 +100,13 @@ func (c *Client) WaitJob(ctx context.Context, jobID string) (JobStatus, error) {
 // replays from the beginning, so the callback sees the whole lifecycle
 // even when the job finished before the watch attached. The callback
 // runs on the caller's goroutine; a reconnect replays nothing the
-// callback has already seen.
+// callback has already seen — unless the daemon itself restarted in
+// between (detected via X-Glove-Boot-ID), in which case the recovered
+// event log is replayed from scratch and the callback may observe
+// events again, marked by the sequence numbers restarting at 1.
 func (c *Client) WatchJob(ctx context.Context, jobID string, onEvent func(JobEvent)) (JobStatus, error) {
 	after := 0
+	bootID := ""
 	for {
 		stream, err := c.JobEvents(ctx, jobID, after)
 		if err != nil {
@@ -111,6 +124,20 @@ func (c *Client) WatchJob(ctx context.Context, jobID string, onEvent func(JobEve
 			default:
 				return JobStatus{}, err
 			}
+		}
+		if id := stream.BootID(); id != "" {
+			if bootID != "" && id != bootID && after > 0 {
+				// The daemon restarted between connections: its recovered
+				// event log numbers from 1 again, so the request just made
+				// resumed at a cursor from a boot that no longer exists and
+				// may have skipped the entire recovered history. Drop the
+				// stale cursor and replay fresh.
+				stream.Close()
+				after = 0
+				bootID = id
+				continue
+			}
+			bootID = id
 		}
 		terminal := false
 		for {
