@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt depcheck test race crash-e2e bench bench-json profile profile-1m expolint check
+.PHONY: all build vet fmt lint lint-vocab test race crash-e2e bench bench-json profile profile-1m expolint check
 
 all: check
 
@@ -14,18 +14,24 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# The client SDK must stay on the wire contract (internal/api) and
-# never grow a dependency on the server internals — otherwise "shared
-# DTOs" silently becomes "client reaches into the service".
-depcheck:
-	@if $(GO) list -deps ./pkg/client | grep -qx 'repro/internal/service'; then \
-		echo "pkg/client must not depend on internal/service"; exit 1; fi
+# glovelint runs the stdlib-only analyzer suite (DESIGN.md Sec. 14)
+# over every package: error-code/metric/span/journal vocabularies,
+# DTO placement (subsumes the old grep-based depcheck at the type-graph
+# level), blocking I/O under held mutexes, and context discipline.
+lint:
+	$(GO) run ./cmd/glovelint
+
+# lint-vocab regenerates the committed vocabulary files under
+# internal/lint/vocab/ from the current tree. Regeneration may only
+# append — removing or renaming a shipped name fails `make lint`.
+lint-vocab:
+	$(GO) run ./cmd/glovelint -gen-vocab
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/service/ ./internal/parallel/ ./internal/core/ ./internal/obs/ ./internal/colstore/ ./internal/cdr/ ./internal/wal/ ./internal/faultinject/ ./pkg/client/ ./cmd/glovectl/
+	$(GO) test -race ./internal/service/ ./internal/parallel/ ./internal/core/ ./internal/obs/ ./internal/colstore/ ./internal/cdr/ ./internal/wal/ ./internal/faultinject/ ./internal/lint/ ./pkg/client/ ./cmd/glovectl/
 
 # crash-e2e runs the kill/restart fault-injection matrix against a real
 # gloved binary built with the faultinject tag: torn WAL writes,
@@ -71,4 +77,4 @@ profile-1m:
 	$(GO) test -run=^$$ -bench='BenchmarkScalingIndexMerge/1m' \
 		-benchtime=1x -timeout=30m -cpuprofile=cpu1m.pprof -o bench.test .
 
-check: build vet fmt depcheck test
+check: build vet fmt lint test

@@ -84,6 +84,7 @@ func runRemote(ctx context.Context, server string, job remoteJob, stdout, stderr
 		// delete the dataset on every exit path. Cleanup gets its own
 		// context so it still runs after a SIGINT cancelled ctx.
 		defer func() {
+			//lint:ignore ctxflow cleanup must still run after SIGINT cancels ctx
 			cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
 			c.DeleteDataset(cctx, ds.ID)
@@ -122,6 +123,7 @@ func runRemote(ctx context.Context, server string, job remoteJob, stdout, stderr
 	}
 	fmt.Fprintf(stderr, "glovectl: submitted %s (dataset %s v%d)\n", st.ID, ds.ID, ds.Version)
 	defer func() {
+		//lint:ignore ctxflow job cleanup must still run after SIGINT cancels ctx
 		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		// A still-active job (interrupted run) is only cancelled by the

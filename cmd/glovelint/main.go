@@ -1,0 +1,33 @@
+// Command glovelint runs the repository's custom static-analysis suite
+// (internal/lint): a dependency-free multi-analyzer driver that loads
+// and typechecks every package in the module and enforces the
+// invariants DESIGN.md states in prose — append-only error-code,
+// span-kind, journal-kind, and metric vocabularies, DTO placement and
+// dependency direction, lock hygiene on the group-commit paths, and
+// context threading (DESIGN.md Sec. 14).
+//
+// Usage:
+//
+//	glovelint [-root dir] [-json] [-enable a,b] [-disable a,b]
+//	glovelint -list
+//	glovelint -gen-vocab
+//
+// Findings print as `file:line:col: [analyzer] message`; the exit
+// status is 1 when there are findings, 2 on a driver failure.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "glovelint: %v\n", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// run executes glovelint and returns the process exit code: 0 clean,
+// 1 findings, 2 driver failure (the error, if any, is printed by main).
+func run(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("glovelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		root     = fs.String("root", "", "module root (default: nearest go.mod upward from the working directory)")
+		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
+		enable   = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable  = fs.String("disable", "", "comma-separated analyzers to skip")
+		list     = fs.Bool("list", false, "list registered analyzers and exit")
+		genVocab = fs.Bool("gen-vocab", false, "regenerate the committed vocabulary files from the tree (append-only) and exit")
+		vocabDir = fs.String("vocab", "", "vocabulary directory (default: <root>/internal/lint/vocab)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+
+	moduleRoot, modPath, err := findModule(*root)
+	if err != nil {
+		return 2, err
+	}
+	cfg := lint.DefaultConfig(moduleRoot, modPath)
+	if *vocabDir != "" {
+		cfg.VocabDir = *vocabDir
+	}
+	cfg.Enable = splitList(*enable)
+	cfg.Disable = splitList(*disable)
+
+	if *genVocab {
+		return 0, regenerateVocab(cfg, stdout)
+	}
+
+	findings, err := lint.Run(cfg)
+	if err != nil {
+		return 2, err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "glovelint: %d finding(s)\n", len(findings))
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// regenerateVocab rewrites the vocabulary files as the append-only
+// merge of the committed entries with the names currently in the tree.
+func regenerateVocab(cfg lint.Config, stdout io.Writer) error {
+	prog, loadFindings, err := lint.LoadModule(cfg)
+	if err != nil {
+		return err
+	}
+	for _, f := range loadFindings {
+		return fmt.Errorf("cannot regenerate vocabularies from a broken tree: %s", f)
+	}
+	current := lint.GenerateVocabs(prog)
+	if err := os.MkdirAll(cfg.VocabDir, 0o755); err != nil {
+		return err
+	}
+	for _, file := range lint.VocabFiles() {
+		existing, err := lint.ReadVocab(cfg.VocabDir, file)
+		if err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		merged := lint.MergeVocab(existing, current[file])
+		if err := lint.WriteVocab(cfg.VocabDir, file, merged); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "glovelint: %s: %d entries (%d new)\n", file, len(merged), len(merged)-len(existing))
+	}
+	return nil
+}
+
+// findModule locates the module root and path: an explicit -root must
+// hold a go.mod; otherwise the nearest go.mod upward from the working
+// directory wins.
+func findModule(root string) (dir, modPath string, err error) {
+	if root == "" {
+		root, err = os.Getwd()
+		if err != nil {
+			return "", "", err
+		}
+		for {
+			if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+				break
+			}
+			parent := filepath.Dir(root)
+			if parent == root {
+				return "", "", fmt.Errorf("no go.mod found upward from the working directory (use -root)")
+			}
+			root = parent
+		}
+	}
+	modPath, err = readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", "", err
+	}
+	return root, modPath, nil
+}
+
+// readModulePath extracts the module path from a go.mod.
+func readModulePath(gomod string) (string, error) {
+	f, err := os.Open(gomod)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			if p := strings.TrimSpace(rest); p != "" {
+				return strings.Trim(p, `"`), nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seedModule builds a throwaway module with one ctxflow violation.
+func seedModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmpmod\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "app", "app.go"), `package app
+
+import "context"
+
+func use(ctx context.Context) {}
+
+func Bad(ctx context.Context) {
+	use(context.Background())
+}
+`)
+	return dir
+}
+
+func TestRunJSONFindings(t *testing.T) {
+	dir := seedModule(t)
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-root", dir, "-json"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	if code != 1 {
+		t.Fatalf("seeded violation must exit 1, got %d (stdout: %s)", code, stdout.String())
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output does not round-trip through encoding/json: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "ctxflow" {
+		t.Fatalf("want one ctxflow finding, got %+v", findings)
+	}
+	if findings[0].Line == 0 || !strings.HasSuffix(findings[0].File, "app.go") {
+		t.Errorf("finding lost its position: %+v", findings[0])
+	}
+}
+
+func TestRunDisableSilencesAnalyzer(t *testing.T) {
+	dir := seedModule(t)
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-root", dir, "-disable", "ctxflow"}, &stdout, &stderr)
+	if err != nil || code != 0 {
+		t.Fatalf("disabled analyzer must be silent: code=%d err=%v stdout=%s", code, err, stdout.String())
+	}
+	code, err = run([]string{"-root", dir, "-enable", "dtoplace,lockedio"}, &stdout, &stderr)
+	if err != nil || code != 0 {
+		t.Fatalf("enable without ctxflow must be silent: code=%d err=%v", code, err)
+	}
+	code, err = run([]string{"-root", dir, "-enable", "nope"}, &stdout, &stderr)
+	if err == nil || code != 2 {
+		t.Fatalf("unknown analyzer must be a driver error: code=%d err=%v", code, err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-list"}, &stdout, &stderr)
+	if err != nil || code != 0 {
+		t.Fatalf("list: code=%d err=%v", code, err)
+	}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list missing analyzer %s:\n%s", a.Name, stdout.String())
+		}
+	}
+}
+
+// TestRunGenVocabThenClean: -gen-vocab over a fresh module writes the
+// vocabularies, after which the same module lints clean; a second
+// regeneration is byte-stable.
+func TestRunGenVocabThenClean(t *testing.T) {
+	dir := seedModule(t)
+	// Replace the violation with a registry so vocab generation has input.
+	writeFile(t, filepath.Join(dir, "app", "app.go"), "package app\n")
+	writeFile(t, filepath.Join(dir, "internal", "api", "api.go"), `package api
+
+type Code string
+
+const CodeOK Code = "ok"
+`)
+	var stdout, stderr bytes.Buffer
+	if code, err := run([]string{"-root", dir, "-gen-vocab"}, &stdout, &stderr); err != nil || code != 0 {
+		t.Fatalf("gen-vocab: code=%d err=%v", code, err)
+	}
+	first, err := os.ReadFile(filepath.Join(dir, "internal", "lint", "vocab", "errcodes.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(first), "ok") {
+		t.Fatalf("generated vocabulary missing the declared code:\n%s", first)
+	}
+	if code, err := run([]string{"-root", dir}, &stdout, &stderr); err != nil || code != 0 {
+		t.Fatalf("module must lint clean after gen-vocab: code=%d err=%v stdout=%s", code, err, stdout.String())
+	}
+	if code, err := run([]string{"-root", dir, "-gen-vocab"}, &stdout, &stderr); err != nil || code != 0 {
+		t.Fatalf("second gen-vocab: code=%d err=%v", code, err)
+	}
+	second, err := os.ReadFile(filepath.Join(dir, "internal", "lint", "vocab", "errcodes.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("regeneration over an unchanged tree is not byte-stable:\n%s\nvs\n%s", first, second)
+	}
+}

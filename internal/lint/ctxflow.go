@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCtxflow enforces context threading: a function that accepts
+// a context.Context must pass that context (or one derived from it)
+// down, never mint a fresh root with context.Background() or
+// context.TODO() — a fresh root silently detaches the callee from the
+// caller's cancellation, which is how a cancelled job keeps computing.
+// Boot, replay, and shutdown roots whose work must deliberately
+// outlive the inbound context are named on the configured allowlist
+// (Config.CtxflowAllow) or annotated //lint:ignore ctxflow with the
+// reason.
+//
+// Blind spots: a function without a ctx parameter may mint roots
+// freely (the convenience wrappers core.Glove / parallel.For are
+// exactly that shape), and passing the right ctx to the wrong callee
+// is not detectable here.
+var AnalyzerCtxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "functions that accept a context.Context must thread it, not mint context.Background()/TODO() (allowlist for boot/replay roots)",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(prog *Program, r *Reporter) {
+	allow := make(map[string]bool, len(prog.Config.CtxflowAllow))
+	for _, a := range prog.Config.CtxflowAllow {
+		allow[a] = true
+	}
+	for _, pkg := range prog.Packages {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !acceptsContext(pkg.Info, fd.Type) {
+					continue
+				}
+				if allow[qualifiedName(pkg, fd)] {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeFunc(pkg.Info, call)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+						return true
+					}
+					if fn.Name() == "Background" || fn.Name() == "TODO" {
+						r.Reportf(call.Pos(), "%s accepts a context.Context but mints context.%s(); thread the caller's ctx, or allowlist this boot/replay root (//lint:ignore ctxflow with a reason for one-off exceptions)",
+							qualifiedName(pkg, fd), fn.Name())
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// acceptsContext reports whether the function type has a
+// context.Context parameter.
+func acceptsContext(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, p := range ft.Params.List {
+		if tv, ok := info.Types[p.Type]; ok && isNamedType(tv.Type, "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// qualifiedName renders "repro/cmd/gloved.run" or
+// "repro/internal/service.(*Manager).Submit" — the allowlist key.
+func qualifiedName(pkg *Package, fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		recv := fd.Recv.List[0].Type
+		if star, ok := recv.(*ast.StarExpr); ok {
+			if id, ok := star.X.(*ast.Ident); ok {
+				return pkg.Path + ".(*" + id.Name + ")." + name
+			}
+		}
+		if id, ok := recv.(*ast.Ident); ok {
+			return pkg.Path + ".(" + id.Name + ")." + name
+		}
+	}
+	return pkg.Path + "." + name
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run loads the module described by cfg and applies the selected
+// analyzers, returning the surviving findings sorted by position.
+// Load problems (parse errors, type errors, import cycles) come back
+// as [load] findings; they never abort the run, so one malformed
+// package cannot hide findings in the rest of the tree.
+func Run(cfg Config) ([]Finding, error) {
+	prog, findings, err := LoadModule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	selected, err := Select(cfg.Enable, cfg.Disable)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range selected {
+		r := &Reporter{fset: prog.Fset, analyzer: a.Name, findings: &findings}
+		a.Run(prog, r)
+	}
+	dirs := collectIgnores(prog, &findings)
+	kept := findings[:0]
+	for _, fi := range findings {
+		if !suppressed(fi, dirs) {
+			kept = append(kept, fi)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return kept, nil
+}
+
+// Select resolves enable/disable name lists against the registered
+// suite. An unknown name is an error — a typo in -enable silently
+// running zero analyzers would be a hollow gate.
+func Select(enable, disable []string) ([]*Analyzer, error) {
+	all := Analyzers()
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	check := func(names []string) error {
+		for _, n := range names {
+			if byName[n] == nil {
+				return fmt.Errorf("lint: unknown analyzer %q", n)
+			}
+		}
+		return nil
+	}
+	if err := check(enable); err != nil {
+		return nil, err
+	}
+	if err := check(disable); err != nil {
+		return nil, err
+	}
+	off := make(map[string]bool, len(disable))
+	for _, n := range disable {
+		off[n] = true
+	}
+	var selected []*Analyzer
+	if len(enable) > 0 {
+		for _, n := range enable {
+			if !off[n] {
+				selected = append(selected, byName[n])
+			}
+		}
+		return selected, nil
+	}
+	for _, a := range all {
+		if !off[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+	return selected, nil
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBrokenPackageReported: a package that fails to parse must become
+// a [load] finding, not a crash, and the rest of the module must still
+// be analyzed.
+func TestBrokenPackageReported(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "bad", "bad.go"), "package bad\n\nfunc broken( {\n")
+	writeFile(t, filepath.Join(dir, "app", "app.go"), `package app
+
+import "context"
+
+func use(ctx context.Context) {}
+
+func Bad(ctx context.Context) {
+	use(context.Background())
+}
+`)
+	findings, err := Run(Config{Root: dir, ModPath: "repro"})
+	if err != nil {
+		t.Fatalf("Run must not fail on a malformed package: %v", err)
+	}
+	var loads, ctxflows int
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "load":
+			loads++
+		case "ctxflow":
+			ctxflows++
+		}
+	}
+	if loads == 0 {
+		t.Errorf("parse error not reported as a [load] finding: %v", findings)
+	}
+	if ctxflows != 1 {
+		t.Errorf("healthy sibling package not analyzed past the broken one: %v", findings)
+	}
+}
+
+// TestIgnoreDirectiveNeedsReason: an ignore directive without a reason
+// (or without an analyzer list) is itself a finding and suppresses
+// nothing.
+func TestIgnoreDirectiveNeedsReason(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "badignore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(Config{Root: dir, ModPath: "repro"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missingReason, noAnalyzer, unsuppressed int
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "lint" && strings.Contains(f.Message, "missing a reason"):
+			missingReason++
+		case f.Analyzer == "lint" && strings.Contains(f.Message, "without an analyzer"):
+			noAnalyzer++
+		case f.Analyzer == "ctxflow":
+			unsuppressed++
+		}
+	}
+	if missingReason != 1 {
+		t.Errorf("want exactly one missing-reason finding, got %d (%v)", missingReason, findings)
+	}
+	if noAnalyzer != 1 {
+		t.Errorf("want exactly one missing-analyzer finding, got %d (%v)", noAnalyzer, findings)
+	}
+	if unsuppressed != 2 {
+		t.Errorf("malformed directives must not suppress: want 2 ctxflow findings, got %d (%v)", unsuppressed, findings)
+	}
+}
+
+// TestFindingsJSONRoundTrip: the -json output is a faithful encoding —
+// findings survive encoding/json both ways.
+func TestFindingsJSONRoundTrip(t *testing.T) {
+	in := []Finding{
+		{File: "a.go", Line: 3, Col: 7, Analyzer: "errcode", Message: `error code "x" does not resolve`},
+		{File: "b.go", Line: 12, Col: 1, Analyzer: "lockedio", Message: "blocking channel send"},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Finding
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mutated findings:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// TestSelectUnknownAnalyzer: a typoed -enable/-disable must be an
+// error, never a silently hollow gate.
+func TestSelectUnknownAnalyzer(t *testing.T) {
+	if _, err := Select([]string{"errcode", "nope"}, nil); err == nil {
+		t.Error("enable with unknown analyzer must error")
+	}
+	if _, err := Select(nil, []string{"nope"}); err == nil {
+		t.Error("disable with unknown analyzer must error")
+	}
+	sel, err := Select(nil, []string{"lockedio"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range sel {
+		if a.Name == "lockedio" {
+			t.Error("disabled analyzer still selected")
+		}
+	}
+	if len(sel) != len(Analyzers())-1 {
+		t.Errorf("want %d analyzers after one disable, got %d", len(Analyzers())-1, len(sel))
+	}
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// AnalyzerDTOPlace enforces the DTO-placement and dependency-direction
+// invariants of DESIGN.md Sec. 9 at the typechecked import graph
+// (replacing the old grep-based `make depcheck`):
+//
+//  1. pkg/… must never depend on internal/service, directly or through
+//     any chain of module-local imports — the SDK speaks the wire
+//     contract (internal/api), not the server internals.
+//  2. internal/… must never import pkg/… — the dependency arrow points
+//     outward only, so the server cannot grow a cycle through its own
+//     SDK.
+//  3. Wire DTO struct types live only in internal/api:
+//     internal/service may alias them (type X = api.X) but must not
+//     declare its own exported JSON-tagged structs; persistence-format
+//     schemas that are deliberately not wire DTOs carry a
+//     //lint:ignore dtoplace annotation saying so.
+//
+// Blind spots: edges through interfaces or reflection are invisible,
+// and rule 3 keys on `json:"…"` field tags — an untagged DTO relying
+// on default field names slips through.
+var AnalyzerDTOPlace = &Analyzer{
+	Name: "dtoplace",
+	Doc:  "pkg/ must not reach internal/service, internal/ must not import pkg/, and wire DTO structs are declared only in internal/api",
+	Run:  runDTOPlace,
+}
+
+func runDTOPlace(prog *Program, r *Reporter) {
+	mod := prog.Config.ModPath
+	servicePath := mod + "/internal/service"
+
+	for _, pkg := range prog.Packages {
+		switch {
+		case strings.HasPrefix(pkg.Path, mod+"/pkg/"):
+			// Rule 1: no chain from pkg/… to internal/service.
+			for imp, pos := range pkg.imports {
+				if chain := findPath(prog, imp, servicePath, nil); chain != nil {
+					r.Reportf(pos, "%s must not depend on internal/service (import chain: %s); share types through internal/api instead",
+						strings.TrimPrefix(pkg.Path, mod+"/"), strings.Join(trimChain(mod, pkg.Path, chain), " -> "))
+				}
+			}
+		case strings.HasPrefix(pkg.Path, mod+"/internal/"):
+			// Rule 2: internal never imports pkg.
+			for imp, pos := range pkg.imports {
+				if strings.HasPrefix(imp, mod+"/pkg/") {
+					r.Reportf(pos, "%s must not import %s: the dependency arrow points from pkg/ to internal/, never back",
+						strings.TrimPrefix(pkg.Path, mod+"/"), strings.TrimPrefix(imp, mod+"/"))
+				}
+			}
+		}
+	}
+
+	// Rule 3: exported JSON-tagged struct declarations in internal/service.
+	svc := prog.Lookup("internal/service")
+	if svc == nil || svc.Info == nil {
+		return
+	}
+	for _, f := range svc.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Assign.IsValid() || !ts.Name.IsExported() {
+				return true // aliases of api types are exactly the sanctioned form
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				if fld.Tag != nil && strings.Contains(fld.Tag.Value, `json:"`) {
+					r.Reportf(ts.Name.Pos(), "exported JSON-tagged struct %s declared in internal/service: wire DTOs live in internal/api (alias it, or //lint:ignore with the reason it is not a wire type)",
+						ts.Name.Name)
+					return true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// findPath DFSes the module-local import graph from `from`, returning
+// the package chain reaching target (inclusive), or nil.
+func findPath(prog *Program, from, target string, visited map[string]bool) []string {
+	if from == target {
+		return []string{from}
+	}
+	if visited == nil {
+		visited = make(map[string]bool)
+	}
+	if visited[from] {
+		return nil
+	}
+	visited[from] = true
+	pkg := prog.byPath[from]
+	if pkg == nil {
+		return nil
+	}
+	for _, imp := range sortedImports(pkg) {
+		if chain := findPath(prog, imp, target, visited); chain != nil {
+			return append([]string{from}, chain...)
+		}
+	}
+	return nil
+}
+
+func sortedImports(pkg *Package) []string {
+	out := make([]string, 0, len(pkg.imports))
+	for imp := range pkg.imports {
+		out = append(out, imp)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func trimChain(mod, head string, chain []string) []string {
+	out := []string{strings.TrimPrefix(head, mod+"/")}
+	for _, c := range chain {
+		out = append(out, strings.TrimPrefix(c, mod+"/"))
+	}
+	return out
+}

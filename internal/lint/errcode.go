@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/constant"
+)
+
+// AnalyzerErrcode enforces the append-only wire vocabularies of
+// DESIGN.md Secs. 9–10 and 13 at the type level: every value of
+// api.Code, obs.SpanKind, or the service's journalKind that appears as
+// a compile-time constant anywhere in the module must resolve to a
+// constant declared in the registry's home package, and every declared
+// registry constant must appear in its committed vocabulary file. The
+// second check is what makes the registry append-only in practice:
+// removing a shipped name from the vocabulary file (or renaming the
+// source constant's value) fails the build, while appending a new name
+// alongside a new constant does not.
+//
+// Blind spots: codes built at runtime (api.Code(variable)) are not
+// constants and pass unchecked; so does a registry constant that is
+// declared but never referenced by the server's response paths.
+var AnalyzerErrcode = &Analyzer{
+	Name: "errcode",
+	Doc:  "api.Code / obs.SpanKind / journal-kind values must resolve to registry constants, and the registries must stay append-only against their committed vocabularies",
+	Run:  runErrcode,
+}
+
+func runErrcode(prog *Program, r *Reporter) {
+	for _, reg := range registries(prog) {
+		decls := declaredConsts(prog, reg)
+		if decls == nil {
+			continue // registry package not in this module (miniature test trees)
+		}
+		declared := make(map[string]bool, len(decls))
+		for _, d := range decls {
+			declared[d.value] = true
+		}
+
+		// Registry ⊆ committed vocabulary: the append-only gate.
+		if prog.Config.VocabDir != "" {
+			vocab, err := ReadVocab(prog.Config.VocabDir, reg.vocabFile)
+			if err != nil {
+				r.Reportf(decls[0].pos, "cannot read vocabulary %s: %v", reg.vocabFile, err)
+			} else {
+				inVocab := make(map[string]bool, len(vocab))
+				for _, v := range vocab {
+					inVocab[v] = true
+				}
+				for _, d := range decls {
+					if !inVocab[d.value] {
+						r.Reportf(d.pos, "%s %q (%s) is not in the committed vocabulary %s; run `make lint-vocab` to append it",
+							reg.kindLabel, d.value, d.name, reg.vocabFile)
+					}
+				}
+			}
+		}
+
+		// Every constant of the registry type, anywhere in the module,
+		// must carry a declared value: a stray api.Errorf("typo_code", …)
+		// or journalEntry{Kind: "ds_creat"} fails the build here.
+		typePath := prog.Config.ModPath + "/" + reg.relPath
+		for _, pkg := range prog.Packages {
+			if pkg.Info == nil {
+				continue
+			}
+			type site struct {
+				line  int
+				value string
+			}
+			seen := make(map[site]bool)
+			for expr, tv := range pkg.Info.Types {
+				if tv.Value == nil || tv.Value.Kind() != constant.String {
+					continue
+				}
+				if !isNamedType(tv.Type, typePath, reg.typeName) {
+					continue
+				}
+				v := constant.StringVal(tv.Value)
+				if v == "" || declared[v] {
+					continue // "" is the unset zero value, not a wire code
+				}
+				s := site{line: prog.Fset.Position(expr.Pos()).Line, value: v}
+				if seen[s] {
+					continue // conversion and its operand share a line; report once
+				}
+				seen[s] = true
+				r.Reportf(expr.Pos(), "%s %q does not resolve to a constant declared in %s; codes are an append-only registry — declare it there first",
+					reg.kindLabel, v, reg.relPath)
+			}
+		}
+	}
+}

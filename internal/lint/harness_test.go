@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden-file harness: every directory under testdata/src is a
+// miniature module (module path "repro", mirroring the real layout so
+// the analyzers' well-known paths resolve), and `// want "regex"`
+// comments pin the expected findings line by line. A finding with no
+// matching want, or a want with no matching finding, fails the test —
+// the same executable-spec posture as the exposition parser.
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.+)$`)
+var wantArgRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type wantComment struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans the raw source text (not the AST, so files with
+// seeded parse errors can still carry expectations).
+func collectWants(t *testing.T, dir string) []*wantComment {
+	t.Helper()
+	var wants []*wantComment
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+			if len(args) == 0 {
+				return fmt.Errorf("%s:%d: malformed want comment %q", path, i+1, line)
+			}
+			for _, a := range args {
+				pat := a[1]
+				if pat == "" {
+					pat = a[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want regexp: %v", path, i+1, err)
+				}
+				wants = append(wants, &wantComment{file: path, line: i + 1, pattern: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// runGolden loads the miniature module at testdata/src/<name> and
+// checks its findings against the want comments. mutate, if non-nil,
+// adjusts the configuration (allowlists, analyzer selection).
+func runGolden(t *testing.T, name string, mutate func(*Config)) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Root: dir, ModPath: "repro"}
+	if st, err := os.Stat(filepath.Join(dir, "internal", "lint", "vocab")); err == nil && st.IsDir() {
+		cfg.VocabDir = filepath.Join(dir, "internal", "lint", "vocab")
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	findings, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	wants := collectWants(t, dir)
+
+	for _, f := range findings {
+		text := fmt.Sprintf("[%s] %s", f.Analyzer, f.Message)
+		matched := false
+		for _, w := range wants {
+			if w.file == f.File && w.line == f.Line && w.pattern.MatchString(text) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func TestGoldenErrcode(t *testing.T)     { runGolden(t, "errcode", nil) }
+func TestGoldenMetricVocab(t *testing.T) { runGolden(t, "metricvocab", nil) }
+func TestGoldenDTOPlace(t *testing.T)    { runGolden(t, "dtoplace", nil) }
+func TestGoldenLockedIO(t *testing.T)    { runGolden(t, "lockedio", nil) }
+func TestGoldenCtxflow(t *testing.T) {
+	runGolden(t, "ctxflow", func(cfg *Config) {
+		cfg.CtxflowAllow = append(cfg.CtxflowAllow, "repro/app.Allowed")
+	})
+}
+func TestGoldenIgnore(t *testing.T) { runGolden(t, "ignore", nil) }

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignoreDirective is one parsed `//lint:ignore <analyzers> <reason>`
+// comment. It suppresses matching findings on its own line (trailing
+// form) and on the immediately following line (standalone form).
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers map[string]bool // "all" matches every analyzer
+	hasReason bool
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectIgnores scans every comment of the program for ignore
+// directives. A directive without a reason — or without an analyzer
+// list at all — is itself a finding: an unexplained suppression is
+// exactly the kind of silent contract erosion the suite exists to
+// stop.
+func collectIgnores(prog *Program, findings *[]Finding) []ignoreDirective {
+	var dirs []ignoreDirective
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					fields := strings.Fields(rest)
+					d := ignoreDirective{
+						file:      pos.Filename,
+						line:      pos.Line,
+						analyzers: make(map[string]bool),
+					}
+					if len(fields) == 0 {
+						*findings = append(*findings, Finding{
+							File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Analyzer: "lint",
+							Message:  "//lint:ignore directive without an analyzer name",
+						})
+						continue
+					}
+					for _, a := range strings.Split(fields[0], ",") {
+						if a != "" {
+							d.analyzers[a] = true
+						}
+					}
+					d.hasReason = len(fields) > 1
+					if !d.hasReason {
+						*findings = append(*findings, Finding{
+							File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Analyzer: "lint",
+							Message:  "//lint:ignore directive missing a reason: say why the exception is sound",
+						})
+					}
+					dirs = append(dirs, d)
+				}
+			}
+		}
+	}
+	return dirs
+}
+
+// suppressed reports whether fi is covered by a well-formed directive.
+func suppressed(fi Finding, dirs []ignoreDirective) bool {
+	for _, d := range dirs {
+		if d.file != fi.File || !d.hasReason {
+			continue
+		}
+		if d.line != fi.Line && d.line != fi.Line-1 {
+			continue
+		}
+		if d.analyzers["all"] || d.analyzers[fi.Analyzer] {
+			return true
+		}
+	}
+	return false
+}

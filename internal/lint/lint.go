@@ -1,0 +1,153 @@
+// Package lint is glovelint's engine: a dependency-free static-analysis
+// driver (stdlib go/ast + go/parser + go/types + go/importer only, no
+// x/tools) that loads every package in the module from source,
+// typechecks it, and runs a registered set of analyzers enforcing the
+// invariants DESIGN.md states in prose — the append-only error-code,
+// span-kind, journal-kind, and metric vocabularies, DTO placement and
+// the pkg/internal dependency direction, lock-hygiene on the
+// group-commit paths, and context threading.
+//
+// Findings are reported as `file:line:col: [analyzer] message`; a
+// deliberate exception is annotated in the source with
+//
+//	//lint:ignore <analyzer[,analyzer]> <reason>
+//
+// on (or immediately above) the offending line. The reason is
+// mandatory: a directive without one is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// Finding is one analyzer report, addressable and machine-readable
+// (the -json output is exactly a list of these).
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the canonical single-line form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named invariant check. Run inspects the whole loaded
+// program (most analyzers loop over prog.Packages themselves — some,
+// like dtoplace, are inherently whole-graph) and reports through r.
+type Analyzer struct {
+	Name string
+	// Doc is the one-line invariant statement shown by glovelint -list.
+	Doc string
+	Run func(prog *Program, r *Reporter)
+}
+
+// Config parameterizes a driver run. The zero value plus Root/ModPath
+// is a working configuration for the real repository.
+type Config struct {
+	// Root is the module root directory; ModPath the module path from
+	// go.mod ("repro"). Well-known package paths (internal/api,
+	// internal/obs, ...) are resolved relative to ModPath, which is what
+	// lets the golden-file testdata ship miniature modules under the
+	// same layout.
+	Root    string
+	ModPath string
+	// VocabDir holds the committed vocabulary files (errcodes.txt,
+	// metrics.txt, spankinds.txt, journalkinds.txt). Empty disables the
+	// vocabulary-membership checks (grammar and registry-resolution
+	// checks still run).
+	VocabDir string
+	// CtxflowAllow lists fully-qualified functions ("repro/cmd/gloved.run",
+	// "repro/internal/service.(*Manager).Restore") permitted to mint
+	// fresh contexts even though they accept one — boot/replay/shutdown
+	// roots whose work must outlive the inbound context.
+	CtxflowAllow []string
+	// Enable/Disable select analyzers by name; empty Enable means all.
+	Enable  []string
+	Disable []string
+}
+
+// Package is one loaded, typechecked package of the module.
+type Package struct {
+	// Path is the full import path ("repro/internal/service").
+	Path string
+	// Dir is the directory the files were read from.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Broken marks a package that failed to parse or typecheck; the
+	// loader reported the errors as findings and analyzers skip it.
+	Broken bool
+	// imports are the module-local import paths this package names
+	// directly, keyed to the file position of the import spec (the
+	// anchor dtoplace reports banned edges at).
+	imports map[string]token.Pos
+}
+
+// Program is the whole loaded module plus the run configuration.
+type Program struct {
+	Fset     *token.FileSet
+	Config   Config
+	Packages []*Package // sorted by import path
+	byPath   map[string]*Package
+}
+
+// Lookup returns the loaded package with the given suffix-qualified
+// path relative to the module ("internal/api"), or nil.
+func (p *Program) Lookup(rel string) *Package {
+	return p.byPath[p.Config.ModPath+"/"+rel]
+}
+
+// Reporter accumulates findings for one analyzer.
+type Reporter struct {
+	fset     *token.FileSet
+	analyzer string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	p := r.fset.Position(pos)
+	*r.findings = append(*r.findings, Finding{
+		File:     p.Filename,
+		Line:     p.Line,
+		Col:      p.Column,
+		Analyzer: r.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// DefaultConfig is the configuration glovelint, `make lint`, and the
+// self-lint test all share for this repository: vocabularies under
+// internal/lint/vocab, and the boot root cmd/gloved.run — which must
+// mint the shutdown context that outlives its own cancelled ctx — on
+// the ctxflow allowlist.
+func DefaultConfig(root, modPath string) Config {
+	return Config{
+		Root:     root,
+		ModPath:  modPath,
+		VocabDir: filepath.Join(root, "internal", "lint", "vocab"),
+		CtxflowAllow: []string{
+			modPath + "/cmd/gloved.run",
+		},
+	}
+}
+
+// Analyzers returns the full registered suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerErrcode,
+		AnalyzerMetricVocab,
+		AnalyzerDTOPlace,
+		AnalyzerLockedIO,
+		AnalyzerCtxflow,
+	}
+}

@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/scanner"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The standard library is typechecked from $GOROOT/src through the
+// stdlib "source" importer. It is shared process-wide because a cold
+// net/http import costs ~2s; the lock serializes access (the source
+// importer is not documented as concurrency-safe). Its *types.Package
+// values come from a private FileSet — we never print stdlib positions,
+// only module ones, so the mismatch is harmless.
+var (
+	stdMu  sync.Mutex
+	stdImp types.Importer
+)
+
+func importStd(path string) (*types.Package, error) {
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	if stdImp == nil {
+		stdImp = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	}
+	return stdImp.Import(path)
+}
+
+// moduleImporter resolves module-local import paths by typechecking
+// the package from source under the module root (memoized, with cycle
+// detection) and delegates everything else to the stdlib importer.
+type moduleImporter struct {
+	prog     *Program
+	loading  map[string]bool
+	findings *[]Finding
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	mod := m.prog.Config.ModPath
+	if path == mod || strings.HasPrefix(path, mod+"/") {
+		pkg, err := m.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("package %s is broken", path)
+		}
+		return pkg.Types, nil
+	}
+	return importStd(path)
+}
+
+// load parses and typechecks one module package (idempotent).
+func (m *moduleImporter) load(path string) (*Package, error) {
+	if pkg, ok := m.prog.byPath[path]; ok {
+		return pkg, nil
+	}
+	if m.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	m.loading[path] = true
+	defer delete(m.loading, path)
+
+	cfg := m.prog.Config
+	dir := filepath.Join(cfg.Root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, cfg.ModPath), "/")))
+	pkg := &Package{Path: path, Dir: dir, imports: make(map[string]token.Pos)}
+	m.prog.byPath[path] = pkg
+
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			pkg.Broken = true
+			return pkg, nil
+		}
+		m.reportLoadError(dir, err)
+		pkg.Broken = true
+		return pkg, nil
+	}
+
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(m.prog.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			m.reportLoadError(dir, err)
+			pkg.Broken = true
+			continue
+		}
+		files = append(files, f)
+	}
+	pkg.Files = files
+	if pkg.Broken || len(files) == 0 {
+		pkg.Broken = true
+		return pkg, nil
+	}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == cfg.ModPath || strings.HasPrefix(p, cfg.ModPath+"/") {
+				if _, ok := pkg.imports[p]; !ok {
+					pkg.imports[p] = imp.Pos()
+				}
+			}
+		}
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	tcfg := types.Config{
+		Importer: m,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := tcfg.Check(path, m.prog.Fset, files, info)
+	if len(typeErrs) > 0 {
+		for _, e := range typeErrs {
+			m.reportLoadError(dir, e)
+		}
+		pkg.Broken = true
+		return pkg, nil
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}
+
+// reportLoadError converts parse/typecheck errors (which may be lists)
+// into positioned [load] findings: a malformed package is reported, not
+// a crash, and the rest of the module is still analyzed.
+func (m *moduleImporter) reportLoadError(dir string, err error) {
+	add := func(file string, line, col int, msg string) {
+		*m.findings = append(*m.findings, Finding{
+			File: file, Line: line, Col: col, Analyzer: "load", Message: msg,
+		})
+	}
+	switch e := err.(type) {
+	case scanner.ErrorList:
+		for _, pe := range e {
+			add(pe.Pos.Filename, pe.Pos.Line, pe.Pos.Column, pe.Msg)
+		}
+	case types.Error:
+		p := e.Fset.Position(e.Pos)
+		add(p.Filename, p.Line, p.Column, e.Msg)
+	default:
+		add(dir, 0, 0, err.Error())
+	}
+}
+
+// LoadModule loads every package under cfg.Root as module cfg.ModPath:
+// it enumerates package directories (skipping testdata, VCS, and
+// hidden/underscore directories, like the go tool), typechecks each
+// against the standard library, and returns the program plus the
+// [load] findings for anything malformed. Only a filesystem-level
+// failure is a hard error.
+func LoadModule(cfg Config) (*Program, []Finding, error) {
+	if cfg.ModPath == "" {
+		return nil, nil, fmt.Errorf("lint: Config.ModPath is required")
+	}
+	root, err := filepath.Abs(cfg.Root)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Root = root
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		Config: cfg,
+		byPath: make(map[string]*Package),
+	}
+	var findings []Finding
+	imp := &moduleImporter{prog: prog, loading: make(map[string]bool), findings: &findings}
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		path := cfg.ModPath
+		if rel != "." {
+			path = cfg.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := imp.load(path); err != nil {
+			findings = append(findings, Finding{File: dir, Analyzer: "load", Message: err.Error()})
+		}
+	}
+	for _, pkg := range prog.byPath {
+		if !pkg.Broken {
+			prog.Packages = append(prog.Packages, pkg)
+		}
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
+	return prog, findings, nil
+}

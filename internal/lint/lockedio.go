@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockedIOPackages are the module-relative packages whose lock hygiene
+// the analyzer guards: the group-commit WAL and the service layer,
+// where a blocking call under a held mutex stalls every writer behind
+// the group commit or the drain path.
+var lockedIOPackages = []string{"internal/service", "internal/wal"}
+
+// AnalyzerLockedIO flags blocking operations — (*os.File).Sync,
+// channel sends, time.Sleep, net/http request calls — reached while a
+// sync.Mutex/RWMutex locked earlier in the same function is still
+// held with no intervening Unlock and no deferred Unlock. The correct
+// group-commit idiom (wal.Log.Commit) drops the lock around the fsync
+// and re-acquires it after; this analyzer makes that shape a build
+// requirement in internal/service and internal/wal.
+//
+// The walk is a linear over-approximation of control flow: statements
+// are visited in source order, branch bodies sequentially, and a
+// deferred Unlock is trusted (it marks the lock as managed, per the
+// invariant's "without an intervening Unlock/defer"). Blind spots: a
+// blocking call under a defer-released lock is not flagged, an Unlock
+// inside one branch clears the held state for the code after the
+// branch, function literals are analyzed as independent functions
+// (locks held at the literal's creation site are not propagated), and
+// blocking callees behind further call indirection are invisible —
+// only the four direct operation classes are recognized.
+var AnalyzerLockedIO = &Analyzer{
+	Name: "lockedio",
+	Doc:  "in internal/service and internal/wal, no blocking call (fsync, channel send, sleep, HTTP) while a mutex locked in the same function is still held",
+	Run:  runLockedIO,
+}
+
+func runLockedIO(prog *Program, r *Reporter) {
+	for _, rel := range lockedIOPackages {
+		pkg := prog.Lookup(rel)
+		if pkg == nil || pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				w := &lockWalker{prog: prog, pkg: pkg, r: r, held: make(map[string]token.Pos)}
+				w.block(fd.Body)
+			}
+		}
+	}
+}
+
+type lockWalker struct {
+	prog *Program
+	pkg  *Package
+	r    *Reporter
+	held map[string]token.Pos // mutex expression -> Lock position
+}
+
+func (w *lockWalker) block(b *ast.BlockStmt) {
+	for _, st := range b.List {
+		w.stmt(st)
+	}
+}
+
+func (w *lockWalker) stmt(st ast.Stmt) {
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		w.block(s)
+	case *ast.ExprStmt:
+		w.expr(s.X, false)
+	case *ast.SendStmt:
+		w.expr(s.Chan, false)
+		w.expr(s.Value, false)
+		w.blocking(s.Arrow, "channel send")
+	case *ast.DeferStmt:
+		// A deferred Unlock marks the lock as managed for the rest of
+		// the function; any other deferred call runs outside the hot
+		// region and is not evaluated now.
+		if op, mu := w.lockOp(s.Call); op == "Unlock" || op == "RUnlock" {
+			delete(w.held, mu)
+		}
+	case *ast.GoStmt:
+		// The body runs concurrently, under its own analysis; argument
+		// expressions are evaluated here.
+		for _, a := range s.Call.Args {
+			w.expr(a, false)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond, false)
+		w.block(s.Body)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, false)
+		}
+		w.block(s.Body)
+		if s.Post != nil {
+			w.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, false)
+		w.block(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, false)
+		}
+		for _, c := range s.Body.List {
+			for _, cs := range c.(*ast.CaseClause).Body {
+				w.stmt(cs)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		for _, c := range s.Body.List {
+			for _, cs := range c.(*ast.CaseClause).Body {
+				w.stmt(cs)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			// A select with a default clause cannot block on its sends;
+			// without one, a send comm is as blocking as a bare send.
+			hasDefault := false
+			for _, d := range s.Body.List {
+				if d.(*ast.CommClause).Comm == nil {
+					hasDefault = true
+				}
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault {
+				w.blocking(send.Arrow, "channel send (select without default)")
+			}
+			for _, cs := range cc.Body {
+				w.stmt(cs)
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, false)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, false)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, false)
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr scans an expression in evaluation order for lock transitions
+// and blocking calls. Function literals are analyzed as independent
+// functions with a fresh held set.
+func (w *lockWalker) expr(e ast.Expr, inDefer bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			inner := &lockWalker{prog: w.prog, pkg: w.pkg, r: w.r, held: make(map[string]token.Pos)}
+			inner.block(x.Body)
+			return false
+		case *ast.CallExpr:
+			if op, mu := w.lockOp(x); op != "" {
+				switch op {
+				case "Lock", "RLock":
+					w.held[mu] = x.Pos()
+				case "Unlock", "RUnlock":
+					delete(w.held, mu)
+				}
+				return true
+			}
+			if what := w.blockingCall(x); what != "" {
+				w.blocking(x.Pos(), what)
+			}
+		}
+		return true
+	})
+}
+
+// blocking reports every lock still held at a blocking operation.
+func (w *lockWalker) blocking(pos token.Pos, what string) {
+	for mu, lockPos := range w.held {
+		w.r.Reportf(pos, "blocking %s while %q is still locked (Lock at line %d); release the lock around blocking operations (group-commit idiom) or //lint:ignore with a reason",
+			what, mu, w.prog.Fset.Position(lockPos).Line)
+	}
+}
+
+// lockOp classifies a call as a sync.Mutex/RWMutex transition,
+// returning the method name and the rendered mutex expression.
+func (w *lockWalker) lockOp(call *ast.CallExpr) (op, mu string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return fn.Name(), types.ExprString(sel.X)
+	}
+	return "", ""
+}
+
+// blockingCall classifies a call as one of the recognized blocking
+// operation classes, returning a human label or "".
+func (w *lockWalker) blockingCall(call *ast.CallExpr) string {
+	fn := calleeFunc(w.pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	case "os":
+		if fn.Name() == "Sync" && isFileRecv(fn) {
+			return "(*os.File).Sync"
+		}
+	case "net/http":
+		switch fn.Name() {
+		case "Get", "Head", "Post", "PostForm", "Do", "RoundTrip":
+			return "HTTP request (net/http." + fn.Name() + ")"
+		}
+	}
+	return ""
+}
+
+func isFileRecv(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	s := types.TypeString(sig.Recv().Type(), nil)
+	return strings.HasSuffix(s, "os.File")
+}

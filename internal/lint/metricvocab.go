@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"regexp"
+)
+
+// metricNameRE is the Prometheus metric-name grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*) — the same one the strict exposition
+// parser in internal/obs enforces at scrape time; glovelint enforces
+// it at build time instead.
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// AnalyzerMetricVocab pins the metric namespace of DESIGN.md Sec. 10:
+// every name registered through an internal/obs Registry method must
+// be a compile-time string constant (so the namespace is enumerable at
+// build time), must match the Prometheus naming grammar, and must
+// appear in the committed vocabulary internal/lint/vocab/metrics.txt —
+// a rename or typo fails the build instead of silently forking a
+// dashboard's series.
+//
+// Blind spots: label names and values are not grammar-checked here
+// (the exposition tests cover rendering), and a registry reached
+// through an interface rather than *obs.Registry is invisible.
+var AnalyzerMetricVocab = &Analyzer{
+	Name: "metricvocab",
+	Doc:  "metric names registered through internal/obs must be string constants, match the Prometheus grammar, and be in the committed vocabulary",
+	Run:  runMetricVocab,
+}
+
+func runMetricVocab(prog *Program, r *Reporter) {
+	regs := metricRegistrations(prog)
+	if len(regs) == 0 {
+		return
+	}
+	var inVocab map[string]bool
+	if prog.Config.VocabDir != "" {
+		vocab, err := ReadVocab(prog.Config.VocabDir, VocabMetrics)
+		if err != nil {
+			r.Reportf(regs[0].pos, "cannot read vocabulary %s: %v", VocabMetrics, err)
+		} else {
+			inVocab = make(map[string]bool, len(vocab))
+			for _, v := range vocab {
+				inVocab[v] = true
+			}
+		}
+	}
+	for _, m := range regs {
+		if !m.isConst {
+			r.Reportf(m.pos, "metric name must be a compile-time string constant so the exposition namespace is enumerable at build time")
+			continue
+		}
+		if !metricNameRE.MatchString(m.name) {
+			r.Reportf(m.pos, "metric name %q does not match the Prometheus naming grammar [a-zA-Z_:][a-zA-Z0-9_:]*", m.name)
+			continue
+		}
+		if inVocab != nil && !inVocab[m.name] {
+			r.Reportf(m.pos, "metric name %q is not in the committed vocabulary %s; run `make lint-vocab` to append it (renames are forbidden: the vocabulary is append-only)",
+				m.name, VocabMetrics)
+		}
+	}
+}

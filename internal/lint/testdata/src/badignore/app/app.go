@@ -1,0 +1,23 @@
+// Package app carries malformed ignore directives: a directive without
+// a reason (or without an analyzer) is itself a finding and suppresses
+// nothing.
+package app
+
+import "context"
+
+func use(ctx context.Context) {}
+
+func missingReason(ctx context.Context) {
+	//lint:ignore ctxflow
+	use(context.Background())
+}
+
+func noAnalyzer(ctx context.Context) {
+	//lint:ignore
+	use(context.Background())
+}
+
+var (
+	_ = missingReason
+	_ = noAnalyzer
+)

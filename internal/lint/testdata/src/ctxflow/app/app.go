@@ -1,0 +1,37 @@
+// Package app exercises context threading: a function holding a ctx
+// must not mint a fresh root.
+package app
+
+import "context"
+
+func use(ctx context.Context) {}
+
+func Bad(ctx context.Context) {
+	use(context.Background()) // want `accepts a context.Context but mints context.Background`
+}
+
+func BadTODO(ctx context.Context) {
+	use(context.TODO()) // want `mints context.TODO`
+}
+
+func Good(ctx context.Context) {
+	use(ctx)
+}
+
+// NoCtx has no context to thread; minting a root is its job.
+func NoCtx() {
+	use(context.Background())
+}
+
+// Allowed is on the harness allowlist (a boot/replay root).
+func Allowed(ctx context.Context) {
+	use(context.Background())
+}
+
+// BadNested: closures inherit the enclosing function's obligation.
+func BadNested(ctx context.Context) {
+	f := func() {
+		use(context.Background()) // want `mints context.Background`
+	}
+	f()
+}

@@ -1,0 +1,7 @@
+// Package api is the sanctioned DTO home in the dtoplace golden test.
+package api
+
+// Ping is a legitimate wire DTO: declared here, aliased elsewhere.
+type Ping struct {
+	At int `json:"at"`
+}

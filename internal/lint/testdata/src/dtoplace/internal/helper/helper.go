@@ -1,0 +1,8 @@
+// Package helper is the middle hop of the banned transitive chain
+// pkg/client -> helper -> internal/service.
+package helper
+
+import "repro/internal/service"
+
+// Use drags internal/service into any importer's type graph.
+func Use() { service.Handle() }

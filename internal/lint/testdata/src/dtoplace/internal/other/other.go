@@ -1,0 +1,8 @@
+// Package other violates the dependency direction: internal code must
+// never import the public SDK.
+package other
+
+import "repro/pkg/client" // want `must not import pkg/client`
+
+// Use makes the import non-blank.
+func Use() { client.Do() }

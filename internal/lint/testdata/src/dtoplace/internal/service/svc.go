@@ -1,0 +1,23 @@
+// Package service exercises DTO placement: aliases of api types are
+// the sanctioned form, new exported JSON-tagged structs are not.
+package service
+
+import "repro/internal/api"
+
+// Pong aliases the api DTO — the sanctioned spelling.
+type Pong = api.Ping
+
+// Resp should have been declared in internal/api.
+type Resp struct { // want `exported JSON-tagged struct Resp`
+	A int `json:"a"`
+}
+
+// internalOnly is unexported and therefore not a wire type.
+type internalOnly struct {
+	B int `json:"b"`
+}
+
+// Handle anchors the import chain for the pkg/client rule.
+func Handle() {}
+
+var _ = internalOnly{}

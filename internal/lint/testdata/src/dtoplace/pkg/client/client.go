@@ -1,0 +1,8 @@
+// Package client must stay on the wire contract; reaching
+// internal/service through any chain is banned.
+package client
+
+import "repro/internal/helper" // want `must not depend on internal/service`
+
+// Do reaches internal/service transitively through helper.
+func Do() { helper.Use() }

@@ -1,0 +1,20 @@
+// Package api is the miniature wire-contract registry for the errcode
+// golden test.
+package api
+
+// Code mirrors the real registry's named string type.
+type Code string
+
+const (
+	CodeOK      Code = "ok"
+	CodeMissing Code = "missing_from_vocab" // want `not in the committed vocabulary`
+)
+
+// Error is the miniature envelope.
+type Error struct {
+	Code    Code
+	Message string
+}
+
+// Errorf mirrors the real constructor.
+func Errorf(code Code, msg string) *Error { return &Error{Code: code, Message: msg} }

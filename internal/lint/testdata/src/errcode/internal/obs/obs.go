@@ -1,0 +1,11 @@
+// Package obs is the miniature span-kind registry for the errcode
+// golden test.
+package obs
+
+// SpanKind mirrors the real registry's named string type.
+type SpanKind string
+
+const (
+	SpanJob  SpanKind = "job"
+	SpanGone SpanKind = "removed_from_vocab" // want `not in the committed vocabulary`
+)

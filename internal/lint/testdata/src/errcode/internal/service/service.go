@@ -1,0 +1,47 @@
+// Package service exercises every construction path the errcode
+// analyzer must pin to the registries.
+package service
+
+import (
+	"repro/internal/api"
+	"repro/internal/obs"
+)
+
+type journalKind string
+
+const (
+	jeCreate journalKind = "create"
+)
+
+type entry struct {
+	Kind journalKind
+}
+
+// Registered values resolve cleanly.
+func good() (*api.Error, entry, obs.SpanKind) {
+	return api.Errorf(api.CodeOK, "fine"), entry{Kind: jeCreate}, obs.SpanJob
+}
+
+func badCode() *api.Error {
+	return api.Errorf("bogus_code", "typo") // want `error code "bogus_code" does not resolve`
+}
+
+func badConversion() api.Code {
+	return api.Code("another_bogus") // want `error code "another_bogus" does not resolve`
+}
+
+func badKind() entry {
+	return entry{Kind: "typo_kind"} // want `journal entry kind "typo_kind" does not resolve`
+}
+
+func badSpan() obs.SpanKind {
+	return obs.SpanKind("nope") // want `span kind "nope" does not resolve`
+}
+
+var (
+	_ = good
+	_ = badCode
+	_ = badConversion
+	_ = badKind
+	_ = badSpan
+)

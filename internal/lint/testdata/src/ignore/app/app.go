@@ -1,0 +1,32 @@
+// Package app exercises the ignore directive: trailing and standalone
+// forms suppress, a wrong analyzer name does not.
+package app
+
+import "context"
+
+func use(ctx context.Context) {}
+
+func suppressedTrailing(ctx context.Context) {
+	use(context.Background()) //lint:ignore ctxflow detached cleanup is deliberate here
+}
+
+func suppressedStandalone(ctx context.Context) {
+	//lint:ignore ctxflow detached cleanup is deliberate here
+	use(context.Background())
+}
+
+func wrongAnalyzer(ctx context.Context) {
+	//lint:ignore dtoplace the directive names the wrong analyzer, so this still fires
+	use(context.Background()) // want `mints context.Background`
+}
+
+func unsuppressed(ctx context.Context) {
+	use(context.Background()) // want `mints context.Background`
+}
+
+var (
+	_ = suppressedTrailing
+	_ = suppressedStandalone
+	_ = wrongAnalyzer
+	_ = unsuppressed
+)

@@ -1,0 +1,100 @@
+// Package wal exercises the lockedio rules: blocking operations under
+// an explicitly held mutex are findings; the unlock-around-I/O dance
+// and defer-managed locks are not.
+package wal
+
+import (
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// Log mirrors the real WAL's lock-plus-file shape.
+type Log struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	f  *os.File
+	ch chan int
+}
+
+func (l *Log) badSync() {
+	l.mu.Lock()
+	l.f.Sync() // want `blocking .*os.File..Sync while .l.mu. is still locked`
+	l.mu.Unlock()
+}
+
+// goodDefer: a deferred Unlock marks the lock as managed — the
+// documented blind spot, not a finding.
+func (l *Log) goodDefer() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.f.Sync()
+}
+
+// goodDance is the group-commit idiom: drop the lock around the fsync.
+func (l *Log) goodDance() {
+	l.mu.Lock()
+	l.mu.Unlock()
+	l.f.Sync()
+	l.mu.Lock()
+	l.mu.Unlock()
+}
+
+func (l *Log) badSend() {
+	l.mu.Lock()
+	l.ch <- 1 // want `blocking channel send while .l.mu. is still locked`
+	l.mu.Unlock()
+}
+
+func (l *Log) badSleep() {
+	l.rw.RLock()
+	time.Sleep(time.Millisecond) // want `blocking time.Sleep while .l.rw. is still locked`
+	l.rw.RUnlock()
+}
+
+func (l *Log) badHTTP() {
+	l.mu.Lock()
+	http.Get("http://example.invalid") // want `blocking HTTP request`
+	l.mu.Unlock()
+}
+
+// selectDefault cannot block: the default clause bails out.
+func (l *Log) selectDefault() {
+	l.mu.Lock()
+	select {
+	case l.ch <- 1:
+	default:
+	}
+	l.mu.Unlock()
+}
+
+func (l *Log) selectBlocking() {
+	l.mu.Lock()
+	select {
+	case l.ch <- 1: // want `blocking channel send .select without default.`
+	}
+	l.mu.Unlock()
+}
+
+// litIsolation: the goroutine body runs concurrently under its own
+// (fresh) lock state; the outer held lock does not leak in.
+func (l *Log) litIsolation() {
+	l.mu.Lock()
+	go func() {
+		l.f.Sync()
+	}()
+	l.mu.Unlock()
+}
+
+var (
+	_ = (*Log).badSync
+	_ = (*Log).goodDefer
+	_ = (*Log).goodDance
+	_ = (*Log).badSend
+	_ = (*Log).badSleep
+	_ = (*Log).badHTTP
+	_ = (*Log).selectDefault
+	_ = (*Log).selectBlocking
+	_ = (*Log).litIsolation
+)

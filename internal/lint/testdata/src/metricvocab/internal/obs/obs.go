@@ -1,0 +1,16 @@
+// Package obs is the miniature metrics registry for the metricvocab
+// golden test: the method set mirrors the real registrar surface.
+package obs
+
+// Registry mirrors the real atomic registry.
+type Registry struct{}
+
+// Counter / Gauge are opaque stand-ins.
+type Counter struct{}
+type Gauge struct{}
+
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+func (r *Registry) Gauge(name, help string) *Gauge     { return &Gauge{} }
+func (r *Registry) GaugeVec(name, help string, labels ...string) *Gauge {
+	return &Gauge{}
+}

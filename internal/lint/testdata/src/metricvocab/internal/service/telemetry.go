@@ -1,0 +1,17 @@
+// Package service exercises the metric-name rules: constant-ness, the
+// Prometheus grammar, and committed-vocabulary membership.
+package service
+
+import "repro/internal/obs"
+
+const namedConst = "glove_named_const_total" // constants resolve like literals
+
+func register(r *obs.Registry, dyn string) {
+	r.Counter("glove_good_total", "registered and committed")
+	r.Counter(namedConst, "registered and committed via a named constant")
+	r.Counter("glove bad name", "spaces break the grammar") // want `does not match the Prometheus naming grammar`
+	r.Gauge("glove_unknown_total", "never committed")       // want `not in the committed vocabulary`
+	r.GaugeVec(dyn, "dynamic names are unauditable")        // want `must be a compile-time string constant`
+}
+
+var _ = register

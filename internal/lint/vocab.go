@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The committed vocabulary files: one shipped name per line, in the
+// order it first shipped ('#' starts a comment). They are the golden
+// lists the append-only registries are checked against — removing a
+// line fails the build (the source constant no longer resolves into
+// the vocabulary), appending does not.
+const (
+	VocabErrcodes     = "errcodes.txt"
+	VocabMetrics      = "metrics.txt"
+	VocabSpanKinds    = "spankinds.txt"
+	VocabJournalKinds = "journalkinds.txt"
+)
+
+// VocabFiles lists every vocabulary in generation order.
+func VocabFiles() []string {
+	return []string{VocabErrcodes, VocabMetrics, VocabSpanKinds, VocabJournalKinds}
+}
+
+// ReadVocab loads one vocabulary file, preserving line order.
+func ReadVocab(dir, file string) ([]string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, file))
+	if err != nil {
+		return nil, err
+	}
+	var entries []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entries = append(entries, line)
+	}
+	return entries, nil
+}
+
+// WriteVocab writes a vocabulary file with the standard header.
+func WriteVocab(dir, file string, entries []string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — committed append-only vocabulary (glovelint).\n", file)
+	b.WriteString("# Regenerate with `make lint-vocab`; regeneration may only append.\n")
+	for _, e := range entries {
+		b.WriteString(e)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(filepath.Join(dir, file), []byte(b.String()), 0o644)
+}
+
+// MergeVocab folds the names currently in the tree into an existing
+// vocabulary: committed entries keep their order (entries no longer in
+// the tree are dropped — which the append-only regeneration test then
+// flags, since the committed file stops being a prefix of the result),
+// and new names are appended at the end. Regeneration over an
+// unchanged tree is therefore byte-stable, and over a grown tree is a
+// pure append.
+func MergeVocab(existing, current []string) []string {
+	cur := make(map[string]bool, len(current))
+	for _, c := range current {
+		cur[c] = true
+	}
+	var out []string
+	seen := make(map[string]bool, len(current))
+	for _, e := range existing {
+		if cur[e] && !seen[e] {
+			out = append(out, e)
+			seen[e] = true
+		}
+	}
+	for _, c := range current {
+		if !seen[c] {
+			out = append(out, c)
+			seen[c] = true
+		}
+	}
+	return out
+}
+
+// GenerateVocabs extracts the current vocabularies from the loaded
+// tree: declared api.Code / obs.SpanKind / service.journalKind
+// constants in registry-declaration order, and every metric name
+// registered through internal/obs in registration-site order.
+func GenerateVocabs(prog *Program) map[string][]string {
+	out := make(map[string][]string)
+	for _, reg := range registries(prog) {
+		var names []string
+		for _, c := range declaredConsts(prog, reg) {
+			names = append(names, c.value)
+		}
+		out[reg.vocabFile] = dedup(names)
+	}
+	var metrics []string
+	for _, m := range metricRegistrations(prog) {
+		if m.isConst {
+			metrics = append(metrics, m.name)
+		}
+	}
+	out[VocabMetrics] = dedup(metrics)
+	return out
+}
+
+func dedup(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			out = append(out, s)
+			seen[s] = true
+		}
+	}
+	return out
+}
+
+// --- registry extraction -------------------------------------------------
+
+// registry describes one append-only named-string-type vocabulary: the
+// package that owns the type, the type name, and the vocabulary file
+// its shipped values are pinned in.
+type registry struct {
+	relPath   string // package path relative to the module root
+	typeName  string
+	kindLabel string // human label used in messages ("error code", ...)
+	vocabFile string
+}
+
+func registries(prog *Program) []registry {
+	return []registry{
+		{relPath: "internal/api", typeName: "Code", kindLabel: "error code", vocabFile: VocabErrcodes},
+		{relPath: "internal/obs", typeName: "SpanKind", kindLabel: "span kind", vocabFile: VocabSpanKinds},
+		{relPath: "internal/service", typeName: "journalKind", kindLabel: "journal entry kind", vocabFile: VocabJournalKinds},
+	}
+}
+
+type constEntry struct {
+	name  string
+	value string
+	pos   token.Pos
+}
+
+// declaredConsts returns the constants of the registry's named type
+// declared in its home package, in declaration order. A missing home
+// package (miniature test modules) yields nil and the registry's
+// checks are skipped.
+func declaredConsts(prog *Program, reg registry) []constEntry {
+	pkg := prog.Lookup(reg.relPath)
+	if pkg == nil || pkg.Types == nil {
+		return nil
+	}
+	typePath := prog.Config.ModPath + "/" + reg.relPath
+	var out []constEntry
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj, ok := pkg.Info.Defs[name].(*types.Const)
+					if !ok || !isNamedType(obj.Type(), typePath, reg.typeName) {
+						continue
+					}
+					if obj.Val().Kind() != constant.String {
+						continue
+					}
+					out = append(out, constEntry{
+						name:  name.Name,
+						value: constant.StringVal(obj.Val()),
+						pos:   name.Pos(),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// --- metric extraction ---------------------------------------------------
+
+// registrarMethods are the *obs.Registry methods whose first argument
+// is a metric name entering the exposition namespace.
+var registrarMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"GaugeFunc": true, "CounterFunc": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+}
+
+type metricReg struct {
+	name    string // constant value when isConst
+	isConst bool
+	pos     token.Pos
+}
+
+// metricRegistrations finds every registration call on the
+// internal/obs Registry across the program, in source order.
+func metricRegistrations(prog *Program) []metricReg {
+	obsPath := prog.Config.ModPath + "/internal/obs"
+	var out []metricReg
+	for _, pkg := range prog.Packages {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || obj.Pkg() == nil || obj.Pkg().Path() != obsPath ||
+					!registrarMethods[obj.Name()] || !isRegistryRecv(obj) {
+					return true
+				}
+				if len(call.Args) == 0 {
+					return true
+				}
+				m := metricReg{pos: call.Args[0].Pos()}
+				if tv, ok := pkg.Info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+					m.name = constant.StringVal(tv.Value)
+					m.isConst = true
+				}
+				out = append(out, m)
+				return true
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+func isRegistryRecv(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	return ok && n.Obj().Name() == "Registry"
+}
+
+// --- shared type helpers -------------------------------------------------
+
+// isNamedType reports whether t is the named type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// calleeFunc resolves a call expression to the called function or
+// method object, or nil for indirect/builtin calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// repoRoot locates the real module root (two levels up from this
+// package) and fails the test if it does not look like one.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", root, err)
+	}
+	return root
+}
+
+func loadRepo(t *testing.T) (*Program, []Finding) {
+	t.Helper()
+	root := repoRoot(t)
+	prog, loadFindings, err := LoadModule(DefaultConfig(root, "repro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, loadFindings
+}
+
+// TestVocabRegenerationOnlyAppends pins the append-only contract of
+// the committed vocabularies: regenerating from the current tree must
+// reproduce every committed file as a prefix of the result. A shipped
+// error code, metric, span kind, or journal kind deleted (or renamed)
+// in source makes its committed entry disappear from the regeneration
+// — caught here — while new names only ever append.
+func TestVocabRegenerationOnlyAppends(t *testing.T) {
+	prog, loadFindings := loadRepo(t)
+	if len(loadFindings) > 0 {
+		t.Fatalf("repository does not load cleanly: %v", loadFindings)
+	}
+	current := GenerateVocabs(prog)
+	vocabDir := prog.Config.VocabDir
+	for _, file := range VocabFiles() {
+		committed, err := ReadVocab(vocabDir, file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if len(current[file]) == 0 {
+			t.Fatalf("%s: regeneration found no entries in the tree — extraction is broken", file)
+		}
+		merged := MergeVocab(committed, current[file])
+		if len(merged) < len(committed) || !reflect.DeepEqual(merged[:len(committed)], committed) {
+			t.Errorf("%s: regeneration is not an append of the committed vocabulary\ncommitted: %v\nregenerated: %v",
+				file, committed, merged)
+		}
+	}
+}
+
+// TestMergeVocab pins the merge semantics the regeneration rides on.
+func TestMergeVocab(t *testing.T) {
+	committed := []string{"a", "b", "c"}
+	// Unchanged tree: byte-stable.
+	if got := MergeVocab(committed, []string{"a", "b", "c"}); !reflect.DeepEqual(got, committed) {
+		t.Errorf("stable merge mutated order: %v", got)
+	}
+	// Grown tree: pure append, committed order preserved.
+	if got := MergeVocab(committed, []string{"c", "d", "a", "b"}); !reflect.DeepEqual(got, []string{"a", "b", "c", "d"}) {
+		t.Errorf("append merge wrong: %v", got)
+	}
+	// Shrunk tree: the dropped entry disappears (which the
+	// append-only test then flags as a non-prefix).
+	if got := MergeVocab(committed, []string{"a", "c"}); !reflect.DeepEqual(got, []string{"a", "c"}) {
+		t.Errorf("shrink merge wrong: %v", got)
+	}
+}
+
+// TestRepoSelfLint runs the full suite over this repository: the gate
+// ships green and strict — any finding here fails `make lint`, CI, and
+// this test alike.
+func TestRepoSelfLint(t *testing.T) {
+	root := repoRoot(t)
+	findings, err := Run(DefaultConfig(root, "repro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("repository not lint-clean: %s", f)
+	}
+}
+
+// TestRepoVocabSeededViolation proves the gate actually trips: with a
+// committed entry removed from a copy of the vocabulary, the same tree
+// stops being clean.
+func TestRepoVocabSeededViolation(t *testing.T) {
+	root := repoRoot(t)
+	cfg := DefaultConfig(root, "repro")
+	tmp := t.TempDir()
+	for _, file := range VocabFiles() {
+		entries, err := ReadVocab(cfg.VocabDir, file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if file == VocabErrcodes {
+			entries = entries[1:] // drop the first committed code
+		}
+		if err := WriteVocab(tmp, file, entries); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg.VocabDir = tmp
+	cfg.Enable = []string{"errcode"}
+	findings, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("dropping one committed error code must yield exactly one finding, got %v", findings)
+	}
+	if findings[0].Analyzer != "errcode" {
+		t.Errorf("wrong analyzer: %v", findings[0])
+	}
+}

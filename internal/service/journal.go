@@ -15,25 +15,31 @@ import (
 	"repro/internal/wal"
 )
 
-// Journal entry kinds. The payload of every WAL record is one
-// JSON-encoded journalEntry; the set is append-only vocabulary like the
-// error-code registry — replay of an old journal must keep working.
+// journalKind names one journal entry kind. The payload of every WAL
+// record is one JSON-encoded journalEntry; the set is append-only
+// vocabulary like the error-code registry — replay of an old journal
+// must keep working. The named type is what lets glovelint's errcode
+// analyzer pin every constructed kind to this registry and the
+// registry to the committed vocabulary (internal/lint/vocab/
+// journalkinds.txt).
+type journalKind string
+
 const (
-	jeDatasetCreate = "ds_create"
-	jeDatasetAppend = "ds_append"
-	jeDatasetDelete = "ds_delete"
-	jeJobSubmit     = "job_submit"
-	jeJobEvent      = "job_event"
-	jeJobResult     = "job_result"
-	jeJobStatus     = "job_status"
-	jeJobEvict      = "job_evict"
-	jeCleanShutdown = "clean_shutdown"
+	jeDatasetCreate journalKind = "ds_create"
+	jeDatasetAppend journalKind = "ds_append"
+	jeDatasetDelete journalKind = "ds_delete"
+	jeJobSubmit     journalKind = "job_submit"
+	jeJobEvent      journalKind = "job_event"
+	jeJobResult     journalKind = "job_result"
+	jeJobStatus     journalKind = "job_status"
+	jeJobEvict      journalKind = "job_evict"
+	jeCleanShutdown journalKind = "clean_shutdown"
 )
 
 // journalEntry is the union of every journaled mutation; Kind selects
 // which fields are meaningful.
 type journalEntry struct {
-	Kind string `json:"kind"`
+	Kind journalKind `json:"kind"`
 	// ID is the dataset or job the entry belongs to.
 	ID   string    `json:"id,omitempty"`
 	At   time.Time `json:"at,omitempty"`
@@ -70,6 +76,8 @@ type journalWindow struct {
 
 // RecoveredResult is one persisted release (or empty-window marker) of
 // a recovered job.
+//
+//lint:ignore dtoplace journal snapshot schema, persisted to the WAL and never sent over the wire
 type RecoveredResult struct {
 	Window journalWindow `json:"window"`
 	CSV    []byte        `json:"csv,omitempty"`
@@ -78,6 +86,8 @@ type RecoveredResult struct {
 // RecoveredDataset is a dataset rebuilt from the journal: its creation
 // metadata plus the raw CSV of the create and every append, replayed
 // through the normal ingest paths at restore.
+//
+//lint:ignore dtoplace journal snapshot schema, persisted to the WAL and never sent over the wire
 type RecoveredDataset struct {
 	ID        string     `json:"id"`
 	Name      string     `json:"name,omitempty"`
@@ -93,6 +103,8 @@ type RecoveredDataset struct {
 // the job died queued/running and normalizeRecovered rewrote it into
 // requeue-ready form (Requeue true, fresh event log, committed follow
 // releases kept in Results).
+//
+//lint:ignore dtoplace journal snapshot schema, persisted to the WAL and never sent over the wire
 type RecoveredJob struct {
 	ID        string            `json:"id"`
 	Spec      api.JobSpec       `json:"spec"`
@@ -108,6 +120,8 @@ type RecoveredJob struct {
 // pure function of the journal bytes, which makes it idempotent:
 // replaying the compaction of a replay yields the same state
 // (TestJournalReplayIdempotent).
+//
+//lint:ignore dtoplace journal snapshot schema, persisted to the WAL and never sent over the wire
 type RecoveredState struct {
 	DatasetSeq int                 `json:"dataset_seq"`
 	JobSeq     int                 `json:"job_seq"`
